@@ -1,0 +1,269 @@
+//! Nested depth-first search: Büchi emptiness for single-set automata.
+//!
+//! The classic algorithm of Courcoubetis, Vardi, Wolper & Yannakakis: a
+//! *blue* DFS explores the graph; at the post-order visit of every
+//! accepting state a *red* DFS looks for a cycle back to it. Runs in
+//! `O(|V| + |E|)` with two bits per state, and finds lassos on the fly —
+//! historically the memory-lean alternative to SCC-based emptiness, which
+//! is why it is the reference algorithm in explicit-state checkers like
+//! SPIN.
+//!
+//! This crate's default engine is the Tarjan search in
+//! [`product`](crate::product) (it handles *generalized* acceptance
+//! natively); the nested DFS is provided for single-acceptance-set graphs
+//! — plain Büchi automata, e.g. after
+//! [`degeneralize`](crate::degeneralize::degeneralize) — and serves as an
+//! independent cross-check of the Tarjan verdicts in the test suite and as
+//! an ablation point in the benchmarks.
+
+use crate::hashing::{FastMap, FastSet};
+use crate::product::SccGraph;
+
+/// State colors of the blue search.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Color {
+    White,
+    Cyan,
+    Blue,
+}
+
+/// Searches for a lasso whose cycle contains a state with `bits & 1 != 0`
+/// (the single acceptance set); `(states, loop_start)` as in
+/// [`find_accepting_lasso`](crate::product::find_accepting_lasso).
+///
+/// Graphs with *no* acceptance obligation (mask 0) accept on any cycle;
+/// callers with generalized (multi-set) obligations must degeneralize
+/// first — this function only consults bit 0.
+pub(crate) fn find_accepting_lasso_ndfs<G: SccGraph>(
+    g: &G,
+    any_cycle: bool,
+) -> Option<(Vec<G::Node>, usize)> {
+    let mut color: FastMap<G::Node, Color> = FastMap::default();
+    let mut red: FastSet<G::Node> = FastSet::default();
+
+    /// One decision of the blue DFS, extracted so the stack borrow ends
+    /// before the stack is inspected or grown.
+    enum Step<N> {
+        Advance(N),
+        Postorder(N),
+    }
+
+    for root in g.roots() {
+        if color.get(&root).copied().unwrap_or(Color::White) != Color::White {
+            continue;
+        }
+        // Iterative blue DFS; the stack holds (node, successors, cursor).
+        let mut stack: Vec<(G::Node, Vec<G::Node>, usize)> = Vec::new();
+        color.insert(root, Color::Cyan);
+        stack.push((root, g.succs(root), 0));
+
+        while !stack.is_empty() {
+            let step = {
+                let (node, succs, cursor) = stack.last_mut().expect("non-empty");
+                match succs.get(*cursor) {
+                    Some(&next) => {
+                        *cursor += 1;
+                        Step::Advance(next)
+                    }
+                    None => Step::Postorder(*node),
+                }
+            };
+            match step {
+                Step::Advance(next) => {
+                    let c = color.get(&next).copied().unwrap_or(Color::White);
+                    // Early detection: an edge into the cyan path closes a
+                    // cycle — exactly the stack suffix from `next` — which
+                    // accepts iff that suffix carries an accepting state.
+                    if c == Color::Cyan {
+                        let on_path: Vec<G::Node> =
+                            stack.iter().map(|(n, _, _)| *n).collect();
+                        let start = on_path
+                            .iter()
+                            .position(|&n| n == next)
+                            .expect("cyan states are on the path");
+                        let accepting =
+                            any_cycle || on_path[start..].iter().any(|&n| g.bits(n) & 1 != 0);
+                        if accepting {
+                            return Some((on_path, start));
+                        }
+                        continue;
+                    }
+                    if c == Color::White {
+                        color.insert(next, Color::Cyan);
+                        stack.push((next, g.succs(next), 0));
+                    }
+                }
+                Step::Postorder(node) => {
+                    // Red search from accepting states, in blue post-order.
+                    stack.pop();
+                    color.insert(node, Color::Blue);
+                    if !(g.bits(node) & 1 != 0 || any_cycle) {
+                        continue;
+                    }
+                    let Some(mut path) = red_search(g, node, &color, &mut red) else {
+                        continue;
+                    };
+                    // `path` is seed -> … -> hit, where `hit` is cyan (an
+                    // ancestor on the blue path) or the seed itself.
+                    let blue_path: Vec<G::Node> = stack.iter().map(|(n, _, _)| *n).collect();
+                    let hit = *path.last().expect("non-empty red path");
+                    if hit == node {
+                        // Cycle through the seed alone: prefix = blue
+                        // ancestors, cycle = red path minus its repeated
+                        // endpoint.
+                        path.pop();
+                        let mut states = blue_path;
+                        let loop_start = states.len();
+                        states.extend(path);
+                        return Some((states, loop_start));
+                    }
+                    // Cycle: hit ..blue tree.. node ..red.. hit.
+                    let start = blue_path
+                        .iter()
+                        .position(|&n| n == hit)
+                        .expect("cyan states are on the path");
+                    let mut states = blue_path;
+                    states.push(node);
+                    path.pop(); // drop the repeated `hit`
+                    states.extend(path.into_iter().skip(1)); // drop the seed copy
+                    return Some((states, start));
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Red DFS from `seed`: looks for an edge back to `seed` or to any cyan
+/// state (a state on the blue stack — which by the NDFS invariant closes
+/// an accepting cycle). Returns the path `seed -> … -> hit` on success.
+fn red_search<G: SccGraph>(
+    g: &G,
+    seed: G::Node,
+    color: &FastMap<G::Node, Color>,
+    red: &mut FastSet<G::Node>,
+) -> Option<Vec<G::Node>> {
+    let mut stack: Vec<(Vec<G::Node>, usize)> = vec![(g.succs(seed), 0)];
+    let mut on_path: Vec<G::Node> = vec![seed];
+    red.insert(seed);
+
+    while !stack.is_empty() {
+        let advance = {
+            let (succs, cursor) = stack.last_mut().expect("non-empty");
+            match succs.get(*cursor) {
+                Some(&next) => {
+                    *cursor += 1;
+                    Some(next)
+                }
+                None => None,
+            }
+        };
+        match advance {
+            Some(next) => {
+                if next == seed || color.get(&next).copied() == Some(Color::Cyan) {
+                    on_path.push(next);
+                    return Some(on_path);
+                }
+                if !red.contains(&next) {
+                    red.insert(next);
+                    stack.push((g.succs(next), 0));
+                    on_path.push(next);
+                }
+            }
+            None => {
+                stack.pop();
+                on_path.pop();
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::degeneralize::degeneralize;
+    use crate::gba::translate;
+    use crate::product::{find_accepting_lasso, GbaGraph};
+    use dic_logic::SignalTable;
+    use dic_ltl::random::{random_formula, XorShift64};
+    use dic_ltl::Ltl;
+
+    fn parse(t: &mut SignalTable, src: &str) -> Ltl {
+        Ltl::parse(src, t).expect("parse")
+    }
+
+    /// NDFS on the degeneralized automaton agrees with Tarjan on the GBA,
+    /// on a battery of patterns.
+    #[test]
+    fn ndfs_matches_tarjan_on_patterns() {
+        let mut t = SignalTable::new();
+        for src in [
+            "p U q",
+            "G F p & G F !p",
+            "G p & F !p",
+            "(p U q) & G !q",
+            "G(p -> F q)",
+            "F G p & G F !p",
+            "p & !p",
+            "G(p -> X q) & p & X !q",
+        ] {
+            let f = parse(&mut t, src);
+            let gba = translate(&f);
+            let ba = degeneralize(&gba);
+            let tarjan = find_accepting_lasso(&GbaGraph(&gba), gba.full_acc_mask()).is_some();
+            let any_cycle = ba.num_acceptance_sets() == 0;
+            let ndfs = find_accepting_lasso_ndfs(&GbaGraph(&ba), any_cycle).is_some();
+            assert_eq!(tarjan, ndfs, "disagreement on {src}");
+        }
+    }
+
+    /// Randomized cross-validation: satisfiability via NDFS ≡ via Tarjan.
+    #[test]
+    fn ndfs_matches_tarjan_on_random_formulas() {
+        let mut t = SignalTable::new();
+        let atoms = vec![t.intern("p"), t.intern("q"), t.intern("r")];
+        let mut rng = XorShift64::new(0xBDF5);
+        for _ in 0..120 {
+            let f = random_formula(&mut rng, &atoms, 8);
+            let gba = translate(&f);
+            let ba = degeneralize(&gba);
+            let tarjan = find_accepting_lasso(&GbaGraph(&gba), gba.full_acc_mask()).is_some();
+            let any_cycle = ba.num_acceptance_sets() == 0;
+            let ndfs = find_accepting_lasso_ndfs(&GbaGraph(&ba), any_cycle).is_some();
+            assert_eq!(tarjan, ndfs, "disagreement on {f:?}");
+        }
+    }
+
+    /// The returned lasso is well-formed: consecutive edges exist, the
+    /// loop closes, and the cycle carries an accepting state.
+    #[test]
+    fn ndfs_lasso_is_well_formed() {
+        let mut t = SignalTable::new();
+        for src in ["G F p", "p U q", "F(p & X q)", "G(p -> F q) & G F p"] {
+            let f = parse(&mut t, src);
+            let ba = degeneralize(&translate(&f));
+            let any_cycle = ba.num_acceptance_sets() == 0;
+            let Some((states, loop_start)) =
+                find_accepting_lasso_ndfs(&GbaGraph(&ba), any_cycle)
+            else {
+                panic!("{src} is satisfiable");
+            };
+            let g = GbaGraph(&ba);
+            for w in states.windows(2) {
+                assert!(g.succs(w[0]).contains(&w[1]), "broken edge in {src}");
+            }
+            let last = *states.last().expect("non-empty");
+            assert!(
+                g.succs(last).contains(&states[loop_start]),
+                "loop does not close in {src}"
+            );
+            if !any_cycle {
+                assert!(
+                    states[loop_start..].iter().any(|&q| g.bits(q) & 1 != 0),
+                    "cycle misses the acceptance set in {src}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,630 @@
+//! Generalized-Büchi emptiness via Tarjan SCCs, with lasso extraction.
+//!
+//! The search works on an abstract rooted graph whose nodes carry
+//! acceptance bitmasks. A counterexample exists iff some reachable
+//! non-trivial SCC covers every acceptance bit; the witness is assembled as
+//! a lasso: shortest path to the SCC, then a cycle inside it that touches
+//! one state per acceptance set.
+
+use crate::gba::Gba;
+use crate::hashing::{FastMap, FastSet};
+use crate::system::TransitionSystem;
+use std::collections::VecDeque;
+use std::hash::Hash;
+
+/// An implicitly-represented rooted graph with per-node acceptance bits.
+pub(crate) trait SccGraph {
+    /// Node type (small and copyable).
+    type Node: Copy + Eq + Hash;
+    /// Root nodes the search starts from.
+    fn roots(&self) -> Vec<Self::Node>;
+    /// Successors of a node.
+    fn succs(&self, n: Self::Node) -> Vec<Self::Node>;
+    /// Acceptance bits of a node.
+    fn bits(&self, n: Self::Node) -> u32;
+}
+
+/// The product of a transition system and a GBA.
+pub(crate) struct Product<'a, S: TransitionSystem> {
+    pub sys: &'a S,
+    pub gba: &'a Gba,
+}
+
+impl<S: TransitionSystem> Product<'_, S> {
+    /// The joint acceptance mask: system fairness bits first, then the
+    /// automaton's acceptance sets.
+    pub fn joint_mask(&self) -> u32 {
+        let sys = self.sys.num_acc_sets();
+        let total = sys + self.gba.num_acceptance_sets();
+        assert!(total <= 32, "too many joint acceptance sets");
+        mask_of(total)
+    }
+}
+
+impl<S: TransitionSystem> SccGraph for Product<'_, S> {
+    type Node = (u32, u32); // (system state, automaton state)
+
+    fn roots(&self) -> Vec<Self::Node> {
+        let mut out = Vec::new();
+        for k in self.sys.initial_states() {
+            let label = self.sys.label(k);
+            for &q in self.gba.initial() {
+                if self.gba.state(q).compatible(label) {
+                    out.push((k, q));
+                }
+            }
+        }
+        out
+    }
+
+    fn succs(&self, (k, q): Self::Node) -> Vec<Self::Node> {
+        let mut out = Vec::new();
+        for k2 in self.sys.successors(k) {
+            let label = self.sys.label(k2);
+            for &q2 in self.gba.successors(q) {
+                if self.gba.state(q2).compatible(label) {
+                    out.push((k2, q2));
+                }
+            }
+        }
+        out
+    }
+
+    fn bits(&self, (k, q): Self::Node) -> u32 {
+        self.sys.acc_bits(k) | self.gba.state(q).acc_bits() << self.sys.num_acc_sets()
+    }
+}
+
+/// The bitmask with the low `n` bits set.
+fn mask_of(n: u32) -> u32 {
+    if n >= 32 {
+        u32::MAX
+    } else {
+        (1u32 << n) - 1
+    }
+}
+
+/// The synchronous product of a transition system with *several* GBAs at
+/// once (one per specification property).
+///
+/// Translating a conjunction `R1 ∧ … ∧ Rn ∧ ¬A` through one GPVW call
+/// explodes: the tableau enumerates subsets of the combined closure. This
+/// product keeps one small automaton per conjunct instead, and controls the
+/// remaining tuple blowup with *on-the-fly subset determinization* of the
+/// safety conjuncts:
+///
+/// * an automaton with **no acceptance set** (no `Until` — the
+///   `G(x -> X y)`-shaped bulk of RTL suites) accepts a word iff it has
+///   *some* infinite run on it; by König's lemma that holds iff the set of
+///   states reachable on each prefix stays non-empty, so the component can
+///   be tracked as one deterministic bitmask — zero branching;
+/// * automata **with** acceptance sets (liveness: `F`, `U`, `G F`) must
+///   keep their explicit nondeterministic states, because acceptance
+///   depends on *which* run is taken; their bits are packed side by side
+///   into one generalized acceptance mask.
+///
+/// Safety automata wider than 64 states (rare) fall back to the explicit
+/// branching representation.
+pub(crate) struct MultiProduct<'a, S: TransitionSystem> {
+    pub sys: &'a S,
+    /// Subset-determinized safety components (≤ 64 states each).
+    safety: Vec<&'a Gba>,
+    /// Explicit components (liveness, or oversized safety).
+    explicit: Vec<&'a Gba>,
+    /// Bit offset of each explicit automaton's acceptance sets.
+    offsets: Vec<u32>,
+    /// Interned (safety bitmasks, explicit states) tuples.
+    tuples: std::cell::RefCell<TupleTable>,
+}
+
+/// One interned product tuple: a bitmask per safety automaton, a state per
+/// explicit automaton.
+#[derive(Clone, PartialEq, Eq, Hash)]
+struct Tuple {
+    safety: Vec<u64>,
+    explicit: Vec<u32>,
+}
+
+/// Interning table for product tuples.
+#[derive(Default)]
+pub(crate) struct TupleTable {
+    by_tuple: FastMap<Tuple, u32>,
+    tuples: Vec<Tuple>,
+}
+
+impl TupleTable {
+    fn intern(&mut self, t: Tuple) -> u32 {
+        if let Some(&id) = self.by_tuple.get(&t) {
+            return id;
+        }
+        let id = self.tuples.len() as u32;
+        self.tuples.push(t.clone());
+        self.by_tuple.insert(t, id);
+        id
+    }
+
+    fn get(&self, id: u32) -> Tuple {
+        self.tuples[id as usize].clone()
+    }
+}
+
+impl<'a, S: TransitionSystem> MultiProduct<'a, S> {
+    /// Builds the product; panics if the packed acceptance mask would
+    /// exceed 32 bits (far beyond the suites this tool targets).
+    pub fn new(sys: &'a S, gbas: &[&'a Gba]) -> Self {
+        let mut safety = Vec::new();
+        let mut explicit = Vec::new();
+        for &g in gbas {
+            if g.num_acceptance_sets() == 0 && g.num_states() <= 64 {
+                safety.push(g);
+            } else {
+                explicit.push(g);
+            }
+        }
+        let mut offsets = Vec::with_capacity(explicit.len());
+        let mut total = sys.num_acc_sets();
+        for g in &explicit {
+            offsets.push(total);
+            total += g.num_acceptance_sets();
+        }
+        assert!(total <= 32, "too many Until subformulas across the spec");
+        MultiProduct {
+            sys,
+            safety,
+            explicit,
+            offsets,
+            tuples: std::cell::RefCell::new(TupleTable::default()),
+        }
+    }
+
+    /// The packed all-bits mask: system fairness bits first, then every
+    /// explicit component's acceptance sets.
+    pub fn full_mask(&self) -> u32 {
+        let total: u32 = self.sys.num_acc_sets()
+            + self
+                .explicit
+                .iter()
+                .map(|g| g.num_acceptance_sets())
+                .sum::<u32>();
+        mask_of(total)
+    }
+
+    /// Advances one safety bitmask over an edge to a state labelled
+    /// `label`; `from_initial` selects the automaton's initial states as
+    /// sources. Returns `None` when the subset dies (word rejected).
+    fn step_safety(
+        g: &Gba,
+        mask: u64,
+        label: &dic_logic::Valuation,
+        from_initial: bool,
+    ) -> Option<u64> {
+        let mut next = 0u64;
+        if from_initial {
+            for &q in g.initial() {
+                if g.state(q).compatible(label) {
+                    next |= 1 << q;
+                }
+            }
+        } else {
+            let mut m = mask;
+            while m != 0 {
+                let q = m.trailing_zeros();
+                m &= m - 1;
+                for &q2 in g.successors(q) {
+                    if next >> q2 & 1 == 0 && g.state(q2).compatible(label) {
+                        next |= 1 << q2;
+                    }
+                }
+            }
+        }
+        (next != 0).then_some(next)
+    }
+
+    /// All explicit-component continuations compatible with `label`;
+    /// `states` is `None` for the initial step.
+    fn explicit_branches(&self, states: Option<&[u32]>, label: &dic_logic::Valuation) -> Vec<Vec<u32>> {
+        let mut partial: Vec<Vec<u32>> = vec![Vec::with_capacity(self.explicit.len())];
+        for (i, g) in self.explicit.iter().enumerate() {
+            let sources: Vec<u32> = match states {
+                None => g.initial().to_vec(),
+                Some(t) => g.successors(t[i]).to_vec(),
+            };
+            let mut next = Vec::new();
+            for t in &partial {
+                for &q2 in &sources {
+                    if g.state(q2).compatible(label) {
+                        let mut t2 = t.clone();
+                        t2.push(q2);
+                        next.push(t2);
+                    }
+                }
+            }
+            partial = next;
+            if partial.is_empty() {
+                break;
+            }
+        }
+        partial
+    }
+
+    /// Builds all product continuations into system state `k`.
+    fn continuations(&self, k: u32, prev: Option<&Tuple>, out: &mut Vec<(u32, u32)>) {
+        let label = self.sys.label(k);
+        // Safety components are deterministic: advance every bitmask, give
+        // up on this branch as soon as one dies.
+        let mut safety = Vec::with_capacity(self.safety.len());
+        for (i, g) in self.safety.iter().enumerate() {
+            let (mask, initial) = match prev {
+                None => (0, true),
+                Some(t) => (t.safety[i], false),
+            };
+            match Self::step_safety(g, mask, label, initial) {
+                Some(next) => safety.push(next),
+                None => return,
+            }
+        }
+        let branches = self.explicit_branches(prev.map(|t| t.explicit.as_slice()), label);
+        let mut table = self.tuples.borrow_mut();
+        for explicit in branches {
+            let id = table.intern(Tuple {
+                safety: safety.clone(),
+                explicit,
+            });
+            out.push((k, id));
+        }
+    }
+}
+
+impl<S: TransitionSystem> SccGraph for MultiProduct<'_, S> {
+    type Node = (u32, u32); // (system state, tuple id)
+
+    fn roots(&self) -> Vec<Self::Node> {
+        let mut out = Vec::new();
+        for k in self.sys.initial_states() {
+            self.continuations(k, None, &mut out);
+        }
+        out
+    }
+
+    fn succs(&self, (k, tid): Self::Node) -> Vec<Self::Node> {
+        let tuple = self.tuples.borrow().get(tid);
+        let mut out = Vec::new();
+        for k2 in self.sys.successors(k) {
+            self.continuations(k2, Some(&tuple), &mut out);
+        }
+        out
+    }
+
+    fn bits(&self, (k, tid): Self::Node) -> u32 {
+        let tuple = self.tuples.borrow().get(tid);
+        let mut bits = self.sys.acc_bits(k);
+        for ((g, &q), &off) in self.explicit.iter().zip(&tuple.explicit).zip(&self.offsets) {
+            bits |= g.state(q).acc_bits() << off;
+        }
+        bits
+    }
+}
+
+/// The GBA alone as a graph (its states are internally consistent, so any
+/// accepting lasso of the automaton denotes a real word — this decides LTL
+/// satisfiability without building a 2^AP product).
+pub(crate) struct GbaGraph<'a>(pub &'a Gba);
+
+impl SccGraph for GbaGraph<'_> {
+    type Node = u32;
+
+    fn roots(&self) -> Vec<u32> {
+        self.0.initial().to_vec()
+    }
+
+    fn succs(&self, n: u32) -> Vec<u32> {
+        self.0.successors(n).to_vec()
+    }
+
+    fn bits(&self, n: u32) -> u32 {
+        self.0.state(n).acc_bits()
+    }
+}
+
+/// Searches for an accepting lasso: a path from a root to a cycle whose
+/// states jointly cover `full_mask`. Returns `(states, loop_start)` where
+/// `states[loop_start..]` is the cycle (the successor of the last state is
+/// `states[loop_start]`).
+pub(crate) fn find_accepting_lasso<G: SccGraph>(
+    g: &G,
+    full_mask: u32,
+) -> Option<(Vec<G::Node>, usize)> {
+    let scc = find_accepting_scc(g, full_mask)?;
+    let scc_set: FastSet<G::Node> = scc.iter().copied().collect();
+    let entry = scc[0];
+
+    // Prefix: BFS from roots to the SCC entry node.
+    let prefix = bfs_path(g.roots(), |n| n == entry, |n| g.succs(n))?;
+
+    // Cycle inside the SCC covering all bits, returning to `entry`.
+    let in_scc = |n: &G::Node| scc_set.contains(n);
+    let mut cycle: Vec<G::Node> = vec![entry];
+    let mut covered = g.bits(entry);
+    let mut cur = entry;
+    while covered & full_mask != full_mask {
+        let missing = full_mask & !covered;
+        // Walk to any node providing a missing bit, staying in the SCC.
+        let hop = bfs_path(
+            vec![cur],
+            |n| g.bits(n) & missing != 0,
+            |n| g.succs(n).into_iter().filter(in_scc).collect(),
+        )
+        .expect("SCC covers the mask, so a provider is reachable inside it");
+        for n in hop.into_iter().skip(1) {
+            covered |= g.bits(n);
+            cycle.push(n);
+        }
+        cur = *cycle.last().expect("non-empty");
+    }
+    // Close the cycle back to `entry` with at least one edge.
+    let back = bfs_path(
+        g.succs(cur).into_iter().filter(in_scc).collect(),
+        |n| n == entry,
+        |n| g.succs(n).into_iter().filter(in_scc).collect(),
+    )
+    .expect("SCC is strongly connected");
+    cycle.extend(back);
+    // `cycle` now starts and ends at `entry`; drop the duplicate.
+    debug_assert!(cycle[0] == *cycle.last().expect("non-empty"));
+    cycle.pop();
+
+    let mut states = prefix;
+    states.pop(); // prefix ends at entry; the cycle re-adds it
+    let loop_start = states.len();
+    states.extend(cycle);
+    Some((states, loop_start))
+}
+
+/// BFS from `starts` to the first node satisfying `goal`; returns the full
+/// path including start and goal.
+fn bfs_path<N, FG, FS>(starts: Vec<N>, goal: FG, succs: FS) -> Option<Vec<N>>
+where
+    N: Copy + Eq + Hash,
+    FG: Fn(N) -> bool,
+    FS: Fn(N) -> Vec<N>,
+{
+    let mut parent: FastMap<N, Option<N>> = FastMap::default();
+    let mut queue = VecDeque::new();
+    for s in starts {
+        if !parent.contains_key(&s) {
+            parent.insert(s, None);
+            queue.push_back(s);
+        }
+    }
+    while let Some(n) = queue.pop_front() {
+        if goal(n) {
+            let mut path = vec![n];
+            let mut cur = n;
+            while let Some(Some(p)) = parent.get(&cur) {
+                path.push(*p);
+                cur = *p;
+            }
+            path.reverse();
+            return Some(path);
+        }
+        for m in succs(n) {
+            if !parent.contains_key(&m) {
+                parent.insert(m, Some(n));
+                queue.push_back(m);
+            }
+        }
+    }
+    None
+}
+
+/// Iterative Tarjan SCC search; returns the members of the first reachable
+/// SCC that is non-trivial (contains an edge) and covers `full_mask`.
+fn find_accepting_scc<G: SccGraph>(g: &G, full_mask: u32) -> Option<Vec<G::Node>> {
+    #[derive(Clone)]
+    struct Frame<N> {
+        node: N,
+        succs: Vec<N>,
+        next_child: usize,
+    }
+    let mut index: FastMap<G::Node, u32> = FastMap::default();
+    let mut lowlink: FastMap<G::Node, u32> = FastMap::default();
+    let mut on_stack: FastSet<G::Node> = FastSet::default();
+    let mut stack: Vec<G::Node> = Vec::new();
+    let mut counter: u32 = 0;
+    let mut call: Vec<Frame<G::Node>> = Vec::new();
+
+    for root in g.roots() {
+        if index.contains_key(&root) {
+            continue;
+        }
+        // Push root frame.
+        index.insert(root, counter);
+        lowlink.insert(root, counter);
+        counter += 1;
+        stack.push(root);
+        on_stack.insert(root);
+        call.push(Frame {
+            node: root,
+            succs: g.succs(root),
+            next_child: 0,
+        });
+
+        while let Some(frame) = call.last_mut() {
+            if frame.next_child < frame.succs.len() {
+                let child = frame.succs[frame.next_child];
+                frame.next_child += 1;
+                if !index.contains_key(&child) {
+                    index.insert(child, counter);
+                    lowlink.insert(child, counter);
+                    counter += 1;
+                    stack.push(child);
+                    on_stack.insert(child);
+                    call.push(Frame {
+                        node: child,
+                        succs: g.succs(child),
+                        next_child: 0,
+                    });
+                } else if on_stack.contains(&child) {
+                    let node = frame.node;
+                    let low = lowlink[&node].min(index[&child]);
+                    lowlink.insert(node, low);
+                }
+            } else {
+                // Post-order: pop frame, maybe emit SCC.
+                let node = frame.node;
+                let frame_done = call.pop().expect("non-empty");
+                debug_assert!(frame_done.node == node);
+                if let Some(parent) = call.last() {
+                    let low = lowlink[&parent.node].min(lowlink[&node]);
+                    lowlink.insert(parent.node, low);
+                }
+                if lowlink[&node] == index[&node] {
+                    // Pop the SCC rooted at `node`.
+                    let mut members = Vec::new();
+                    loop {
+                        let m = stack.pop().expect("scc member");
+                        on_stack.remove(&m);
+                        members.push(m);
+                        if m == node {
+                            break;
+                        }
+                    }
+                    // Accepting? Needs all bits and at least one edge.
+                    let mut bits = 0u32;
+                    for &m in &members {
+                        bits |= g.bits(m);
+                    }
+                    if bits & full_mask == full_mask {
+                        let nontrivial = members.len() > 1
+                            || g.succs(members[0]).contains(&members[0]);
+                        if nontrivial {
+                            return Some(members);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A tiny hand-built graph for direct SCC testing.
+    struct Toy {
+        roots: Vec<u32>,
+        edges: Vec<Vec<u32>>,
+        bits: Vec<u32>,
+    }
+
+    impl SccGraph for Toy {
+        type Node = u32;
+        fn roots(&self) -> Vec<u32> {
+            self.roots.clone()
+        }
+        fn succs(&self, n: u32) -> Vec<u32> {
+            self.edges[n as usize].clone()
+        }
+        fn bits(&self, n: u32) -> u32 {
+            self.bits[n as usize]
+        }
+    }
+
+    #[test]
+    fn finds_self_loop() {
+        // 0 -> 1 -> 1 (self loop with bit 0).
+        let g = Toy {
+            roots: vec![0],
+            edges: vec![vec![1], vec![1]],
+            bits: vec![0, 1],
+        };
+        let (states, loop_start) = find_accepting_lasso(&g, 1).expect("accepting");
+        assert_eq!(states, vec![0, 1]);
+        assert_eq!(loop_start, 1);
+    }
+
+    #[test]
+    fn rejects_trivial_scc() {
+        // 0 -> 1, no cycle at all.
+        let g = Toy {
+            roots: vec![0],
+            edges: vec![vec![1], vec![]],
+            bits: vec![1, 1],
+        };
+        assert!(find_accepting_lasso(&g, 1).is_none());
+    }
+
+    #[test]
+    fn needs_all_bits_in_one_scc() {
+        // Two separate loops, each with one bit: neither covers both.
+        let g = Toy {
+            roots: vec![0],
+            edges: vec![vec![0, 1], vec![1]],
+            bits: vec![0b01, 0b10],
+        };
+        assert!(find_accepting_lasso(&g, 0b11).is_none());
+        // One loop containing both bits works.
+        let g2 = Toy {
+            roots: vec![0],
+            edges: vec![vec![1], vec![0]],
+            bits: vec![0b01, 0b10],
+        };
+        let (states, loop_start) = find_accepting_lasso(&g2, 0b11).expect("accepting");
+        // Cycle must contain both states.
+        let cycle: Vec<u32> = states[loop_start..].to_vec();
+        assert!(cycle.contains(&0) && cycle.contains(&1));
+    }
+
+    #[test]
+    fn zero_mask_accepts_any_cycle() {
+        let g = Toy {
+            roots: vec![0],
+            edges: vec![vec![1], vec![0]],
+            bits: vec![0, 0],
+        };
+        let (states, loop_start) = find_accepting_lasso(&g, 0).expect("any cycle");
+        assert!(states.len() - loop_start >= 1);
+    }
+
+    #[test]
+    fn unreachable_accepting_scc_ignored() {
+        // Accepting loop at 2 is unreachable from root 0.
+        let g = Toy {
+            roots: vec![0],
+            edges: vec![vec![0], vec![2], vec![2]],
+            bits: vec![0, 0, 1],
+        };
+        assert!(find_accepting_lasso(&g, 1).is_none());
+    }
+
+    #[test]
+    fn lasso_is_well_formed() {
+        // Diamond into a 3-cycle with distributed bits.
+        let g = Toy {
+            roots: vec![0],
+            edges: vec![vec![1, 2], vec![3], vec![3], vec![4], vec![5], vec![3]],
+            bits: vec![0, 0, 0, 0b01, 0b10, 0],
+        };
+        let (states, loop_start) = find_accepting_lasso(&g, 0b11).expect("accepting");
+        // Check edges along the path.
+        for i in 0..states.len() - 1 {
+            assert!(
+                g.succs(states[i]).contains(&states[i + 1]),
+                "broken edge {} -> {}",
+                states[i],
+                states[i + 1]
+            );
+        }
+        // Loop closes.
+        let last = *states.last().unwrap();
+        assert!(g.succs(last).contains(&states[loop_start]));
+        // Cycle covers both bits.
+        let mut bits = 0;
+        for &s in &states[loop_start..] {
+            bits |= g.bits(s);
+        }
+        assert_eq!(bits & 0b11, 0b11);
+    }
+}

@@ -1,0 +1,126 @@
+//! The model interface: transition systems over signal valuations.
+
+use dic_fsm::Kripke;
+use dic_logic::Valuation;
+use dic_ltl::LassoWord;
+
+/// What the model checker needs from a model: initial states, successors
+/// and signal-valuation labels.
+///
+/// Implemented by [`dic_fsm::Kripke`] (netlist semantics) and by
+/// [`WordSystem`] (a single lasso word, used to replay witnesses and as a
+/// test oracle bridge).
+pub trait TransitionSystem {
+    /// The initial states.
+    fn initial_states(&self) -> Vec<u32>;
+    /// The successors of `state`.
+    fn successors(&self, state: u32) -> Vec<u32>;
+    /// The valuation labelling `state`.
+    fn label(&self, state: u32) -> &Valuation;
+
+    /// Number of *fairness* (generalized acceptance) sets the system itself
+    /// imposes: a path of the system counts as a run only if it visits each
+    /// set infinitely often. Plain models have none; a
+    /// [`ProductSystem`](crate::ProductSystem) carries the acceptance bits
+    /// of the automata folded into it.
+    fn num_acc_sets(&self) -> u32 {
+        0
+    }
+
+    /// Membership bitmask of `state` in the system fairness sets
+    /// (bit `j` ⇔ member of set `j`); always `0` for plain models.
+    fn acc_bits(&self, _state: u32) -> u32 {
+        0
+    }
+}
+
+impl TransitionSystem for Kripke {
+    fn initial_states(&self) -> Vec<u32> {
+        Kripke::initial_states(self).collect()
+    }
+
+    fn successors(&self, state: u32) -> Vec<u32> {
+        Kripke::successors(self, state).collect()
+    }
+
+    fn label(&self, state: u32) -> &Valuation {
+        Kripke::label(self, state)
+    }
+}
+
+/// A transition system with exactly one run: the given lasso word.
+///
+/// State `i` is position `i` of the word; the last stored position loops
+/// back to `loop_start`. Model-checking a formula existentially against a
+/// `WordSystem` therefore decides `w ⊨ φ`, which is how the automaton
+/// construction is validated against the bounded semantics oracle.
+///
+/// # Example
+///
+/// ```
+/// use dic_logic::{SignalTable, Valuation};
+/// use dic_ltl::{LassoWord, Ltl};
+/// use dic_automata::{satisfiable_in, WordSystem};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut t = SignalTable::new();
+/// let p = t.intern("p");
+/// let mut hi = Valuation::all_false(1);
+/// hi.set(p, true);
+/// let w = LassoWord::new(vec![Valuation::all_false(1), hi], 1).expect("word");
+/// let sys = WordSystem::new(w);
+/// let fp = Ltl::parse("F p", &mut t)?;
+/// assert!(satisfiable_in(&fp, &sys).is_some());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct WordSystem {
+    word: LassoWord,
+}
+
+impl WordSystem {
+    /// Wraps a lasso word as a single-run transition system.
+    pub fn new(word: LassoWord) -> Self {
+        WordSystem { word }
+    }
+
+    /// The underlying word.
+    pub fn word(&self) -> &LassoWord {
+        &self.word
+    }
+}
+
+impl TransitionSystem for WordSystem {
+    fn initial_states(&self) -> Vec<u32> {
+        vec![0]
+    }
+
+    fn successors(&self, state: u32) -> Vec<u32> {
+        vec![self.word.succ(state as usize) as u32]
+    }
+
+    fn label(&self, state: u32) -> &Valuation {
+        self.word.at(state as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dic_logic::SignalTable;
+
+    #[test]
+    fn word_system_wraps_positions() {
+        let mut t = SignalTable::new();
+        let p = t.intern("p");
+        let mut hi = Valuation::all_false(t.len());
+        hi.set(p, true);
+        let w = LassoWord::new(vec![Valuation::all_false(t.len()), hi], 1).expect("word");
+        let sys = WordSystem::new(w);
+        assert_eq!(sys.initial_states(), vec![0]);
+        assert_eq!(sys.successors(0), vec![1]);
+        assert_eq!(sys.successors(1), vec![1], "last position loops");
+        assert!(sys.label(1).get(p));
+    }
+}

@@ -1,0 +1,122 @@
+//! The acid test for the model checker: on random formulas and random lasso
+//! words, the automaton pipeline (GPVW → product → SCC emptiness) must agree
+//! exactly with the executable bounded semantics of `dic_ltl`.
+
+use dic_automata::{
+    holds_in, is_satisfiable, is_valid, satisfiable_in, satisfiable_in_conj, witness, WordSystem,
+};
+use dic_logic::SignalTable;
+use dic_ltl::random::{random_formula, random_word, XorShift64};
+use dic_ltl::Ltl;
+use proptest::prelude::*;
+
+fn universe() -> (SignalTable, Vec<dic_logic::SignalId>) {
+    let mut t = SignalTable::new();
+    let atoms = vec![t.intern("p"), t.intern("q"), t.intern("r")];
+    (t, atoms)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Single most important property in the workspace: automaton acceptance
+    /// of a concrete word == bounded LTL semantics.
+    #[test]
+    fn automaton_agrees_with_bounded_semantics(
+        seed in 1u64..100_000,
+        budget in 1usize..18,
+        prefix in 0usize..4,
+        loop_len in 1usize..5,
+    ) {
+        let (_t, atoms) = universe();
+        let mut rng = XorShift64::new(seed);
+        let f = random_formula(&mut rng, &atoms, budget);
+        let w = random_word(&mut rng, atoms.len(), prefix, loop_len);
+        let sys = WordSystem::new(w.clone());
+        let expected = f.holds_on(&w);
+        let got = satisfiable_in(&f, &sys).is_some();
+        prop_assert_eq!(got, expected, "formula {:?} on {:?}", f, w);
+    }
+
+    /// `holds_in` is the dual of `satisfiable_in` on a single-run system.
+    #[test]
+    fn universal_is_dual_of_existential(
+        seed in 1u64..100_000,
+        budget in 1usize..15,
+    ) {
+        let (_t, atoms) = universe();
+        let mut rng = XorShift64::new(seed);
+        let f = random_formula(&mut rng, &atoms, budget);
+        let w = random_word(&mut rng, atoms.len(), 2, 3);
+        let sys = WordSystem::new(w);
+        let holds = holds_in(&f, &sys).holds();
+        let neg_sat = satisfiable_in(&Ltl::not(f), &sys).is_some();
+        prop_assert_eq!(holds, !neg_sat);
+    }
+
+    /// Satisfiability witnesses really satisfy the formula.
+    #[test]
+    fn witnesses_are_sound(seed in 1u64..100_000, budget in 1usize..15) {
+        let (t, atoms) = universe();
+        let mut rng = XorShift64::new(seed);
+        let f = random_formula(&mut rng, &atoms, budget);
+        match witness(&f, t.len()) {
+            Some(w) => prop_assert!(f.holds_on(&w), "bogus witness for {:?}", f),
+            None => {
+                // Unsatisfiable: its negation must be valid.
+                prop_assert!(is_valid(&Ltl::not(f)));
+            }
+        }
+    }
+
+    /// `f | !f` is always valid; `f & !f` never satisfiable.
+    #[test]
+    fn excluded_middle(seed in 1u64..100_000, budget in 1usize..15) {
+        let (_t, atoms) = universe();
+        let mut rng = XorShift64::new(seed);
+        let f = random_formula(&mut rng, &atoms, budget);
+        prop_assert!(is_valid(&Ltl::or([f.clone(), Ltl::not(f.clone())])));
+        prop_assert!(!is_satisfiable(&Ltl::and([f.clone(), Ltl::not(f)])));
+    }
+
+    /// The multi-automaton product (with subset-determinized safety
+    /// components) agrees with translating the conjunction as one formula.
+    #[test]
+    fn conj_product_matches_conjunction(
+        seed in 1u64..100_000,
+        b1 in 1usize..10,
+        b2 in 1usize..10,
+        b3 in 1usize..8,
+    ) {
+        let (_t, atoms) = universe();
+        let mut rng = XorShift64::new(seed);
+        let fs = vec![
+            random_formula(&mut rng, &atoms, b1),
+            random_formula(&mut rng, &atoms, b2),
+            random_formula(&mut rng, &atoms, b3),
+        ];
+        let w = random_word(&mut rng, atoms.len(), 2, 3);
+        let sys = WordSystem::new(w);
+        let single = satisfiable_in(&Ltl::and(fs.clone()), &sys).is_some();
+        let multi = satisfiable_in_conj(&fs, &sys);
+        prop_assert_eq!(single, multi.is_some(), "conjuncts {:?}", fs);
+        if let Some(witness_word) = multi {
+            for f in &fs {
+                prop_assert!(f.holds_on(&witness_word));
+            }
+        }
+    }
+
+    /// Counterexamples returned by holds_in violate the property.
+    #[test]
+    fn counterexamples_are_sound(seed in 1u64..100_000, budget in 1usize..15) {
+        let (_t, atoms) = universe();
+        let mut rng = XorShift64::new(seed);
+        let f = random_formula(&mut rng, &atoms, budget);
+        let w = random_word(&mut rng, atoms.len(), 2, 3);
+        let sys = WordSystem::new(w);
+        if let Some(cex) = holds_in(&f, &sys).counterexample() {
+            prop_assert!(!f.holds_on(cex), "counterexample satisfies {:?}", f);
+        }
+    }
+}

@@ -1,0 +1,72 @@
+//! Benchmarks for the LTL→Büchi substrate: GPVW translation time/size on
+//! the specification patterns the coverage pipeline actually translates.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dic_automata::translate;
+use dic_logic::SignalTable;
+use dic_ltl::random::{random_formula, XorShift64};
+use dic_ltl::Ltl;
+use std::hint::black_box;
+
+fn bench_translate_patterns(c: &mut Criterion) {
+    let mut t = SignalTable::new();
+    let patterns = [
+        ("request_response", "G(req -> X grant)"),
+        ("priority_intent", "G(!wait & r1 & X(r1 U r2) -> X(!d2 U d1))"),
+        ("paper_gap_u", "G(!wait & r1 & X(r1 U (r2 & X !hit)) -> X(!d2 U d1))"),
+        ("fairness", "G F hit"),
+        ("nested_until", "(a U b) U (c U d)"),
+        ("strong_release", "(a R b) & (c R d) & G(e -> F f)"),
+    ];
+    let mut group = c.benchmark_group("automata/translate");
+    for (name, src) in patterns {
+        let f = Ltl::parse(src, &mut t).expect("pattern parses");
+        group.bench_function(name, |b| b.iter(|| black_box(translate(&f))));
+    }
+    group.finish();
+}
+
+fn bench_translate_random(c: &mut Criterion) {
+    let mut t = SignalTable::new();
+    let atoms = vec![t.intern("p"), t.intern("q"), t.intern("r"), t.intern("s")];
+    let mut group = c.benchmark_group("automata/translate_random");
+    group.sample_size(20);
+    for budget in [8usize, 16, 24] {
+        let formulas: Vec<Ltl> = (1..=20)
+            .map(|seed| random_formula(&mut XorShift64::new(seed), &atoms, budget))
+            .collect();
+        group.bench_function(format!("budget_{budget}"), |b| {
+            b.iter(|| {
+                for f in &formulas {
+                    black_box(translate(f));
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_emptiness_engines(c: &mut Criterion) {
+    use dic_automata::{is_satisfiable, is_satisfiable_ndfs};
+
+    // Engine ablation: Tarjan over generalized acceptance vs the classic
+    // degeneralize + nested-DFS pipeline, on liveness-heavy formulas.
+    let mut t = SignalTable::new();
+    let liveness = Ltl::parse("G(p -> F q) & G F p & G F !q", &mut t).expect("parses");
+    let mut group = c.benchmark_group("automata/emptiness");
+    group.bench_function("tarjan_gba", |b| {
+        b.iter(|| black_box(is_satisfiable(&liveness)))
+    });
+    group.bench_function("ndfs_degeneralized", |b| {
+        b.iter(|| black_box(is_satisfiable_ndfs(&liveness)))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_translate_patterns,
+    bench_translate_random,
+    bench_emptiness_engines
+);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Ablation bench for the design choices in the gap pipeline (Algorithm 1):
+//! term generalization on/off, hidden-signal quantification on/off, and
+//! candidate-budget sensitivity, measured on the paper's Example 2.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dic_bench::{build_model, phase_gap};
+use dic_core::GapConfig;
+use dic_designs::pipeline;
+use std::hint::black_box;
+
+fn bench_gap_ablation(c: &mut Criterion) {
+    // The pipeline design has the smallest model of the Table 1 set, so
+    // every knob can be swept with sub-second iterations; the knobs behave
+    // identically on the larger designs (only slower).
+    let design = pipeline::pipeline12();
+    let model = build_model(&design);
+
+    let mut group = c.benchmark_group("gap_ablation/pipeline");
+    group.sample_size(10);
+
+    // A bounded base budget so each Criterion iteration stays in seconds.
+    let base = GapConfig {
+        max_terms: 2,
+        max_candidates: 16,
+        max_gap_properties: 4,
+        ..GapConfig::default()
+    };
+    let configs = [
+        ("base", base.clone()),
+        (
+            "no_generalize",
+            GapConfig {
+                generalize: false,
+                ..base.clone()
+            },
+        ),
+        (
+            "no_quantify",
+            GapConfig {
+                quantify: false,
+                ..base.clone()
+            },
+        ),
+        (
+            "more_terms",
+            GapConfig {
+                max_terms: 4,
+                ..base.clone()
+            },
+        ),
+        (
+            "more_candidates",
+            GapConfig {
+                max_candidates: 48,
+                ..base
+            },
+        ),
+    ];
+    for (name, config) in configs {
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(phase_gap(&design, &model, &config)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_gap_ablation);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Model-checking state-explosion bench (paper Section 5: "the primary
+//! coverage question requires model checking on the RTL blocks"): the
+//! primary coverage question on MAL variants of growing width.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dic_bench::{build_model, phase_primary};
+use dic_designs::scaling::wide_mal;
+use std::hint::black_box;
+
+fn bench_mc_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mc_scaling/wide_mal");
+    group.sample_size(10);
+    // Width 4 is the Table 1 MAL; its primary question is minutes-scale and
+    // is reported by `bin/table1` — Criterion sweeps the widths below.
+    for n in [2usize, 3] {
+        let design = wide_mal(n);
+        let model = build_model(&design);
+        group.bench_with_input(
+            BenchmarkId::new("primary_coverage", n),
+            &n,
+            |b, _| b.iter(|| black_box(phase_primary(&design, &model))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mc_scaling);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Criterion benches for the paper's Table 1: each design × each phase
+//! (primary coverage question, `T_M` building, gap finding).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dic_bench::{build_model, phase_gap, phase_primary, phase_tm};
+use dic_core::tm::TmStyle;
+use dic_core::GapConfig;
+use dic_designs::table1_designs;
+use std::hint::black_box;
+
+fn bench_table1(c: &mut Criterion) {
+    for design in table1_designs() {
+        let model = build_model(&design);
+        // Tightly bounded gap budget so a Criterion iteration stays in
+        // seconds; the full-budget wall-clock rows come from `bin/table1`.
+        let config = GapConfig {
+            max_terms: 1,
+            max_candidates: 6,
+            ..GapConfig::default()
+        };
+
+        let mut group = c.benchmark_group(format!("table1/{}", design.name));
+        group.sample_size(10);
+
+        // The widest model (mal-26) takes ~1 min per *single* primary
+        // query and minutes per gap search — Criterion's repeated
+        // iterations would turn the suite into hours. Its full-budget
+        // wall-clock row comes from `cargo run -p dic-bench --bin table1`;
+        // Criterion covers the phases that iterate in seconds.
+        if design.name != "mal-26" {
+            group.bench_function("primary_coverage", |b| {
+                b.iter(|| black_box(phase_primary(&design, &model)))
+            });
+        }
+        group.bench_function("tm_build", |b| {
+            b.iter(|| black_box(phase_tm(&design, TmStyle::Enumerated)))
+        });
+        if design.name != "mal-26" && design.name != "amba-ahb" {
+            group.bench_function("gap_finding", |b| {
+                b.iter(|| black_box(phase_gap(&design, &model, &config)))
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

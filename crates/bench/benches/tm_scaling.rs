@@ -1,0 +1,39 @@
+//! `T_M` state-explosion bench (paper Section 5: "the building time for TM
+//! will go up"): enumerated vs relational construction on growing latch
+//! chains.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dic_core::tm::{enumerated_tm, relational_tm};
+use dic_designs::scaling::{latch_chain, twin_chain};
+use std::hint::black_box;
+
+fn bench_tm_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tm_scaling/latch_chain");
+    group.sample_size(10);
+    for n in [2usize, 4, 6, 8] {
+        let (t, m) = latch_chain(n);
+        group.bench_with_input(BenchmarkId::new("enumerated", n), &n, |b, _| {
+            b.iter(|| black_box(enumerated_tm(&m, &t, true).expect("fits")))
+        });
+        group.bench_with_input(BenchmarkId::new("relational", n), &n, |b, _| {
+            b.iter(|| black_box(relational_tm(&m)))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("tm_scaling/twin_chain");
+    group.sample_size(10);
+    for n in [1usize, 2, 3, 4] {
+        let (t, m) = twin_chain(n);
+        group.bench_with_input(BenchmarkId::new("enumerated", n), &n, |b, _| {
+            b.iter(|| black_box(enumerated_tm(&m, &t, true).expect("fits")))
+        });
+        group.bench_with_input(BenchmarkId::new("enumerated_unmerged", n), &n, |b, _| {
+            b.iter(|| black_box(enumerated_tm(&m, &t, false).expect("fits")))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_tm_scaling);
+criterion_main!(benches);

@@ -1,0 +1,98 @@
+//! Shared measurement helpers for the benchmark harness.
+//!
+//! The paper's Table 1 decomposes SpecMatcher runtime into three phases per
+//! design: answering the primary coverage question, building `T_M`, and
+//! finding the gap. These helpers run exactly one phase so Criterion can
+//! time them in isolation, and [`measure_design`] reproduces a full table
+//! row with wall-clock timings.
+
+use dic_core::tm::{tm_for_modules, TmStyle};
+use dic_core::{
+    find_gap, primary_coverage, uncovered_terms, CoverageModel, GapConfig, SpecMatcher,
+};
+use dic_designs::Design;
+use dic_ltl::Ltl;
+use std::time::Duration;
+
+/// Builds the coverage model of a design (untimed setup shared by phases).
+pub fn build_model(design: &Design) -> CoverageModel {
+    CoverageModel::build(&design.arch, &design.rtl, &design.table)
+        .expect("packaged designs fit the explicit limits")
+}
+
+/// Phase 1: the primary coverage question (Theorem 1) for the first
+/// architectural property. Returns the refuting witness, if any.
+pub fn phase_primary(design: &Design, model: &CoverageModel) -> Option<dic_ltl::LassoWord> {
+    let fa = design.arch.properties()[0].formula();
+    primary_coverage(fa, &design.rtl, model)
+}
+
+/// Phase 2: `T_M` construction (Definition 4, enumerated — what the paper
+/// times; pass [`TmStyle::Relational`] for the ablation).
+pub fn phase_tm(design: &Design, style: TmStyle) -> Ltl {
+    tm_for_modules(design.rtl.concrete(), &design.table, style)
+        .expect("packaged designs fit the explicit limits")
+}
+
+/// Phase 3: gap finding (Algorithm 1) for the first architectural property.
+pub fn phase_gap(
+    design: &Design,
+    model: &CoverageModel,
+    config: &GapConfig,
+) -> (Vec<dic_ltl::TemporalCube>, usize) {
+    let fa = design.arch.properties()[0].formula();
+    let terms = uncovered_terms(fa, &design.rtl, model, config);
+    let gaps = find_gap(fa, &terms, &design.rtl, model, config);
+    (terms, gaps.len())
+}
+
+/// One measured Table 1 row.
+#[derive(Clone, Debug)]
+pub struct TableRow {
+    /// Design name.
+    pub circuit: String,
+    /// Number of RTL properties.
+    pub num_rtl: usize,
+    /// Primary coverage time.
+    pub primary: Duration,
+    /// `T_M` build time (enumerated).
+    pub tm_build: Duration,
+    /// Gap finding time.
+    pub gap_find: Duration,
+}
+
+/// The gap budget used for the Table 1 rows: enough to find the
+/// structure-preserving gap properties on every packaged design while
+/// keeping the wall clock in the tens of seconds, like the published runs.
+pub fn table1_config() -> GapConfig {
+    GapConfig {
+        max_terms: 3,
+        max_candidates: 32,
+        max_gap_properties: 4,
+        ..GapConfig::default()
+    }
+}
+
+/// Runs the full pipeline once and reports the row (used by `bin/table1`).
+pub fn measure_design(design: &Design) -> TableRow {
+    let matcher = SpecMatcher::new(table1_config()).with_tm_style(TmStyle::Enumerated);
+    let run = design.check(&matcher).expect("packaged design runs");
+    TableRow {
+        circuit: design.name.to_owned(),
+        num_rtl: run.num_rtl_properties,
+        primary: run.timings.primary,
+        tm_build: run.timings.tm_build,
+        gap_find: run.timings.gap_find,
+    }
+}
+
+/// The paper's published Table 1 rows (2 GHz Pentium 4, seconds), for the
+/// shape comparison printed next to the measured values.
+pub fn paper_reference() -> Vec<(&'static str, usize, f64, f64, f64)> {
+    vec![
+        ("Memory Arb. Logic", 26, 4.7, 2.3, 26.1),
+        ("Intel Design", 12, 8.2, 0.9, 15.2),
+        ("ARM AMBA AHB", 29, 12.07, 9.8, 22.5),
+        ("Paper Ex. (Fig 1)", 2, 0.18, 0.06, 1.2),
+    ]
+}

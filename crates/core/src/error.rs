@@ -1,0 +1,59 @@
+//! Error type for the coverage pipeline.
+
+use dic_fsm::FsmError;
+use dic_netlist::NetlistError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the coverage analysis.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CoreError {
+    /// Composing the concrete modules failed.
+    Netlist(NetlistError),
+    /// The composed model is too large for explicit exploration.
+    Fsm(FsmError),
+    /// The paper's Assumption 1 (`AP_A ⊆ AP_R`) is violated: an
+    /// architectural signal is neither constrained by an RTL property nor
+    /// present in any concrete module, so no decomposition can ever cover
+    /// behaviors of that signal.
+    UnknownArchSignal {
+        /// Name of the offending signal.
+        name: String,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Netlist(e) => write!(f, "netlist error: {e}"),
+            CoreError::Fsm(e) => write!(f, "state-space error: {e}"),
+            CoreError::UnknownArchSignal { name } => write!(
+                f,
+                "architectural signal {name} does not appear in the RTL specification \
+                 (Assumption 1 requires AP_A to be a subset of AP_R)"
+            ),
+        }
+    }
+}
+
+impl Error for CoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CoreError::Netlist(e) => Some(e),
+            CoreError::Fsm(e) => Some(e),
+            CoreError::UnknownArchSignal { .. } => None,
+        }
+    }
+}
+
+impl From<NetlistError> for CoreError {
+    fn from(e: NetlistError) -> Self {
+        CoreError::Netlist(e)
+    }
+}
+
+impl From<FsmError> for CoreError {
+    fn from(e: FsmError) -> Self {
+        CoreError::Fsm(e)
+    }
+}

@@ -1,0 +1,254 @@
+//! The coverage model: composed concrete modules + free spec signals.
+
+use crate::error::CoreError;
+use crate::spec::{ArchSpec, RtlSpec};
+use dic_fsm::Kripke;
+use dic_logic::{SignalId, SignalTable};
+use dic_netlist::Module;
+use std::collections::{BTreeSet, HashMap};
+use std::sync::Arc;
+
+/// The model `M` of the paper's Definition 1: the synchronous composition
+/// of the concrete modules, with every specification signal that the
+/// modules do not drive left as a free (nondeterministic) input.
+///
+/// Its runs are exactly the runs "consistent with the concrete modules",
+/// so satisfiability of `R ∧ ¬A` *within this model* is the paper's
+/// "`¬A ∧ R` is true in M".
+#[derive(Debug)]
+pub struct CoverageModel {
+    composed: Module,
+    kripke: Kripke,
+    observable: BTreeSet<SignalId>,
+    hidden: BTreeSet<SignalId>,
+    cache: dic_automata::GbaCache,
+    /// Materialized base products, keyed by the baked-in conjunction.
+    products: std::sync::Mutex<HashMap<Vec<dic_ltl::Ltl>, Arc<dic_automata::ProductSystem>>>,
+}
+
+impl CoverageModel {
+    /// Builds the model for a spec pair.
+    ///
+    /// Free signals are all atoms of `A` and `R` not driven by the concrete
+    /// modules. The *observable* alphabet — what uncovered terms may mention
+    /// after quantification — defaults to `AP_A` plus the primary inputs of
+    /// the composition (the paper eliminates `AP_R − AP_A`, which is the
+    /// complement of this set among term signals).
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::Netlist`] if the concrete modules cannot be composed,
+    /// * [`CoreError::Fsm`] if the state space exceeds the explicit limit,
+    /// * [`CoreError::UnknownArchSignal`] if an architectural signal appears
+    ///   nowhere in the RTL spec (Assumption 1).
+    pub fn build(
+        arch: &ArchSpec,
+        rtl: &RtlSpec,
+        table: &SignalTable,
+    ) -> Result<Self, CoreError> {
+        // Assumption 1: AP_A ⊆ AP_R.
+        let ap_r = rtl.alphabet();
+        for &s in &arch.alphabet() {
+            if !ap_r.contains(&s) {
+                return Err(CoreError::UnknownArchSignal {
+                    name: table.name(s).to_owned(),
+                });
+            }
+        }
+
+        let module_refs: Vec<&Module> = rtl.concrete().iter().collect();
+        let composed = Module::compose("M", &module_refs, table)?;
+
+        // Cone-of-influence reduction: only the logic that can affect a
+        // signal some property mentions matters for coverage; unrelated
+        // latches would inflate the explicit state space exponentially.
+        let mut spec_signals: Vec<SignalId> = Vec::new();
+        for p in arch.properties() {
+            spec_signals.extend(p.formula().atoms());
+        }
+        for p in rtl.properties() {
+            spec_signals.extend(p.formula().atoms());
+        }
+        spec_signals.sort();
+        spec_signals.dedup();
+        let composed = composed.cone_of_influence(&spec_signals, table);
+
+        // Free signals: every *property* atom the (reduced) composition
+        // does not drive. Signals that only ever appeared inside dropped
+        // cone logic stay out entirely.
+        let mut free: Vec<SignalId> = Vec::new();
+        let driven = composed.driven_signals();
+        for &s in &spec_signals {
+            if !driven.contains(&s) && !free.contains(&s) {
+                free.push(s);
+            }
+        }
+        let kripke = Kripke::from_module(&composed, table, &free)?;
+
+        // Observable: the architectural alphabet plus every nondeterministic
+        // input of the model (design primary inputs and free environment
+        // signals). This is why the paper's gap property U may mention
+        // `hit`: it is an input of the concrete L1, not an internal signal.
+        let mut observable: BTreeSet<SignalId> = arch.alphabet();
+        observable.extend(kripke.input_vars().iter().copied());
+        // Terms may mention anything the model constrains or the spec names;
+        // the rest is quantified away.
+        let mut term_signals: BTreeSet<SignalId> = observable.clone();
+        term_signals.extend(rtl.alphabet());
+        let hidden: BTreeSet<SignalId> = term_signals
+            .difference(&observable)
+            .copied()
+            .collect();
+
+        Ok(CoverageModel {
+            composed,
+            kripke,
+            observable,
+            hidden,
+            cache: dic_automata::GbaCache::new(),
+            products: std::sync::Mutex::new(HashMap::new()),
+        })
+    }
+
+    /// Existential query against this model with memoized automaton
+    /// translations: is some run of `M` satisfying every formula in
+    /// `formulas`? This is the primitive behind every coverage question;
+    /// repeated conjuncts (the `R` suite, `¬FA`) are translated once per
+    /// model.
+    pub fn satisfiable(&self, formulas: &[dic_ltl::Ltl]) -> Option<dic_ltl::LassoWord> {
+        dic_automata::satisfiable_in_conj_cached(formulas, &self.kripke, &self.cache)
+    }
+
+    /// Factored existential query: is some run of `M` satisfying `base`
+    /// *and* `extra`?
+    ///
+    /// The sub-product of `M` with `base` is materialized on first use and
+    /// memoized (see [`dic_automata::materialize_product`]); only the
+    /// `extra` conjuncts are explored per call. Algorithm 1 issues hundreds
+    /// of queries sharing the same base (`R ∧ ¬FA` for candidate closure,
+    /// `R` for term generalization), which makes this the dominant
+    /// performance lever of the whole pipeline.
+    pub fn satisfiable_factored(
+        &self,
+        base: &[dic_ltl::Ltl],
+        extra: &[dic_ltl::Ltl],
+    ) -> Option<dic_ltl::LassoWord> {
+        let product = {
+            let mut products = self.products.lock().expect("product memo poisoned");
+            match products.get(base) {
+                Some(p) => Arc::clone(p),
+                None => {
+                    let p = Arc::new(dic_automata::materialize_product(
+                        base,
+                        &self.kripke,
+                        &self.cache,
+                    ));
+                    products.insert(base.to_vec(), Arc::clone(&p));
+                    p
+                }
+            }
+        };
+        dic_automata::satisfiable_in_conj_cached(extra, product.as_ref(), &self.cache)
+    }
+
+    /// The composed concrete module `M`.
+    pub fn composed(&self) -> &Module {
+        &self.composed
+    }
+
+    /// The Kripke structure explored by the model checker.
+    pub fn kripke(&self) -> &Kripke {
+        &self.kripke
+    }
+
+    /// Signals that may appear in reported gap terms.
+    pub fn observable(&self) -> &BTreeSet<SignalId> {
+        &self.observable
+    }
+
+    /// Signals quantified out of gap terms (the paper's `AP_R − AP_A`
+    /// step, keeping design primary inputs observable).
+    pub fn hidden(&self) -> &BTreeSet<SignalId> {
+        &self.hidden
+    }
+
+    /// Signals recorded in raw uncovered terms before quantification.
+    pub fn term_signals(&self) -> Vec<SignalId> {
+        let mut v: Vec<SignalId> = self
+            .observable
+            .union(&self.hidden)
+            .copied()
+            .collect();
+        v.sort();
+        v
+    }
+
+    /// Overrides the observable alphabet (ablation hook).
+    pub fn set_observable(&mut self, observable: BTreeSet<SignalId>) {
+        let all: BTreeSet<SignalId> = self.observable.union(&self.hidden).copied().collect();
+        self.hidden = all.difference(&observable).copied().collect();
+        self.observable = observable;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dic_ltl::Ltl;
+    use dic_netlist::ModuleBuilder;
+
+    fn setup() -> (SignalTable, ArchSpec, RtlSpec) {
+        let mut t = SignalTable::new();
+        let a = Ltl::parse("G(req -> X X q)", &mut t).unwrap();
+        let r = Ltl::parse("G(req -> X a)", &mut t).unwrap();
+        let mut b = ModuleBuilder::new("glue", &mut t);
+        let ain = b.input("a");
+        let q = b.latch_from("q", ain, false);
+        b.mark_output(q);
+        let m = b.finish().unwrap();
+        (
+            t,
+            ArchSpec::new([("A1", a)]),
+            RtlSpec::new([("R1", r)], [m]),
+        )
+    }
+
+    #[test]
+    fn builds_with_free_signals() {
+        let (t, arch, rtl) = setup();
+        let model = CoverageModel::build(&arch, &rtl, &t).expect("builds");
+        // Free signals: req (spec only) and a (module input).
+        let req = t.lookup("req").unwrap();
+        let a = t.lookup("a").unwrap();
+        assert!(model.kripke().input_vars().contains(&req));
+        assert!(model.kripke().input_vars().contains(&a));
+        // q is driven, so it is not free.
+        let q = t.lookup("q").unwrap();
+        assert!(!model.kripke().input_vars().contains(&q));
+    }
+
+    #[test]
+    fn assumption1_enforced() {
+        let (mut t, _arch, rtl) = setup();
+        let bogus = Ltl::parse("G phantom", &mut t).unwrap();
+        let arch2 = ArchSpec::new([("A2", bogus)]);
+        match CoverageModel::build(&arch2, &rtl, &t) {
+            Err(CoreError::UnknownArchSignal { name }) => assert_eq!(name, "phantom"),
+            other => panic!("expected Assumption 1 violation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn observable_defaults() {
+        let (t, arch, rtl) = setup();
+        let model = CoverageModel::build(&arch, &rtl, &t).expect("builds");
+        let req = t.lookup("req").unwrap();
+        let q = t.lookup("q").unwrap();
+        let a = t.lookup("a").unwrap();
+        assert!(model.observable().contains(&req));
+        assert!(model.observable().contains(&q));
+        // `a` is a module primary input → observable; nothing hidden here.
+        assert!(model.observable().contains(&a));
+        assert!(model.hidden().is_empty());
+    }
+}

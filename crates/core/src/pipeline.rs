@@ -1,0 +1,332 @@
+//! The SpecMatcher pipeline: end-to-end coverage analysis with the
+//! per-phase timing breakdown of the paper's Table 1.
+
+use crate::error::CoreError;
+use crate::hole::exact_hole;
+use crate::model::CoverageModel;
+use crate::spec::{ArchSpec, RtlSpec};
+use crate::terms::uncovered_terms;
+use crate::tm::{tm_for_modules, TmStyle};
+use crate::weaken::{find_gap, GapConfig, GapProperty};
+use dic_logic::SignalTable;
+use dic_ltl::{LassoWord, Ltl, TemporalCube};
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+/// Wall-clock spent in each phase of the analysis — the three timing
+/// columns of the paper's Table 1.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PhaseTimings {
+    /// Answering the primary coverage question (Theorem 1 model checking).
+    pub primary: Duration,
+    /// Building `T_M` for the concrete modules (Definition 4).
+    pub tm_build: Duration,
+    /// Finding and representing the coverage gap (Algorithm 1).
+    pub gap_find: Duration,
+}
+
+impl PhaseTimings {
+    fn add(&mut self, other: PhaseTimings) {
+        self.primary += other.primary;
+        self.tm_build += other.tm_build;
+        self.gap_find += other.gap_find;
+    }
+}
+
+/// Coverage result for one architectural property.
+#[derive(Clone, Debug)]
+pub struct PropertyReport {
+    /// Name of the architectural property.
+    pub name: String,
+    /// The property itself.
+    pub formula: Ltl,
+    /// Whether the RTL specification covers it (Theorem 1).
+    pub covered: bool,
+    /// A run refuting coverage, when not covered.
+    pub witness: Option<LassoWord>,
+    /// Uncovered terms `UM` (Algorithm 1 step 2(a)/(b)).
+    pub uncovered_terms: Vec<TemporalCube>,
+    /// Structure-preserving gap properties (steps 2(c)/(d)), weakest first.
+    pub gap_properties: Vec<GapProperty>,
+    /// The exact hole `FA ∨ ¬(R ∧ T_M)` of Theorem 2 (fallback form).
+    pub exact_hole: Ltl,
+    /// Per-phase wall-clock for this property.
+    pub timings: PhaseTimings,
+}
+
+impl PropertyReport {
+    /// Human-readable report.
+    pub fn render(&self, table: &SignalTable) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "property {}: {}", self.name, self.formula.display(table));
+        if self.covered {
+            let _ = writeln!(out, "  COVERED by the RTL specification");
+            return out;
+        }
+        let _ = writeln!(out, "  NOT covered — coverage gap exists");
+        if let Some(w) = &self.witness {
+            let _ = writeln!(
+                out,
+                "  witness run ({} states, loop at {}):",
+                w.len(),
+                w.loop_start()
+            );
+            for (i, st) in w.states().iter().enumerate() {
+                let mark = if i == w.loop_start() { "->" } else { "  " };
+                let _ = writeln!(out, "   {mark} t{i}: {}", st.display(table));
+            }
+        }
+        if !self.uncovered_terms.is_empty() {
+            let _ = writeln!(out, "  uncovered terms UM:");
+            for term in &self.uncovered_terms {
+                let _ = writeln!(out, "    {}", term.display(table));
+            }
+        }
+        if self.gap_properties.is_empty() {
+            let _ = writeln!(
+                out,
+                "  no structure-preserving gap property found; exact hole (Thm 2):"
+            );
+            let _ = writeln!(out, "    {}", self.exact_hole.display(table));
+        } else {
+            let _ = writeln!(out, "  gap properties (weakest first):");
+            for g in &self.gap_properties {
+                let _ = writeln!(out, "    {}", g.describe(table));
+            }
+        }
+        out
+    }
+}
+
+/// Result of a full [`SpecMatcher::check`] run.
+#[derive(Clone, Debug)]
+pub struct CoverageRun {
+    /// Per-property reports, in intent order.
+    pub properties: Vec<PropertyReport>,
+    /// `T_M` of the composed concrete modules.
+    pub tm: Ltl,
+    /// Aggregate timings (the Table 1 row for this design).
+    pub timings: PhaseTimings,
+    /// Number of RTL properties (Table 1's first column).
+    pub num_rtl_properties: usize,
+}
+
+impl CoverageRun {
+    /// Whether every architectural property is covered.
+    pub fn all_covered(&self) -> bool {
+        self.properties.iter().all(|p| p.covered)
+    }
+
+    /// Renders all reports plus the timing summary.
+    pub fn render(&self, table: &SignalTable) -> String {
+        let mut out = String::new();
+        for p in &self.properties {
+            out.push_str(&p.render(table));
+        }
+        let _ = writeln!(
+            out,
+            "timings: primary {:?}, TM build {:?}, gap finding {:?}",
+            self.timings.primary, self.timings.tm_build, self.timings.gap_find
+        );
+        out
+    }
+}
+
+/// The coverage checker (the paper's *SpecMatcher* tool).
+///
+/// See the [crate-level example](crate).
+#[derive(Clone, Debug, Default)]
+pub struct SpecMatcher {
+    config: GapConfig,
+    tm_style: TmStyle,
+}
+
+impl SpecMatcher {
+    /// Creates a checker with the given gap-finding configuration.
+    pub fn new(config: GapConfig) -> Self {
+        SpecMatcher {
+            config,
+            tm_style: TmStyle::default(),
+        }
+    }
+
+    /// Overrides the `T_M` construction style (ablation hook).
+    pub fn with_tm_style(mut self, style: TmStyle) -> Self {
+        self.tm_style = style;
+        self
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &GapConfig {
+        &self.config
+    }
+
+    /// Runs the full analysis: primary coverage for every architectural
+    /// property (Theorem 1), `T_M` construction (Definition 4), and — for
+    /// every uncovered property — gap extraction and representation
+    /// (Algorithm 1, with Theorem 2 as fallback).
+    ///
+    /// # Errors
+    ///
+    /// Model-construction failures; see [`CoverageModel::build`].
+    pub fn check(
+        &self,
+        arch: &ArchSpec,
+        rtl: &RtlSpec,
+        table: &SignalTable,
+    ) -> Result<CoverageRun, CoreError> {
+        let model = CoverageModel::build(arch, rtl, table)?;
+        self.check_with_model(arch, rtl, table, &model)
+    }
+
+    /// Like [`SpecMatcher::check`] but reusing a prebuilt model (the
+    /// benchmark harness separates model construction from the timed
+    /// phases).
+    ///
+    /// # Errors
+    ///
+    /// `T_M` construction can exceed the explicit state-space limit.
+    pub fn check_with_model(
+        &self,
+        arch: &ArchSpec,
+        rtl: &RtlSpec,
+        table: &SignalTable,
+        model: &CoverageModel,
+    ) -> Result<CoverageRun, CoreError> {
+        // Phase: TM building (Definition 4) — once per design.
+        let tm_start = Instant::now();
+        let tm = tm_for_modules(rtl.concrete(), table, self.tm_style)?;
+        let tm_build = tm_start.elapsed();
+
+        let mut reports = Vec::with_capacity(arch.len());
+        let mut total = PhaseTimings {
+            tm_build,
+            ..PhaseTimings::default()
+        };
+        for prop in arch.properties() {
+            let fa = prop.formula();
+
+            // Phase: primary coverage question (Theorem 1).
+            let t0 = Instant::now();
+            let witness = crate::primary_coverage(fa, rtl, model);
+            let primary = t0.elapsed();
+            let covered = witness.is_none();
+
+            // Phase: gap finding (Algorithm 1).
+            let t1 = Instant::now();
+            let (terms, gaps) = if covered {
+                (Vec::new(), Vec::new())
+            } else {
+                let terms = uncovered_terms(fa, rtl, model, &self.config);
+                let gaps = find_gap(fa, &terms, rtl, model, &self.config);
+                (terms, gaps)
+            };
+            let gap_find = t1.elapsed();
+
+            let timings = PhaseTimings {
+                primary,
+                tm_build: Duration::ZERO,
+                gap_find,
+            };
+            total.add(timings);
+            reports.push(PropertyReport {
+                name: prop.name().to_owned(),
+                formula: fa.clone(),
+                covered,
+                witness,
+                uncovered_terms: terms,
+                gap_properties: gaps,
+                exact_hole: exact_hole(fa, rtl, &tm),
+                timings,
+            });
+        }
+
+        Ok(CoverageRun {
+            properties: reports,
+            tm,
+            timings: total,
+            num_rtl_properties: rtl.num_properties(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dic_netlist::ModuleBuilder;
+
+    fn fixture(gap: bool) -> (SignalTable, ArchSpec, RtlSpec) {
+        let mut t = SignalTable::new();
+        let a_prop = Ltl::parse("G(req -> X X q)", &mut t).unwrap();
+        let r_src = if gap {
+            "G(req & en -> X a)"
+        } else {
+            "G(req -> X a)"
+        };
+        let r_prop = Ltl::parse(r_src, &mut t).unwrap();
+        let mut b = ModuleBuilder::new("glue", &mut t);
+        let ain = b.input("a");
+        if gap {
+            b.input("en");
+        }
+        let q = b.latch_from("q", ain, false);
+        b.mark_output(q);
+        let m = b.finish().unwrap();
+        (
+            t,
+            ArchSpec::new([("A1", a_prop)]),
+            RtlSpec::new([("R1", r_prop)], [m]),
+        )
+    }
+
+    #[test]
+    fn covered_run() {
+        let (t, arch, rtl) = fixture(false);
+        let run = SpecMatcher::new(GapConfig::default())
+            .check(&arch, &rtl, &t)
+            .expect("runs");
+        assert!(run.all_covered());
+        assert!(run.properties[0].witness.is_none());
+        assert!(run.properties[0].gap_properties.is_empty());
+        let text = run.render(&t);
+        assert!(text.contains("COVERED"));
+    }
+
+    #[test]
+    fn uncovered_run_produces_gap() {
+        let (t, arch, rtl) = fixture(true);
+        let run = SpecMatcher::new(GapConfig::default())
+            .check(&arch, &rtl, &t)
+            .expect("runs");
+        assert!(!run.all_covered());
+        let rep = &run.properties[0];
+        assert!(rep.witness.is_some());
+        assert!(!rep.uncovered_terms.is_empty());
+        assert!(!rep.gap_properties.is_empty());
+        let text = run.render(&t);
+        assert!(text.contains("NOT covered"));
+        assert!(text.contains("gap properties"));
+    }
+
+    #[test]
+    fn timings_are_populated() {
+        let (t, arch, rtl) = fixture(true);
+        let run = SpecMatcher::new(GapConfig::default())
+            .check(&arch, &rtl, &t)
+            .expect("runs");
+        assert!(run.timings.primary > Duration::ZERO);
+        assert!(run.timings.gap_find > Duration::ZERO);
+        assert_eq!(run.num_rtl_properties, 1);
+    }
+
+    #[test]
+    fn enumerated_style_also_works() {
+        let (t, arch, rtl) = fixture(false);
+        let run = SpecMatcher::new(GapConfig::default())
+            .with_tm_style(TmStyle::Enumerated)
+            .check(&arch, &rtl, &t)
+            .expect("runs");
+        assert!(run.all_covered());
+        assert!(run.tm.size() > 1);
+    }
+}

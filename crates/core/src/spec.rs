@@ -1,0 +1,170 @@
+//! Specification containers: architectural intent and RTL specs.
+
+use dic_ltl::Ltl;
+use dic_netlist::Module;
+use std::collections::BTreeSet;
+
+/// A named LTL property.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Property {
+    name: String,
+    formula: Ltl,
+}
+
+impl Property {
+    /// Creates a named property.
+    pub fn new(name: &str, formula: Ltl) -> Self {
+        Property {
+            name: name.to_owned(),
+            formula,
+        }
+    }
+
+    /// The property name (used in reports).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The formula.
+    pub fn formula(&self) -> &Ltl {
+        &self.formula
+    }
+}
+
+/// The architectural intent `A`: the properties the designer wants on the
+/// parent module but cannot model-check directly (paper Section 2).
+#[derive(Clone, Debug, Default)]
+pub struct ArchSpec {
+    properties: Vec<Property>,
+}
+
+impl ArchSpec {
+    /// Builds the intent from `(name, formula)` pairs.
+    pub fn new<'a, I>(props: I) -> Self
+    where
+        I: IntoIterator<Item = (&'a str, Ltl)>,
+    {
+        ArchSpec {
+            properties: props
+                .into_iter()
+                .map(|(n, f)| Property::new(n, f))
+                .collect(),
+        }
+    }
+
+    /// The properties.
+    pub fn properties(&self) -> &[Property] {
+        &self.properties
+    }
+
+    /// `AP_A`: the signals the intent is written over.
+    pub fn alphabet(&self) -> BTreeSet<dic_logic::SignalId> {
+        let mut out = BTreeSet::new();
+        for p in &self.properties {
+            out.extend(p.formula().atoms());
+        }
+        out
+    }
+
+    /// Number of properties.
+    pub fn len(&self) -> usize {
+        self.properties.len()
+    }
+
+    /// Whether the intent is empty.
+    pub fn is_empty(&self) -> bool {
+        self.properties.is_empty()
+    }
+}
+
+/// The RTL specification: properties `R` over some submodules plus the RTL
+/// of the *concrete modules* (glue logic, pre-verified cells).
+#[derive(Clone, Debug, Default)]
+pub struct RtlSpec {
+    properties: Vec<Property>,
+    concrete: Vec<Module>,
+    /// Cached conjunct list (property formulas in order).
+    formulas: Vec<Ltl>,
+}
+
+impl RtlSpec {
+    /// Builds the RTL spec from `(name, formula)` pairs and concrete
+    /// modules.
+    pub fn new<'a, I, M>(props: I, concrete: M) -> Self
+    where
+        I: IntoIterator<Item = (&'a str, Ltl)>,
+        M: IntoIterator<Item = Module>,
+    {
+        let properties: Vec<Property> = props
+            .into_iter()
+            .map(|(n, f)| Property::new(n, f))
+            .collect();
+        let formulas = properties.iter().map(|p| p.formula().clone()).collect();
+        RtlSpec {
+            properties,
+            concrete: concrete.into_iter().collect(),
+            formulas,
+        }
+    }
+
+    /// The RTL properties.
+    pub fn properties(&self) -> &[Property] {
+        &self.properties
+    }
+
+    /// The property formulas, in declaration order (the conjunction `R`).
+    pub fn formulas(&self) -> &[Ltl] {
+        &self.formulas
+    }
+
+    /// The concrete modules.
+    pub fn concrete(&self) -> &[Module] {
+        &self.concrete
+    }
+
+    /// `AP_R`: signals of the RTL properties plus every signal of the
+    /// concrete modules.
+    pub fn alphabet(&self) -> BTreeSet<dic_logic::SignalId> {
+        let mut out = BTreeSet::new();
+        for p in &self.properties {
+            out.extend(p.formula().atoms());
+        }
+        for m in &self.concrete {
+            out.extend(m.signals());
+        }
+        out
+    }
+
+    /// Number of RTL properties (the paper's Table 1 column).
+    pub fn num_properties(&self) -> usize {
+        self.properties.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dic_logic::SignalTable;
+    use dic_netlist::ModuleBuilder;
+
+    #[test]
+    fn alphabets() {
+        let mut t = SignalTable::new();
+        let a = Ltl::parse("G(p -> X q)", &mut t).unwrap();
+        let arch = ArchSpec::new([("A1", a)]);
+        assert_eq!(arch.alphabet().len(), 2);
+        assert_eq!(arch.len(), 1);
+
+        let r = Ltl::parse("G(p -> X s)", &mut t).unwrap();
+        let mut b = ModuleBuilder::new("m", &mut t);
+        let s = b.input("s");
+        let q = b.latch_from("q", s, false);
+        b.mark_output(q);
+        let m = b.finish().unwrap();
+        let rtl = RtlSpec::new([("R1", r)], [m]);
+        // p, s from the property; s, q from the module.
+        assert_eq!(rtl.alphabet().len(), 3);
+        assert_eq!(rtl.num_properties(), 1);
+        assert_eq!(rtl.formulas().len(), 1);
+    }
+}

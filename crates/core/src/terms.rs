@@ -1,0 +1,273 @@
+//! Uncovered terms: step 2(a)/2(b) of the paper's Algorithm 1.
+//!
+//! The hole `U = FA ∨ ¬(R ∧ T_M)` is approximated by a set `UM` of bounded
+//! *uncovered terms* — temporal cubes like `r1 & X r2 & X X !hit` describing
+//! scenarios on which the RTL spec can still violate the intent. Instead of
+//! unfolding `U` symbolically to its fixpoint, we enumerate distinct
+//! counterexample runs of `R ∧ ¬FA` in `M` (each is a lasso), truncate them
+//! to depth-bounded cubes, and *generalize* each cube by dropping literals
+//! while the scenario stays realizable-and-bad. Signals outside the
+//! observable alphabet are then removed by universal quantification over
+//! positioned variables (sound for bounded formulas), exactly as in the
+//! paper's step 2(b).
+
+use crate::model::CoverageModel;
+use crate::spec::RtlSpec;
+use crate::weaken::GapConfig;
+use dic_ltl::cube::{exists_eliminate, forall_eliminate};
+use dic_ltl::{Ltl, LtlNode, TemporalCube};
+
+/// Computes the uncovered terms `UM` for one architectural property.
+///
+/// Each returned cube `c` satisfies: some run of `M` consistent with `R`
+/// matches `c` at time 0 and violates `fa` — i.e. the gap is non-empty on
+/// the scenario `c` — and every literal of `c` is *essential*: flipping it
+/// makes the (window-anchored) violation impossible. Together the cubes
+/// cover every counterexample found within the enumeration budget.
+pub fn uncovered_terms(
+    fa: &Ltl,
+    rtl: &RtlSpec,
+    model: &CoverageModel,
+    config: &GapConfig,
+) -> Vec<TemporalCube> {
+    let base: Vec<Ltl> = rtl
+        .formulas()
+        .iter()
+        .cloned()
+        .chain([Ltl::not(fa.clone())])
+        .collect();
+    let term_signals = model.term_signals();
+
+    // Scenario enumeration by *probing*: after the first counterexample,
+    // new scenarios are sought by pinning single literals to their opposite
+    // values. (Excluding whole previous cubes with ¬cube conjuncts is
+    // exponentially worse: each negated cube is a highly nondeterministic
+    // automaton and the on-the-fly intersection multiplies them out.)
+    let mut terms: Vec<TemporalCube> = Vec::new();
+    let mut probes: Vec<Ltl> = vec![Ltl::tt()];
+    let mut probed = 0usize;
+    while let Some(probe) = probes.get(probed).cloned() {
+        probed += 1;
+        if terms.len() >= config.max_terms || probed > 4 * config.max_terms {
+            break;
+        }
+        let Some(word) = model.satisfiable_factored(&base, &[probe]) else {
+            continue;
+        };
+        // Anchor the violation: for G(body), locate the first window where
+        // the body fails on this run; generalization then asks which
+        // literals are necessary for *that* violation, not for a violation
+        // somewhere (which every literal is irrelevant to).
+        let (anchored, window) = anchor_violation(fa, &word);
+        let depth = window + config.term_depth;
+        let mut cube = TemporalCube::from_word_prefix(&word, depth, &term_signals);
+        if config.generalize {
+            cube = generalize(cube, rtl, &anchored, model);
+        }
+        if terms.contains(&cube) {
+            continue;
+        }
+        // Queue opposite-value probes for the literals of the new term.
+        for &(t, l) in cube.lits() {
+            probes.push(Ltl::next_n(
+                Ltl::literal(l.signal(), !l.polarity()),
+                t,
+            ));
+        }
+        terms.push(cube);
+    }
+
+    if config.quantify {
+        let hidden = model.hidden();
+        if !hidden.is_empty() {
+            let universal = forall_eliminate(&terms, hidden);
+            // Universal elimination can collapse to `false` when scenarios
+            // pin hidden signals; fall back to the existential projection,
+            // which over-approximates but stays informative.
+            if !universal.is_empty() {
+                return universal;
+            }
+            return exists_eliminate(&terms, hidden);
+        }
+    }
+    terms
+}
+
+/// For `fa = G(body)`, returns `X^w ¬body` where `w` is the first stored
+/// position of `word` at which `body` fails (such a position exists because
+/// the word refutes `fa`); otherwise `(¬fa, 0)`. The anchored formula
+/// implies `¬fa`, so checks against it stay sound.
+fn anchor_violation(fa: &Ltl, word: &dic_ltl::LassoWord) -> (Ltl, usize) {
+    if let LtlNode::Globally(body) = fa.node() {
+        let vals = body.eval_positions(word);
+        if let Some(w) = vals.iter().position(|ok| !ok) {
+            return (Ltl::next_n(Ltl::not(body.clone()), w), w);
+        }
+    }
+    (Ltl::not(fa.clone()), 0)
+}
+
+/// Flip-based generalization. A literal is dropped when either
+///
+/// * the scenario remains a realizable anchored violation with the literal
+///   *negated* — its value is irrelevant to the gap — or
+/// * the literal is on a signal *driven by the concrete modules* and the
+///   flipped cube is unrealizable in `M` under `R` even without the
+///   violation requirement — a model fact implied by the rest of the cube,
+///   which the paper's unfolding absorbs into `T_M` rather than report.
+///
+/// The second test is deliberately not applied to free inputs: an input
+/// literal whose flip kills the violation (e.g. `X X !hit` in Example 2)
+/// is a genuine *cause* the designer must see, even where an output
+/// literal would pin it; dropping causes in favour of effects would strip
+/// `UM` of exactly the literals step 2(d) needs.
+fn generalize(
+    cube: TemporalCube,
+    rtl: &RtlSpec,
+    anchored: &Ltl,
+    model: &CoverageModel,
+) -> TemporalCube {
+    let free = model.kripke().input_vars();
+    let mut current = cube;
+    // Iterate literals by decreasing time so late (usually incidental)
+    // constraints go first.
+    let mut lits: Vec<_> = current.lits().to_vec();
+    lits.sort_by_key(|(t, l)| (usize::MAX - t, l.signal()));
+    for (t, l) in lits {
+        let without = current.without(t, l.signal());
+        let Some(flipped) = without.and_lit(t, l.negated()) else {
+            continue;
+        };
+        // Both tests share the `R`-product of `M`; the factored query
+        // explores it once and memoizes.
+        if model
+            .satisfiable_factored(rtl.formulas(), &[anchored.clone(), flipped.to_ltl()])
+            .is_some()
+        {
+            // Violation survives the flip: the literal is irrelevant.
+            current = without;
+            continue;
+        }
+        if free.contains(&l.signal()) {
+            continue; // causes are kept even when effects pin them
+        }
+        if model
+            .satisfiable_factored(rtl.formulas(), &[flipped.to_ltl()])
+            .is_none()
+        {
+            // The flip is impossible altogether: the literal is implied by
+            // the rest of the cube on every R-consistent run of M.
+            current = without;
+        }
+    }
+    current
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::CoverageModel;
+    use crate::spec::{ArchSpec, RtlSpec};
+    use dic_logic::SignalTable;
+    use dic_netlist::ModuleBuilder;
+
+    /// Gap fixture: R forwards req to a only under en.
+    fn gapped() -> (SignalTable, ArchSpec, RtlSpec, CoverageModel) {
+        let mut t = SignalTable::new();
+        let a_prop = Ltl::parse("G(req -> X X q)", &mut t).unwrap();
+        let r_prop = Ltl::parse("G(req & en -> X a)", &mut t).unwrap();
+        let mut b = ModuleBuilder::new("glue", &mut t);
+        let ain = b.input("a");
+        b.input("en");
+        let q = b.latch_from("q", ain, false);
+        b.mark_output(q);
+        let m = b.finish().unwrap();
+        let arch = ArchSpec::new([("A1", a_prop)]);
+        let rtl = RtlSpec::new([("R1", r_prop)], [m]);
+        let model = CoverageModel::build(&arch, &rtl, &t).unwrap();
+        (t, arch, rtl, model)
+    }
+
+    #[test]
+    fn terms_describe_bad_scenarios() {
+        let (_t, arch, rtl, model) = gapped();
+        let fa = arch.properties()[0].formula();
+        let config = GapConfig::default();
+        let terms = uncovered_terms(fa, &rtl, &model, &config);
+        assert!(!terms.is_empty(), "the gap must produce terms");
+        // Every term, conjoined with R ∧ ¬FA, is satisfiable in M.
+        for term in &terms {
+            let mut conj: Vec<Ltl> = rtl.formulas().to_vec();
+            conj.push(Ltl::not(fa.clone()));
+            conj.push(term.to_ltl());
+            assert!(
+                model.satisfiable(&conj).is_some(),
+                "term {term:?} is not a realizable bad scenario"
+            );
+        }
+    }
+
+    #[test]
+    fn generalization_shrinks_terms() {
+        let (_t, arch, rtl, model) = gapped();
+        let fa = arch.properties()[0].formula();
+        let full = GapConfig {
+            generalize: false,
+            quantify: false,
+            max_terms: 1,
+            ..GapConfig::default()
+        };
+        let gen = GapConfig {
+            generalize: true,
+            quantify: false,
+            max_terms: 1,
+            ..GapConfig::default()
+        };
+        let raw = uncovered_terms(fa, &rtl, &model, &full);
+        let small = uncovered_terms(fa, &rtl, &model, &gen);
+        assert!(!raw.is_empty() && !small.is_empty());
+        assert!(
+            small[0].len() < raw[0].len(),
+            "generalization must drop literals ({} vs {})",
+            small[0].len(),
+            raw[0].len()
+        );
+    }
+
+    #[test]
+    fn covered_property_has_no_terms() {
+        let mut t = SignalTable::new();
+        let a_prop = Ltl::parse("G(req -> X X q)", &mut t).unwrap();
+        let r_prop = Ltl::parse("G(req -> X a)", &mut t).unwrap();
+        let mut b = ModuleBuilder::new("glue", &mut t);
+        let ain = b.input("a");
+        let q = b.latch_from("q", ain, false);
+        b.mark_output(q);
+        let m = b.finish().unwrap();
+        let arch = ArchSpec::new([("A1", a_prop)]);
+        let rtl = RtlSpec::new([("R1", r_prop)], [m]);
+        let model = CoverageModel::build(&arch, &rtl, &t).unwrap();
+        let terms = uncovered_terms(
+            arch.properties()[0].formula(),
+            &rtl,
+            &model,
+            &GapConfig::default(),
+        );
+        assert!(terms.is_empty());
+    }
+
+    #[test]
+    fn terms_mention_the_missing_condition() {
+        // The gap is about `en` being low: after generalization and
+        // quantification the terms should still mention `en` (it is a
+        // module input, hence observable).
+        let (t, arch, rtl, model) = gapped();
+        let fa = arch.properties()[0].formula();
+        let terms = uncovered_terms(fa, &rtl, &model, &GapConfig::default());
+        let en = t.lookup("en").unwrap();
+        assert!(
+            terms.iter().any(|c| c.signals().contains(&en)),
+            "terms {terms:?} should mention en"
+        );
+    }
+}

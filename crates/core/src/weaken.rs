@@ -1,0 +1,412 @@
+//! Structure-preserving gap representation: steps 2(c)/2(d) of Algorithm 1.
+//!
+//! The uncovered terms are *pushed* against the parse tree of the
+//! architectural property: every atomic variable instance of `FA` (with its
+//! `X`-depth and polarity) is paired with term literals at compatible time
+//! offsets, producing weakened variants of `FA`:
+//!
+//! * a **negative** occurrence `v` (antecedent side) becomes `v ∧ X^k ℓ` —
+//!   strengthening the antecedent restricts the property to the uncovered
+//!   scenarios, weakening the property overall (the paper's Example 4:
+//!   `r2` becomes `r2 ∧ X ¬hit`);
+//! * a **positive** occurrence `v` (consequent side) becomes `v ∨ X^k ℓ`.
+//!
+//! Every candidate is weaker than `FA` by construction; candidates are kept
+//! only if they *close the gap* (Definition 3, model-checked), and the
+//! survivors are reduced to the weakest ones under the strength order of
+//! Definition 2.
+
+use crate::hole::closure_witness;
+use crate::model::CoverageModel;
+use crate::spec::RtlSpec;
+use dic_logic::{Lit, SignalTable};
+use dic_ltl::{LassoWord, Ltl, LtlNode, Polarity, Position, TemporalCube};
+use std::collections::BTreeSet;
+
+/// Tuning knobs for the gap-finding pipeline (Algorithm 1).
+#[derive(Clone, Debug)]
+pub struct GapConfig {
+    /// Depth (in cycles) of uncovered terms.
+    pub term_depth: usize,
+    /// Maximum number of counterexample scenarios to enumerate.
+    pub max_terms: usize,
+    /// Whether to generalize terms by literal dropping.
+    pub generalize: bool,
+    /// Whether to quantify hidden signals out of the terms (step 2(b)).
+    pub quantify: bool,
+    /// Maximum number of weakening candidates to verify.
+    pub max_candidates: usize,
+    /// Largest `X` offset allowed between a variable instance and an
+    /// augmented literal.
+    pub max_offset: usize,
+    /// Stop verifying candidates once this many closing gap properties
+    /// have been found (gap-closure checks of *closing* candidates explore
+    /// the whole product and dominate the runtime on wide models).
+    pub max_gap_properties: usize,
+}
+
+impl Default for GapConfig {
+    fn default() -> Self {
+        GapConfig {
+            term_depth: 3,
+            max_terms: 6,
+            generalize: true,
+            quantify: true,
+            max_candidates: 128,
+            max_offset: 2,
+            max_gap_properties: 16,
+        }
+    }
+}
+
+/// A structure-preserving gap property produced by [`find_gap`].
+#[derive(Clone, Debug)]
+pub struct GapProperty {
+    /// The weakened architectural property that closes the gap.
+    pub formula: Ltl,
+    /// Position of the weakened variable instance in `FA`'s parse tree.
+    pub position: Position,
+    /// The literal pushed into that position.
+    pub literal: Lit,
+    /// `X` offset of the literal relative to the variable instance.
+    pub offset: usize,
+}
+
+impl GapProperty {
+    /// Human-readable rendering.
+    pub fn describe(&self, table: &SignalTable) -> String {
+        format!(
+            "{}   [instance at {}, augmented with X^{} {}]",
+            self.formula.display(table),
+            self.position,
+            self.offset,
+            self.literal.display(table),
+        )
+    }
+}
+
+/// One weakening candidate before verification.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+struct Candidate {
+    position: Position,
+    literal: Lit,
+    offset: usize,
+}
+
+/// Steps 2(c) + 2(d): pushes the uncovered terms into `fa`'s parse tree,
+/// generates polarity-aware weakenings, verifies gap closure, and returns
+/// the weakest closing candidates (weakest first; empty when no structured
+/// candidate closes the gap — callers then fall back to Theorem 2's
+/// [`exact_hole`](crate::exact_hole)).
+pub fn find_gap(
+    fa: &Ltl,
+    terms: &[TemporalCube],
+    rtl: &RtlSpec,
+    model: &CoverageModel,
+    config: &GapConfig,
+) -> Vec<GapProperty> {
+    let candidates = push_terms(fa, terms, config);
+    // Pool of known *bad* runs — runs of `M` satisfying `R ∧ ¬fa`. Every
+    // failed closure check contributes one. A candidate that holds on any
+    // pooled run cannot close the gap (the run would still slip through),
+    // so it is rejected by a word evaluation instead of a model check.
+    let mut bad_runs: Vec<LassoWord> = Vec::new();
+    let mut closing: Vec<GapProperty> = Vec::new();
+    'candidates: for cand in candidates.into_iter().take(config.max_candidates) {
+        if closing.len() >= config.max_gap_properties {
+            break;
+        }
+        let Some(weakened) = apply(fa, &cand) else {
+            continue;
+        };
+        if weakened == *fa {
+            continue; // smart constructors absorbed the change
+        }
+        for run in &bad_runs {
+            if weakened.holds_on(run) {
+                continue 'candidates; // a known bad run slips through
+            }
+        }
+        match closure_witness(&weakened, fa, rtl, model) {
+            Some(run) => bad_runs.push(run),
+            None => closing.push(GapProperty {
+                formula: weakened,
+                position: cand.position,
+                literal: cand.literal,
+                offset: cand.offset,
+            }),
+        }
+    }
+    weakest_only(closing)
+}
+
+/// Step 2(c): align term literals with the variable instances of `fa`.
+///
+/// A literal `(t, ℓ)` of a term matches an instance at `X`-depth `d` when
+/// `t ≥ d` and `t − d ≤ max_offset`; both the literal and its negation are
+/// proposed (the paper's `ϕ'`/`ϕ''` split). Candidates are ordered the way
+/// the paper's heuristics explore them: instances nested deepest inside
+/// *unbounded* temporal operators first (step 2(c) determines that "the
+/// gaps lie inside the unbounded operator"; Fig. 6 weakens the until),
+/// antecedent (negative) positions before consequent ones, small `X`
+/// offsets before large ones.
+fn push_terms(fa: &Ltl, terms: &[TemporalCube], config: &GapConfig) -> Vec<Candidate> {
+    let mut seen: BTreeSet<(Vec<usize>, Lit, usize)> = BTreeSet::new();
+    let mut out: Vec<(usize, usize, usize, Candidate)> = Vec::new();
+    let occurrences = fa.atom_occurrences();
+    let max_unbounded = occurrences
+        .iter()
+        .map(|o| o.unbounded_depth)
+        .max()
+        .unwrap_or(0);
+    for occ in &occurrences {
+        let LtlNode::Atom(own) = occ.subformula.node() else {
+            continue;
+        };
+        for term in terms {
+            for &(t, lit) in term.lits() {
+                if t < occ.x_depth {
+                    continue;
+                }
+                let offset = t - occ.x_depth;
+                if offset > config.max_offset {
+                    continue;
+                }
+                if lit.signal() == *own && offset == 0 {
+                    continue; // augmenting v with v or !v is degenerate
+                }
+                for l in [lit, lit.negated()] {
+                    let key = (occ.position.path().to_vec(), l, offset);
+                    if seen.insert(key) {
+                        let unbounded_rank = max_unbounded - occ.unbounded_depth;
+                        let pol_rank = match occ.polarity {
+                            Polarity::Negative => 0,
+                            Polarity::Positive => 1,
+                        };
+                        out.push((
+                            unbounded_rank,
+                            pol_rank,
+                            offset,
+                            Candidate {
+                                position: occ.position.clone(),
+                                literal: l,
+                                offset,
+                            },
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    out.sort_by_key(|(ur, pol, off, c)| (*ur, *pol, *off, c.position.path().to_vec()));
+    out.into_iter().map(|(_, _, _, c)| c).collect()
+}
+
+/// Applies a candidate: `v ∧ X^k ℓ` at negative positions, `v ∨ X^k ℓ` at
+/// positive ones.
+fn apply(fa: &Ltl, cand: &Candidate) -> Option<Ltl> {
+    let occ = fa.subformula_at(&cand.position)?.clone();
+    // Recompute polarity from the stored occurrence list is avoided: the
+    // position determines it, so re-walk the tree.
+    let polarity = fa
+        .atom_occurrences()
+        .into_iter()
+        .find(|o| o.position == cand.position)?
+        .polarity;
+    let lit = Ltl::next_n(
+        Ltl::literal(cand.literal.signal(), cand.literal.polarity()),
+        cand.offset,
+    );
+    let replacement = match polarity {
+        Polarity::Negative => Ltl::and([occ, lit]),
+        Polarity::Positive => Ltl::or([occ, lit]),
+    };
+    fa.replace_at(&cand.position, replacement)
+}
+
+/// Definition 2 filtering: drop any candidate strictly stronger than
+/// another closing candidate; sort the rest weakest-first.
+///
+/// The closing candidates are mostly pairwise *incomparable*, and each
+/// automata-based implication check on until-heavy formulas is expensive.
+/// Every pair is therefore screened first against a fixed sample of
+/// pseudo-random lasso words: a word satisfying `f` but not `g` refutes
+/// `f ⇒ g` outright, and only unrefuted directions reach the automata.
+fn weakest_only(mut props: Vec<GapProperty>) -> Vec<GapProperty> {
+    let samples = sample_words(&props);
+    let sat: Vec<Vec<bool>> = props
+        .iter()
+        .map(|p| samples.iter().map(|w| p.formula.holds_on(w)).collect())
+        .collect();
+    let implies = |i: usize, j: usize| -> bool {
+        if (0..samples.len()).any(|w| sat[i][w] && !sat[j][w]) {
+            return false; // refuted by a sample word
+        }
+        dic_automata::implies(&props[i].formula, &props[j].formula)
+    };
+    let mut keep = vec![true; props.len()];
+    for i in 0..props.len() {
+        if !keep[i] {
+            continue;
+        }
+        for j in 0..props.len() {
+            if i == j || !keep[j] {
+                continue;
+            }
+            // Drop i if j is strictly weaker (i ⇒ j, not j ⇒ i).
+            if implies(i, j) && !implies(j, i) {
+                keep[i] = false;
+                break;
+            }
+        }
+    }
+    // Deduplicate equivalent formulas (keep the first of each class).
+    for i in 0..props.len() {
+        if !keep[i] {
+            continue;
+        }
+        for j in (i + 1)..props.len() {
+            if keep[j] && implies(i, j) && implies(j, i) {
+                keep[j] = false;
+            }
+        }
+    }
+    props
+        .drain(..)
+        .zip(keep)
+        .filter_map(|(p, k)| k.then_some(p))
+        .collect()
+}
+
+/// A deterministic sample of lasso words over the atoms of `props`, used
+/// to refute implications cheaply in [`weakest_only`].
+fn sample_words(props: &[GapProperty]) -> Vec<LassoWord> {
+    let mut signals: BTreeSet<dic_logic::SignalId> = BTreeSet::new();
+    for p in props {
+        signals.extend(p.formula.atoms());
+    }
+    let n = signals.iter().map(|s| s.index() + 1).max().unwrap_or(1);
+    let signals: Vec<_> = signals.into_iter().collect();
+    let mut state = 0x9e37_79b9_7f4a_7c15u64; // fixed seed: runs are reproducible
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let mut words = Vec::with_capacity(64);
+    for _ in 0..64 {
+        let len = 4 + (next() % 8) as usize;
+        let loop_start = (next() % len as u64) as usize;
+        let states: Vec<dic_logic::Valuation> = (0..len)
+            .map(|_| {
+                let mut v = dic_logic::Valuation::all_false(n);
+                let bits = next();
+                for (k, &s) in signals.iter().enumerate() {
+                    v.set(s, bits >> (k % 64) & 1 == 1);
+                }
+                v
+            })
+            .collect();
+        words.push(LassoWord::new(states, loop_start).expect("loop_start < len"));
+    }
+    words
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hole::closes_gap;
+    use crate::model::CoverageModel;
+    use crate::spec::{ArchSpec, RtlSpec};
+    use crate::terms::uncovered_terms;
+    use dic_logic::SignalTable;
+    use dic_netlist::ModuleBuilder;
+
+    /// The `en` gap fixture: A = G(req -> XX q), R = G(req & en -> X a),
+    /// glue q <= a. The gap is exactly "req with en low".
+    fn gapped() -> (SignalTable, ArchSpec, RtlSpec, CoverageModel) {
+        let mut t = SignalTable::new();
+        let a_prop = Ltl::parse("G(req -> X X q)", &mut t).unwrap();
+        let r_prop = Ltl::parse("G(req & en -> X a)", &mut t).unwrap();
+        let mut b = ModuleBuilder::new("glue", &mut t);
+        let ain = b.input("a");
+        b.input("en");
+        let q = b.latch_from("q", ain, false);
+        b.mark_output(q);
+        let m = b.finish().unwrap();
+        let arch = ArchSpec::new([("A1", a_prop)]);
+        let rtl = RtlSpec::new([("R1", r_prop)], [m]);
+        let model = CoverageModel::build(&arch, &rtl, &t).unwrap();
+        (t, arch, rtl, model)
+    }
+
+    #[test]
+    fn finds_structure_preserving_gap() {
+        let (t, arch, rtl, model) = gapped();
+        let fa = arch.properties()[0].formula();
+        let config = GapConfig::default();
+        let terms = uncovered_terms(fa, &rtl, &model, &config);
+        let gaps = find_gap(fa, &terms, &rtl, &model, &config);
+        assert!(!gaps.is_empty(), "expected a structured gap property");
+        for g in &gaps {
+            // Weaker than FA and closes the gap — re-verify both.
+            assert!(dic_automata::implies(fa, &g.formula));
+            assert!(closes_gap(&g.formula, fa, &rtl, &model));
+        }
+        // The expected shape mirrors the paper's U: the antecedent is
+        // strengthened with the *uncovered scenario* literal (en low is
+        // where R says nothing), i.e. G(req & !en -> X X q).
+        let expected = {
+            let mut t2 = t.clone();
+            Ltl::parse("G(req & !en -> X X q)", &mut t2).unwrap()
+        };
+        assert!(
+            gaps.iter()
+                .any(|g| dic_automata::equivalent(&g.formula, &expected)),
+            "expected G(req & !en -> XX q) among {:?}",
+            gaps.iter().map(|g| g.describe(&t)).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn gap_properties_are_weakest() {
+        let (_t, arch, rtl, model) = gapped();
+        let fa = arch.properties()[0].formula();
+        let config = GapConfig::default();
+        let terms = uncovered_terms(fa, &rtl, &model, &config);
+        let gaps = find_gap(fa, &terms, &rtl, &model, &config);
+        // No kept candidate is strictly stronger than another kept one.
+        for i in 0..gaps.len() {
+            for j in 0..gaps.len() {
+                if i != j {
+                    assert!(
+                        !dic_automata::stronger_than(&gaps[i].formula, &gaps[j].formula),
+                        "candidate {i} strictly stronger than {j}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn covered_spec_yields_no_candidates() {
+        let mut t = SignalTable::new();
+        let a_prop = Ltl::parse("G(req -> X X q)", &mut t).unwrap();
+        let r_prop = Ltl::parse("G(req -> X a)", &mut t).unwrap();
+        let mut b = ModuleBuilder::new("glue", &mut t);
+        let ain = b.input("a");
+        let q = b.latch_from("q", ain, false);
+        b.mark_output(q);
+        let m = b.finish().unwrap();
+        let arch = ArchSpec::new([("A1", a_prop)]);
+        let rtl = RtlSpec::new([("R1", r_prop)], [m]);
+        let model = CoverageModel::build(&arch, &rtl, &t).unwrap();
+        let fa = arch.properties()[0].formula();
+        let config = GapConfig::default();
+        let terms = uncovered_terms(fa, &rtl, &model, &config);
+        assert!(terms.is_empty());
+        let gaps = find_gap(fa, &terms, &rtl, &model, &config);
+        assert!(gaps.is_empty());
+    }
+}

@@ -1,0 +1,40 @@
+//! Error type for FSM extraction.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while extracting FSMs or building Kripke structures.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FsmError {
+    /// The explicit state space would be too large to enumerate.
+    ///
+    /// The paper is explicit that the method targets *small* RTL blocks
+    /// ("the proposed method should not be viewed as a new way to do model
+    /// checking"), so the extractor refuses instead of thrashing.
+    TooLarge {
+        /// Number of latch bits in the module.
+        state_bits: usize,
+        /// Number of free input bits.
+        input_bits: usize,
+        /// The configured limit on `state_bits + input_bits`.
+        limit: usize,
+    },
+}
+
+impl fmt::Display for FsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FsmError::TooLarge {
+                state_bits,
+                input_bits,
+                limit,
+            } => write!(
+                f,
+                "state space too large: {state_bits} latch bits + {input_bits} input bits \
+                 exceeds the explicit-enumeration limit of {limit} total bits"
+            ),
+        }
+    }
+}
+
+impl Error for FsmError {}

@@ -1,0 +1,350 @@
+//! FSM minimization by partition refinement (bisimulation quotient).
+//!
+//! The paper's Definition 4 presents `T_M` "after minimization". Two
+//! minimizations apply to an extracted [`Fsm`]:
+//!
+//! * **guard merging** — input valuations between the same state pair are
+//!   collapsed into irredundant cubes (done during
+//!   [`extract_fsm`](crate::extract_fsm) with `merge_inputs`), which is what
+//!   turns the four minterm edges of the paper's Example 3 into the guards
+//!   `a & b` / `!(a & b)`;
+//! * **state minimization** — this module: the coarsest partition of states
+//!   such that equivalent states agree on the *observed* signals and, for
+//!   every input, step into equivalent states. When every latch is
+//!   observable the quotient is the identity (states are distinct latch
+//!   valuations); the quotient becomes useful when the specification only
+//!   mentions a subset of the signals — exactly the situation of the
+//!   paper's step 2(b), where signals outside `AP_A` are abstracted.
+//!
+//! The construction is Moore's algorithm: iterated signature refinement to
+//! a fixpoint, `O(rounds × states × inputs)`.
+
+use crate::fsm::{Fsm, FsmTransition};
+use dic_logic::{BddManager, Cube, Lit, SignalId, SignalTable};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// The bisimulation quotient of an [`Fsm`] with respect to an observation
+/// alphabet; produced by [`quotient`].
+#[derive(Clone, Debug)]
+pub struct Quotient {
+    /// Class index of every original state.
+    class_of: Vec<usize>,
+    /// One representative original state per class.
+    representatives: Vec<usize>,
+    /// Class of the initial state.
+    initial: usize,
+    /// Quotient transitions with merged input guards.
+    transitions: Vec<FsmTransition>,
+    /// The observed state signals (intersection of the requested alphabet
+    /// with the FSM's latch signals).
+    observed: Vec<SignalId>,
+}
+
+impl Quotient {
+    /// Number of equivalence classes (quotient states).
+    pub fn num_states(&self) -> usize {
+        self.representatives.len()
+    }
+
+    /// Number of quotient transitions.
+    pub fn num_transitions(&self) -> usize {
+        self.transitions.len()
+    }
+
+    /// The class containing the FSM's initial state.
+    pub fn initial(&self) -> usize {
+        self.initial
+    }
+
+    /// The class of an original state.
+    pub fn class_of(&self, state: usize) -> usize {
+        self.class_of[state]
+    }
+
+    /// A representative original state of `class`.
+    pub fn representative(&self, class: usize) -> usize {
+        self.representatives[class]
+    }
+
+    /// Quotient transitions (state indices are class indices).
+    pub fn transitions(&self) -> &[FsmTransition] {
+        &self.transitions
+    }
+
+    /// Whether minimization merged nothing (the quotient is the identity).
+    pub fn is_identity(&self) -> bool {
+        self.class_of.len() == self.representatives.len()
+    }
+
+    /// The observation cube of `class` over the observed signals, via its
+    /// representative.
+    pub fn observation(&self, class: usize, fsm: &Fsm) -> Cube {
+        let rep = self.representatives[class];
+        let key = fsm.state_key(rep);
+        Cube::from_lits(self.observed.iter().map(|&s| {
+            let bit = fsm
+                .state_vars()
+                .iter()
+                .position(|&v| v == s)
+                .expect("observed signals are state vars");
+            Lit::new(s, key >> bit & 1 == 1)
+        }))
+        .expect("one literal per observed signal")
+    }
+
+    /// Renders the quotient in Graphviz DOT format.
+    pub fn to_dot(&self, fsm: &Fsm, table: &SignalTable) -> String {
+        let mut out = String::from("digraph quotient {\n  rankdir=LR;\n");
+        for class in 0..self.num_states() {
+            let label = self.observation(class, fsm).display(table).to_string();
+            let members = self.class_of.iter().filter(|&&c| c == class).count();
+            let shape = if class == self.initial {
+                "doublecircle"
+            } else {
+                "circle"
+            };
+            let _ = writeln!(
+                out,
+                "  c{class} [label=\"{label}\\n({members} states)\", shape={shape}];"
+            );
+        }
+        for t in &self.transitions {
+            let guard = t.guard.display(table).to_string();
+            let _ = writeln!(out, "  c{} -> c{} [label=\"{}\"];", t.from, t.to, guard);
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+/// Computes the coarsest bisimulation quotient of `fsm` in which states are
+/// distinguished only by the signals in `observe` (and by where they can
+/// step, input by input).
+///
+/// Signals in `observe` that are not latches of the FSM are ignored: inputs
+/// are free and outputs are functions of latches and inputs, so latch
+/// observability is what determines state distinguishability.
+pub fn quotient(fsm: &Fsm, observe: &[SignalId]) -> Quotient {
+    let observed: Vec<SignalId> = fsm
+        .state_vars()
+        .iter()
+        .copied()
+        .filter(|s| observe.contains(s))
+        .collect();
+    let obs_mask: u64 = fsm
+        .state_vars()
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| observed.contains(s))
+        .map(|(bit, _)| 1u64 << bit)
+        .sum();
+
+    let n = fsm.num_states();
+    let n_inputs = fsm.input_vars().len();
+    let n_keys = 1usize << n_inputs;
+
+    // Dense successor table: state × input minterm → state.
+    let mut succ = vec![usize::MAX; n * n_keys];
+    for t in fsm.transitions() {
+        for key in t.guard.matching_keys(fsm.input_vars()) {
+            succ[t.from * n_keys + key as usize] = t.to;
+        }
+    }
+    debug_assert!(
+        succ.iter().all(|&s| s != usize::MAX),
+        "extracted FSMs are input-complete"
+    );
+
+    // Initial partition: observation projection of the state key.
+    let mut class_of: Vec<usize> = {
+        let mut ids: HashMap<u64, usize> = HashMap::new();
+        (0..n)
+            .map(|s| {
+                let obs = fsm.state_key(s) & obs_mask;
+                let next = ids.len();
+                *ids.entry(obs).or_insert(next)
+            })
+            .collect()
+    };
+
+    // Moore refinement to fixpoint. Class ids are canonical (assigned by
+    // first occurrence in state order), and refinement only ever splits
+    // classes, so the partition is stable exactly when the id vector
+    // repeats.
+    loop {
+        let mut ids: HashMap<(usize, Vec<usize>), usize> = HashMap::new();
+        let mut next_class = vec![0usize; n];
+        for s in 0..n {
+            let sig: Vec<usize> = (0..n_keys)
+                .map(|k| class_of[succ[s * n_keys + k]])
+                .collect();
+            let fresh = ids.len();
+            next_class[s] = *ids.entry((class_of[s], sig)).or_insert(fresh);
+        }
+        if next_class == class_of {
+            break;
+        }
+        class_of = next_class;
+    }
+
+    finishing(fsm, class_of, observed, n_keys, &succ)
+}
+
+fn finishing(
+    fsm: &Fsm,
+    class_of: Vec<usize>,
+    observed: Vec<SignalId>,
+    n_keys: usize,
+    succ: &[usize],
+) -> Quotient {
+    let n_classes = class_of.iter().copied().max().map_or(0, |m| m + 1);
+    let mut representatives = vec![usize::MAX; n_classes];
+    for (s, &c) in class_of.iter().enumerate() {
+        if representatives[c] == usize::MAX {
+            representatives[c] = s;
+        }
+    }
+
+    // Quotient transitions from the representatives, guards re-merged.
+    let mut raw: Vec<(usize, u64, usize)> = Vec::new();
+    for (c, &rep) in representatives.iter().enumerate() {
+        for key in 0..n_keys {
+            let to = class_of[succ[rep * n_keys + key]];
+            raw.push((c, key as u64, to));
+        }
+    }
+    let transitions = merge_raw(&raw, fsm.input_vars());
+
+    Quotient {
+        initial: class_of[fsm.initial()],
+        class_of,
+        representatives,
+        transitions,
+        observed,
+    }
+}
+
+/// Merges per-(from,to) input minterms into irredundant cube covers (same
+/// construction as guard merging during extraction).
+fn merge_raw(raw: &[(usize, u64, usize)], input_vars: &[SignalId]) -> Vec<FsmTransition> {
+    let mut grouped: HashMap<(usize, usize), Vec<u64>> = HashMap::new();
+    for &(from, key, to) in raw {
+        grouped.entry((from, to)).or_default().push(key);
+    }
+    let mut pairs: Vec<((usize, usize), Vec<u64>)> = grouped.into_iter().collect();
+    pairs.sort();
+    let mut man = BddManager::new();
+    let mut out = Vec::new();
+    for ((from, to), keys) in pairs {
+        let mut f = dic_logic::Bdd::FALSE;
+        for key in keys {
+            let c = Cube::from_lits(
+                input_vars
+                    .iter()
+                    .enumerate()
+                    .map(|(bit, &s)| Lit::new(s, key >> bit & 1 == 1)),
+            )
+            .expect("one literal per signal");
+            let cb = man.from_cube(&c);
+            f = man.or(f, cb);
+        }
+        for guard in man.cubes(f) {
+            out.push(FsmTransition { from, to, guard });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fsm::extract_fsm;
+    use dic_logic::BoolExpr;
+    use dic_netlist::ModuleBuilder;
+
+    /// Two latches: q (meaningful) and shadow (tracks the input but never
+    /// influences q). Observing only q must merge the shadow dimension.
+    fn shadowed(t: &mut SignalTable) -> dic_netlist::Module {
+        let mut b = ModuleBuilder::new("shadowed", t);
+        let i = b.input("i");
+        let q = b.table().intern("q");
+        b.latch("q", BoolExpr::or([BoolExpr::var(q), BoolExpr::var(i)]), false);
+        b.latch("shadow", BoolExpr::var(i), false);
+        b.mark_output(q);
+        b.finish().expect("valid")
+    }
+
+    #[test]
+    fn shadow_latch_is_merged_away() {
+        let mut t = SignalTable::new();
+        let m = shadowed(&mut t);
+        let fsm = extract_fsm(&m, &t, true).expect("fits");
+        // Reachable: (q,shadow) ∈ {00, 11, 10} — q=0 with shadow=1 cannot
+        // occur (shadow=1 means i was high, which also set q).
+        assert_eq!(fsm.num_states(), 3);
+        let q = t.lookup("q").unwrap();
+        let quot = quotient(&fsm, &[q]);
+        assert_eq!(quot.num_states(), 2, "shadow dimension collapses");
+        assert!(!quot.is_identity());
+        // Initial state: q=0.
+        let obs = quot.observation(quot.initial(), &fsm);
+        assert_eq!(obs.polarity_of(q), Some(false));
+    }
+
+    #[test]
+    fn full_observation_is_identity() {
+        let mut t = SignalTable::new();
+        let m = shadowed(&mut t);
+        let fsm = extract_fsm(&m, &t, true).expect("fits");
+        let q = t.lookup("q").unwrap();
+        let shadow = t.lookup("shadow").unwrap();
+        let quot = quotient(&fsm, &[q, shadow]);
+        assert!(quot.is_identity());
+        assert_eq!(quot.num_states(), fsm.num_states());
+    }
+
+    #[test]
+    fn quotient_respects_reachability_structure() {
+        // 2-bit counter observed on b1 only: b0 is not shadow (it feeds
+        // b1), so states stay distinguished by their future behaviour.
+        let mut t = SignalTable::new();
+        let mut b = ModuleBuilder::new("cnt", &mut t);
+        let b0 = b.table().intern("b0");
+        let b1 = b.table().intern("b1");
+        b.latch("b0", BoolExpr::var(b0).not(), false);
+        b.latch("b1", BoolExpr::xor(BoolExpr::var(b1), BoolExpr::var(b0)), false);
+        let m = b.finish().expect("valid");
+        let fsm = extract_fsm(&m, &t, true).expect("fits");
+        let quot = quotient(&fsm, &[b1]);
+        // (b1=0,b0=0) and (b1=0,b0=1) differ in when b1 next rises.
+        assert_eq!(quot.num_states(), 4);
+    }
+
+    #[test]
+    fn observing_nothing_merges_everything_with_same_future() {
+        // With no observed signals every state of the OR-latch module is
+        // equivalent (all futures produce the same — empty — observations).
+        let mut t = SignalTable::new();
+        let m = shadowed(&mut t);
+        let fsm = extract_fsm(&m, &t, true).expect("fits");
+        let quot = quotient(&fsm, &[]);
+        assert_eq!(quot.num_states(), 1);
+        assert_eq!(quot.initial(), 0);
+        // The single class has input-complete transitions.
+        assert!(!quot.transitions().is_empty());
+    }
+
+    #[test]
+    fn dot_export_mentions_classes() {
+        let mut t = SignalTable::new();
+        let m = shadowed(&mut t);
+        let fsm = extract_fsm(&m, &t, true).expect("fits");
+        let q = t.lookup("q").unwrap();
+        let quot = quotient(&fsm, &[q]);
+        let dot = quot.to_dot(&fsm, &t);
+        assert!(dot.contains("digraph quotient"));
+        assert!(dot.contains("states)"));
+        assert!(dot.contains("doublecircle"));
+    }
+}

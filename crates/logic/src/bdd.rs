@@ -1,0 +1,747 @@
+//! A reduced ordered binary decision diagram (ROBDD) engine.
+//!
+//! The engine is deliberately small but complete enough for the workloads in
+//! this workspace: canonical Boolean function representation, the full set
+//! of binary connectives via `ite`, existential/universal quantification,
+//! restriction, functional composition, satisfying-assignment extraction,
+//! model counting and Minato–Morreale irredundant sum-of-products covers
+//! (used to present gap terms as readable cubes).
+//!
+//! Variables are registered per [`SignalId`] on first use; the variable
+//! order is the registration order. All operations are memoized in the
+//! manager, so [`Bdd`] handles are plain indices that are cheap to copy and
+//! compare — two handles are equal iff they denote the same function.
+
+use crate::cube::{Cube, Lit};
+use crate::expr::BoolExpr;
+use crate::signal::SignalId;
+use crate::valuation::Valuation;
+use std::collections::HashMap;
+
+/// A handle to a BDD node inside a [`BddManager`].
+///
+/// Handles are canonical: `a == b` iff they represent the same Boolean
+/// function *within the same manager*. Mixing handles across managers is a
+/// logic error (not memory-unsafe, but meaningless).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct Bdd(u32);
+
+impl Bdd {
+    /// The constant false function.
+    pub const FALSE: Bdd = Bdd(0);
+    /// The constant true function.
+    pub const TRUE: Bdd = Bdd(1);
+
+    /// Whether this handle is the constant false.
+    pub fn is_false(self) -> bool {
+        self == Bdd::FALSE
+    }
+
+    /// Whether this handle is the constant true.
+    pub fn is_true(self) -> bool {
+        self == Bdd::TRUE
+    }
+
+    fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+const TERMINAL_VAR: u32 = u32::MAX;
+
+#[derive(Clone, Copy, Debug)]
+struct Node {
+    var: u32,
+    lo: u32,
+    hi: u32,
+}
+
+/// The BDD manager: node store, unique table and operation caches.
+///
+/// # Example
+///
+/// ```
+/// use dic_logic::{BddManager, SignalTable};
+///
+/// let mut t = SignalTable::new();
+/// let (a, b) = (t.intern("a"), t.intern("b"));
+/// let mut man = BddManager::new();
+/// let (va, vb) = (man.var_for_signal(a), man.var_for_signal(b));
+/// let f = man.and(va, vb);
+/// let g = man.not(f);
+/// let na = man.not(va);
+/// let nb = man.not(vb);
+/// let h = man.or(na, nb); // De Morgan
+/// assert_eq!(g, h);
+/// ```
+#[derive(Debug, Default)]
+pub struct BddManager {
+    nodes: Vec<Node>,
+    unique: HashMap<(u32, u32, u32), u32>,
+    ite_cache: HashMap<(u32, u32, u32), u32>,
+    var_to_signal: Vec<SignalId>,
+    signal_to_var: HashMap<SignalId, u32>,
+}
+
+impl BddManager {
+    /// Creates an empty manager.
+    pub fn new() -> Self {
+        let mut m = BddManager {
+            nodes: Vec::with_capacity(1024),
+            unique: HashMap::new(),
+            ite_cache: HashMap::new(),
+            var_to_signal: Vec::new(),
+            signal_to_var: HashMap::new(),
+        };
+        // Index 0 = FALSE, 1 = TRUE.
+        m.nodes.push(Node { var: TERMINAL_VAR, lo: 0, hi: 0 });
+        m.nodes.push(Node { var: TERMINAL_VAR, lo: 1, hi: 1 });
+        m
+    }
+
+    /// Registers (or finds) the BDD variable for `signal` and returns the
+    /// single-variable function.
+    pub fn var_for_signal(&mut self, signal: SignalId) -> Bdd {
+        let var = self.var_index(signal);
+        self.mk(var, Bdd::FALSE, Bdd::TRUE)
+    }
+
+    /// Returns the variable index for `signal`, registering it if new.
+    pub fn var_index(&mut self, signal: SignalId) -> u32 {
+        if let Some(&v) = self.signal_to_var.get(&signal) {
+            return v;
+        }
+        let v = u32::try_from(self.var_to_signal.len()).expect("too many BDD variables");
+        self.var_to_signal.push(signal);
+        self.signal_to_var.insert(signal, v);
+        v
+    }
+
+    /// The signal behind a variable index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var` has not been registered.
+    pub fn signal_of_var(&self, var: u32) -> SignalId {
+        self.var_to_signal[var as usize]
+    }
+
+    /// Number of live nodes (including the two terminals).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    fn mk(&mut self, var: u32, lo: Bdd, hi: Bdd) -> Bdd {
+        if lo == hi {
+            return lo;
+        }
+        let key = (var, lo.0, hi.0);
+        if let Some(&n) = self.unique.get(&key) {
+            return Bdd(n);
+        }
+        let n = u32::try_from(self.nodes.len()).expect("BDD node store overflow");
+        self.nodes.push(Node { var, lo: lo.0, hi: hi.0 });
+        self.unique.insert(key, n);
+        Bdd(n)
+    }
+
+    fn node(&self, f: Bdd) -> Node {
+        self.nodes[f.idx()]
+    }
+
+    fn top_var(&self, f: Bdd) -> u32 {
+        self.nodes[f.idx()].var
+    }
+
+    /// Low/high cofactors of `f` with respect to variable `var`, assuming
+    /// `var <= top_var(f)` in the order.
+    fn cofactors(&self, f: Bdd, var: u32) -> (Bdd, Bdd) {
+        let n = self.node(f);
+        if n.var == var {
+            (Bdd(n.lo), Bdd(n.hi))
+        } else {
+            (f, f)
+        }
+    }
+
+    /// If-then-else: `ite(f, g, h) = f·g ∨ ¬f·h`. The workhorse all other
+    /// connectives are built from.
+    pub fn ite(&mut self, f: Bdd, g: Bdd, h: Bdd) -> Bdd {
+        // Terminal cases.
+        if f.is_true() {
+            return g;
+        }
+        if f.is_false() {
+            return h;
+        }
+        if g == h {
+            return g;
+        }
+        if g.is_true() && h.is_false() {
+            return f;
+        }
+        let key = (f.0, g.0, h.0);
+        if let Some(&r) = self.ite_cache.get(&key) {
+            return Bdd(r);
+        }
+        let v = self
+            .top_var(f)
+            .min(self.top_var(g))
+            .min(self.top_var(h));
+        let (f0, f1) = self.cofactors(f, v);
+        let (g0, g1) = self.cofactors(g, v);
+        let (h0, h1) = self.cofactors(h, v);
+        let lo = self.ite(f0, g0, h0);
+        let hi = self.ite(f1, g1, h1);
+        let r = self.mk(v, lo, hi);
+        self.ite_cache.insert(key, r.0);
+        r
+    }
+
+    /// Negation.
+    pub fn not(&mut self, f: Bdd) -> Bdd {
+        self.ite(f, Bdd::FALSE, Bdd::TRUE)
+    }
+
+    /// Conjunction.
+    pub fn and(&mut self, f: Bdd, g: Bdd) -> Bdd {
+        self.ite(f, g, Bdd::FALSE)
+    }
+
+    /// Disjunction.
+    pub fn or(&mut self, f: Bdd, g: Bdd) -> Bdd {
+        self.ite(f, Bdd::TRUE, g)
+    }
+
+    /// Exclusive or.
+    pub fn xor(&mut self, f: Bdd, g: Bdd) -> Bdd {
+        let ng = self.not(g);
+        self.ite(f, ng, g)
+    }
+
+    /// Implication `f -> g`.
+    pub fn implies(&mut self, f: Bdd, g: Bdd) -> Bdd {
+        self.ite(f, g, Bdd::TRUE)
+    }
+
+    /// Biconditional `f <-> g`.
+    pub fn iff(&mut self, f: Bdd, g: Bdd) -> Bdd {
+        let ng = self.not(g);
+        self.ite(f, g, ng)
+    }
+
+    /// N-ary conjunction.
+    pub fn and_all<I: IntoIterator<Item = Bdd>>(&mut self, fs: I) -> Bdd {
+        let mut acc = Bdd::TRUE;
+        for f in fs {
+            acc = self.and(acc, f);
+            if acc.is_false() {
+                break;
+            }
+        }
+        acc
+    }
+
+    /// N-ary disjunction.
+    pub fn or_all<I: IntoIterator<Item = Bdd>>(&mut self, fs: I) -> Bdd {
+        let mut acc = Bdd::FALSE;
+        for f in fs {
+            acc = self.or(acc, f);
+            if acc.is_true() {
+                break;
+            }
+        }
+        acc
+    }
+
+    /// Restriction `f[signal := value]`.
+    pub fn restrict(&mut self, f: Bdd, signal: SignalId, value: bool) -> Bdd {
+        let var = self.var_index(signal);
+        self.restrict_var(f, var, value)
+    }
+
+    fn restrict_var(&mut self, f: Bdd, var: u32, value: bool) -> Bdd {
+        let n = self.node(f);
+        if n.var > var {
+            // f does not depend on var (or is terminal).
+            return f;
+        }
+        if n.var == var {
+            return if value { Bdd(n.hi) } else { Bdd(n.lo) };
+        }
+        let lo = self.restrict_var(Bdd(n.lo), var, value);
+        let hi = self.restrict_var(Bdd(n.hi), var, value);
+        self.mk(n.var, lo, hi)
+    }
+
+    /// Existential quantification `∃ signal. f`.
+    pub fn exists(&mut self, f: Bdd, signal: SignalId) -> Bdd {
+        let lo = self.restrict(f, signal, false);
+        let hi = self.restrict(f, signal, true);
+        self.or(lo, hi)
+    }
+
+    /// Universal quantification `∀ signal. f`.
+    pub fn forall(&mut self, f: Bdd, signal: SignalId) -> Bdd {
+        let lo = self.restrict(f, signal, false);
+        let hi = self.restrict(f, signal, true);
+        self.and(lo, hi)
+    }
+
+    /// Existential quantification over several signals.
+    pub fn exists_all(&mut self, mut f: Bdd, signals: &[SignalId]) -> Bdd {
+        for &s in signals {
+            f = self.exists(f, s);
+        }
+        f
+    }
+
+    /// Universal quantification over several signals.
+    pub fn forall_all(&mut self, mut f: Bdd, signals: &[SignalId]) -> Bdd {
+        for &s in signals {
+            f = self.forall(f, s);
+        }
+        f
+    }
+
+    /// Functional composition `f[signal := g]`.
+    pub fn compose(&mut self, f: Bdd, signal: SignalId, g: Bdd) -> Bdd {
+        let f1 = self.restrict(f, signal, true);
+        let f0 = self.restrict(f, signal, false);
+        self.ite(g, f1, f0)
+    }
+
+    /// Builds the BDD of a [`BoolExpr`], registering variables on first use.
+    pub fn from_expr(&mut self, e: &BoolExpr) -> Bdd {
+        match e {
+            BoolExpr::Const(true) => Bdd::TRUE,
+            BoolExpr::Const(false) => Bdd::FALSE,
+            BoolExpr::Var(id) => self.var_for_signal(*id),
+            BoolExpr::Not(inner) => {
+                let f = self.from_expr(inner);
+                self.not(f)
+            }
+            BoolExpr::And(es) => {
+                let mut acc = Bdd::TRUE;
+                for part in es {
+                    let f = self.from_expr(part);
+                    acc = self.and(acc, f);
+                    if acc.is_false() {
+                        break;
+                    }
+                }
+                acc
+            }
+            BoolExpr::Or(es) => {
+                let mut acc = Bdd::FALSE;
+                for part in es {
+                    let f = self.from_expr(part);
+                    acc = self.or(acc, f);
+                    if acc.is_true() {
+                        break;
+                    }
+                }
+                acc
+            }
+            BoolExpr::Xor(a, b) => {
+                let fa = self.from_expr(a);
+                let fb = self.from_expr(b);
+                self.xor(fa, fb)
+            }
+        }
+    }
+
+    /// Builds the BDD of a [`Cube`].
+    pub fn from_cube(&mut self, cube: &Cube) -> Bdd {
+        let mut acc = Bdd::TRUE;
+        for &l in cube.lits() {
+            let v = self.var_for_signal(l.signal());
+            let lit = if l.polarity() { v } else { self.not(v) };
+            acc = self.and(acc, lit);
+        }
+        acc
+    }
+
+    /// Evaluates `f` under a valuation of its signals.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a signal in the support of `f` is outside the valuation.
+    pub fn eval(&self, f: Bdd, v: &Valuation) -> bool {
+        let mut cur = f;
+        loop {
+            if cur.is_true() {
+                return true;
+            }
+            if cur.is_false() {
+                return false;
+            }
+            let n = self.node(cur);
+            let sig = self.var_to_signal[n.var as usize];
+            cur = if v.get(sig) { Bdd(n.hi) } else { Bdd(n.lo) };
+        }
+    }
+
+    /// The signals `f` actually depends on, in variable order.
+    pub fn support(&self, f: Bdd) -> Vec<SignalId> {
+        let mut vars = Vec::new();
+        let mut seen = std::collections::HashSet::new();
+        let mut stack = vec![f];
+        let mut varset = std::collections::BTreeSet::new();
+        while let Some(g) = stack.pop() {
+            if g.is_true() || g.is_false() || !seen.insert(g) {
+                continue;
+            }
+            let n = self.node(g);
+            varset.insert(n.var);
+            stack.push(Bdd(n.lo));
+            stack.push(Bdd(n.hi));
+        }
+        for v in varset {
+            vars.push(self.var_to_signal[v as usize]);
+        }
+        vars
+    }
+
+    /// Number of BDD nodes reachable from `f` (excluding terminals).
+    pub fn size(&self, f: Bdd) -> usize {
+        let mut seen = std::collections::HashSet::new();
+        let mut stack = vec![f];
+        let mut count = 0;
+        while let Some(g) = stack.pop() {
+            if g.is_true() || g.is_false() || !seen.insert(g) {
+                continue;
+            }
+            count += 1;
+            let n = self.node(g);
+            stack.push(Bdd(n.lo));
+            stack.push(Bdd(n.hi));
+        }
+        count
+    }
+
+    /// One satisfying assignment as a [`Cube`] (over the support only), or
+    /// `None` if `f` is unsatisfiable.
+    pub fn any_sat(&self, f: Bdd) -> Option<Cube> {
+        if f.is_false() {
+            return None;
+        }
+        let mut lits = Vec::new();
+        let mut cur = f;
+        while !cur.is_true() {
+            let n = self.node(cur);
+            let sig = self.var_to_signal[n.var as usize];
+            if Bdd(n.hi).is_false() {
+                lits.push(Lit::neg(sig));
+                cur = Bdd(n.lo);
+            } else {
+                lits.push(Lit::pos(sig));
+                cur = Bdd(n.hi);
+            }
+        }
+        Cube::from_lits(lits)
+    }
+
+    /// Number of satisfying assignments over an `nvars`-variable universe.
+    ///
+    /// `nvars` must be at least the number of registered variables appearing
+    /// in `f`'s support.
+    pub fn sat_count(&self, f: Bdd, nvars: u32) -> u128 {
+        fn go(
+            man: &BddManager,
+            f: Bdd,
+            nvars: u32,
+            cache: &mut HashMap<u32, u128>,
+        ) -> u128 {
+            if f.is_false() {
+                return 0;
+            }
+            if f.is_true() {
+                return 1;
+            }
+            if let Some(&c) = cache.get(&f.0) {
+                return c;
+            }
+            let n = man.node(f);
+            let lo = go(man, Bdd(n.lo), nvars, cache);
+            let hi = go(man, Bdd(n.hi), nvars, cache);
+            let skipped_lo = man.level_gap(n.var, Bdd(n.lo), nvars);
+            let skipped_hi = man.level_gap(n.var, Bdd(n.hi), nvars);
+            let c = (lo << skipped_lo) + (hi << skipped_hi);
+            cache.insert(f.0, c);
+            c
+        }
+        let mut cache = HashMap::new();
+        let total = go(self, f, nvars, &mut cache);
+        // Account for variables above the root.
+        total << self.level_gap_root(f, nvars)
+    }
+
+    fn level_gap(&self, var: u32, child: Bdd, nvars: u32) -> u32 {
+        let child_var = self.top_var(child);
+        let child_level = if child_var == TERMINAL_VAR { nvars } else { child_var };
+        child_level - var - 1
+    }
+
+    fn level_gap_root(&self, f: Bdd, nvars: u32) -> u32 {
+        let v = self.top_var(f);
+        if v == TERMINAL_VAR {
+            nvars
+        } else {
+            v
+        }
+    }
+
+    /// An irredundant sum-of-products cover of `f` (Minato–Morreale ISOP).
+    ///
+    /// The returned cubes are pairwise irredundant and their disjunction is
+    /// exactly `f`. This is how gap terms are rendered legibly.
+    pub fn cubes(&mut self, f: Bdd) -> Vec<Cube> {
+        let (cover, _bdd) = self.isop(f, f);
+        cover
+    }
+
+    /// Minato–Morreale ISOP between lower bound `l` and upper bound `u`
+    /// (requires `l -> u`). Returns the cover and its BDD `d` with
+    /// `l -> d` and `d -> u`.
+    pub fn isop(&mut self, l: Bdd, u: Bdd) -> (Vec<Cube>, Bdd) {
+        debug_assert!(self.implies(l, u).is_true(), "ISOP requires l -> u");
+        if l.is_false() {
+            return (Vec::new(), Bdd::FALSE);
+        }
+        if u.is_true() {
+            return (vec![Cube::top()], Bdd::TRUE);
+        }
+        let v = self.top_var(l).min(self.top_var(u));
+        let sig = self.var_to_signal[v as usize];
+        let (l0, l1) = self.cofactors(l, v);
+        let (u0, u1) = self.cofactors(u, v);
+
+        // Cubes that must contain ¬v.
+        let nu1 = self.not(u1);
+        let l0_only = self.and(l0, nu1);
+        let (c0, d0) = self.isop(l0_only, u0);
+
+        // Cubes that must contain v.
+        let nu0 = self.not(u0);
+        let l1_only = self.and(l1, nu0);
+        let (c1, d1) = self.isop(l1_only, u1);
+
+        // Remainder, covered without mentioning v.
+        let nd0 = self.not(d0);
+        let nd1 = self.not(d1);
+        let rem0 = self.and(l0, nd0);
+        let rem1 = self.and(l1, nd1);
+        let rem = self.or(rem0, rem1);
+        let u01 = self.and(u0, u1);
+        let (cd, dd) = self.isop(rem, u01);
+
+        let mut cover = Vec::with_capacity(c0.len() + c1.len() + cd.len());
+        for c in c0 {
+            cover.push(c.and_lit(Lit::neg(sig)).expect("fresh literal"));
+        }
+        for c in c1 {
+            cover.push(c.and_lit(Lit::pos(sig)).expect("fresh literal"));
+        }
+        cover.extend(cd);
+
+        let hi = self.or(d1, dd);
+        let lo = self.or(d0, dd);
+        let var_bdd = self.mk(v, Bdd::FALSE, Bdd::TRUE);
+        let d = self.ite(var_bdd, hi, lo);
+        (cover, d)
+    }
+
+    /// Converts `f` back into a [`BoolExpr`] (as an irredundant SOP).
+    pub fn to_expr(&mut self, f: Bdd) -> BoolExpr {
+        if f.is_true() {
+            return BoolExpr::tt();
+        }
+        if f.is_false() {
+            return BoolExpr::ff();
+        }
+        let cover = self.cubes(f);
+        BoolExpr::or(cover.into_iter().map(|cube| {
+            BoolExpr::and(cube.lits().iter().map(|l| {
+                let v = BoolExpr::var(l.signal());
+                if l.polarity() {
+                    v
+                } else {
+                    v.not()
+                }
+            }))
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::signal::SignalTable;
+
+    fn setup() -> (SignalTable, BddManager, Vec<SignalId>) {
+        let mut t = SignalTable::new();
+        let ids: Vec<_> = ["a", "b", "c", "d"].iter().map(|n| t.intern(n)).collect();
+        (t, BddManager::new(), ids)
+    }
+
+    #[test]
+    fn canonicity_de_morgan() {
+        let (_t, mut m, ids) = setup();
+        let a = m.var_for_signal(ids[0]);
+        let b = m.var_for_signal(ids[1]);
+        let ab = m.and(a, b);
+        let lhs = m.not(ab);
+        let na = m.not(a);
+        let nb = m.not(b);
+        let rhs = m.or(na, nb);
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn tautology_and_contradiction() {
+        let (_t, mut m, ids) = setup();
+        let a = m.var_for_signal(ids[0]);
+        let na = m.not(a);
+        assert!(m.or(a, na).is_true());
+        assert!(m.and(a, na).is_false());
+    }
+
+    #[test]
+    fn eval_agrees_with_expr() {
+        let (t, mut m, ids) = setup();
+        let e = BoolExpr::or([
+            BoolExpr::and([BoolExpr::var(ids[0]), BoolExpr::var(ids[1]).not()]),
+            BoolExpr::xor(BoolExpr::var(ids[2]), BoolExpr::var(ids[3])),
+        ]);
+        let f = m.from_expr(&e);
+        for bits in 0..16u64 {
+            let mut v = Valuation::all_false(t.len());
+            v.assign_key(&ids, bits);
+            assert_eq!(m.eval(f, &v), e.eval(&v), "bits {bits:04b}");
+        }
+    }
+
+    #[test]
+    fn quantification() {
+        let (t, mut m, ids) = setup();
+        let a = m.var_for_signal(ids[0]);
+        let b = m.var_for_signal(ids[1]);
+        let f = m.and(a, b);
+        // ∃a. a&b == b ; ∀a. a&b == false ; ∀a. a|!a&b ... basic checks.
+        let ex = m.exists(f, ids[0]);
+        assert_eq!(ex, b);
+        let fa = m.forall(f, ids[0]);
+        assert!(fa.is_false());
+        let g = m.or(a, b);
+        let fg = m.forall(g, ids[0]);
+        assert_eq!(fg, b);
+        let _ = t;
+    }
+
+    #[test]
+    fn compose_substitutes() {
+        let (_t, mut m, ids) = setup();
+        let a = m.var_for_signal(ids[0]);
+        let b = m.var_for_signal(ids[1]);
+        let c = m.var_for_signal(ids[2]);
+        let f = m.xor(a, c);
+        let bc = m.and(b, c);
+        let comp = m.compose(f, ids[0], bc); // (b&c) ^ c
+        let expect_hi = m.not(b); // when c=1: (b)^1 = !b
+        let restricted = m.restrict(comp, ids[2], true);
+        assert_eq!(restricted, expect_hi);
+        let restricted0 = m.restrict(comp, ids[2], false);
+        assert!(restricted0.is_false()); // (b&0)^0 = 0
+    }
+
+    #[test]
+    fn sat_count_counts() {
+        let (_t, mut m, ids) = setup();
+        let a = m.var_for_signal(ids[0]);
+        let b = m.var_for_signal(ids[1]);
+        let f = m.or(a, b);
+        // over 2 vars: 3 satisfying rows; over 4 vars: 3 * 4 = 12.
+        assert_eq!(m.sat_count(f, 2), 3);
+        let _c = m.var_for_signal(ids[2]);
+        let _d = m.var_for_signal(ids[3]);
+        assert_eq!(m.sat_count(f, 4), 12);
+        assert_eq!(m.sat_count(Bdd::TRUE, 4), 16);
+        assert_eq!(m.sat_count(Bdd::FALSE, 4), 0);
+    }
+
+    #[test]
+    fn any_sat_satisfies() {
+        let (t, mut m, ids) = setup();
+        let e = BoolExpr::and([
+            BoolExpr::or([BoolExpr::var(ids[0]), BoolExpr::var(ids[1])]),
+            BoolExpr::var(ids[2]).not(),
+        ]);
+        let f = m.from_expr(&e);
+        let cube = m.any_sat(f).expect("satisfiable");
+        // Extend the cube to a full valuation and check it satisfies f.
+        let mut v = Valuation::all_false(t.len());
+        for l in cube.lits() {
+            v.set(l.signal(), l.polarity());
+        }
+        assert!(m.eval(f, &v));
+        assert!(m.any_sat(Bdd::FALSE).is_none());
+    }
+
+    #[test]
+    fn isop_cover_is_exact() {
+        let (_t, mut m, ids) = setup();
+        // f = a&!b | c&d | a&c
+        let e = BoolExpr::or([
+            BoolExpr::and([BoolExpr::var(ids[0]), BoolExpr::var(ids[1]).not()]),
+            BoolExpr::and([BoolExpr::var(ids[2]), BoolExpr::var(ids[3])]),
+            BoolExpr::and([BoolExpr::var(ids[0]), BoolExpr::var(ids[2])]),
+        ]);
+        let f = m.from_expr(&e);
+        let cover = m.cubes(f);
+        let mut back = Bdd::FALSE;
+        for cube in &cover {
+            let cb = m.from_cube(cube);
+            back = m.or(back, cb);
+        }
+        assert_eq!(back, f, "cover must rebuild exactly f");
+    }
+
+    #[test]
+    fn to_expr_round_trips() {
+        let (_t, mut m, ids) = setup();
+        let a = m.var_for_signal(ids[0]);
+        let b = m.var_for_signal(ids[1]);
+        let c = m.var_for_signal(ids[2]);
+        let ab = m.and(a, b);
+        let f = m.or(ab, c);
+        let e = m.to_expr(f);
+        let f2 = m.from_expr(&e);
+        assert_eq!(f, f2);
+        assert_eq!(m.to_expr(Bdd::TRUE), BoolExpr::tt());
+        assert_eq!(m.to_expr(Bdd::FALSE), BoolExpr::ff());
+    }
+
+    #[test]
+    fn support_and_size() {
+        let (_t, mut m, ids) = setup();
+        let a = m.var_for_signal(ids[0]);
+        let c = m.var_for_signal(ids[2]);
+        let f = m.and(a, c);
+        assert_eq!(m.support(f), vec![ids[0], ids[2]]);
+        assert_eq!(m.size(f), 2);
+        assert_eq!(m.size(Bdd::TRUE), 0);
+    }
+
+    #[test]
+    fn from_cube_matches_lits() {
+        let (_t, mut m, ids) = setup();
+        let cube = Cube::from_lits([Lit::pos(ids[0]), Lit::neg(ids[1])]).unwrap();
+        let f = m.from_cube(&cube);
+        let a = m.var_for_signal(ids[0]);
+        let b = m.var_for_signal(ids[1]);
+        let nb = m.not(b);
+        let expect = m.and(a, nb);
+        assert_eq!(f, expect);
+    }
+}

@@ -1,0 +1,167 @@
+//! Interned signal names.
+//!
+//! Every crate in the workspace identifies circuit signals (ports, wires,
+//! latch outputs, free environment signals) by a compact [`SignalId`] issued
+//! by a [`SignalTable`]. Sharing one table across the architectural spec, the
+//! RTL spec and the concrete modules is what makes the paper's Assumption 1
+//! (`AP_A ⊆ AP_R`) checkable at all.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// A compact identifier for an interned signal name.
+///
+/// `SignalId`s are only meaningful relative to the [`SignalTable`] that
+/// issued them. They are ordered by creation order, which the BDD engine
+/// uses as its default variable order.
+///
+/// # Example
+///
+/// ```
+/// use dic_logic::SignalTable;
+///
+/// let mut t = SignalTable::new();
+/// let req = t.intern("req");
+/// assert_eq!(t.name(req), "req");
+/// assert_eq!(t.intern("req"), req); // interning is idempotent
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SignalId(u32);
+
+impl SignalId {
+    /// Returns the dense index of this signal (0-based creation order).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a `SignalId` from a dense index.
+    ///
+    /// Intended for container code that stores per-signal data in vectors;
+    /// the index must have been obtained from [`SignalId::index`] on the same
+    /// table.
+    pub fn from_index(index: usize) -> Self {
+        SignalId(u32::try_from(index).expect("signal index exceeds u32"))
+    }
+}
+
+impl fmt::Debug for SignalId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// An interning table mapping signal names to [`SignalId`]s.
+///
+/// The table is append-only: signals are never removed, so issued ids stay
+/// valid for the lifetime of the table.
+#[derive(Clone, Debug, Default)]
+pub struct SignalTable {
+    names: Vec<String>,
+    index: HashMap<String, SignalId>,
+}
+
+impl SignalTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `name`, returning the existing id if already present.
+    pub fn intern(&mut self, name: &str) -> SignalId {
+        if let Some(&id) = self.index.get(name) {
+            return id;
+        }
+        let id = SignalId::from_index(self.names.len());
+        self.names.push(name.to_owned());
+        self.index.insert(name.to_owned(), id);
+        id
+    }
+
+    /// Looks up a name without interning it.
+    pub fn lookup(&self, name: &str) -> Option<SignalId> {
+        self.index.get(name).copied()
+    }
+
+    /// Returns the name of `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not issued by this table.
+    pub fn name(&self, id: SignalId) -> &str {
+        &self.names[id.index()]
+    }
+
+    /// Number of interned signals.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterates over all `(id, name)` pairs in creation order.
+    pub fn iter(&self) -> impl Iterator<Item = (SignalId, &str)> {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (SignalId::from_index(i), n.as_str()))
+    }
+
+    /// Returns all ids in creation order.
+    pub fn ids(&self) -> impl Iterator<Item = SignalId> + '_ {
+        (0..self.names.len()).map(SignalId::from_index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut t = SignalTable::new();
+        let a = t.intern("a");
+        let b = t.intern("b");
+        assert_ne!(a, b);
+        assert_eq!(t.intern("a"), a);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn lookup_does_not_intern() {
+        let mut t = SignalTable::new();
+        assert!(t.lookup("x").is_none());
+        let x = t.intern("x");
+        assert_eq!(t.lookup("x"), Some(x));
+    }
+
+    #[test]
+    fn names_round_trip() {
+        let mut t = SignalTable::new();
+        for n in ["clk", "rst_n", "data[3]"] {
+            let id = t.intern(n);
+            assert_eq!(t.name(id), n);
+        }
+    }
+
+    #[test]
+    fn iter_in_creation_order() {
+        let mut t = SignalTable::new();
+        t.intern("p");
+        t.intern("q");
+        let collected: Vec<_> = t.iter().map(|(_, n)| n.to_owned()).collect();
+        assert_eq!(collected, vec!["p", "q"]);
+    }
+
+    #[test]
+    fn ids_are_dense() {
+        let mut t = SignalTable::new();
+        let a = t.intern("a");
+        let b = t.intern("b");
+        assert_eq!(a.index(), 0);
+        assert_eq!(b.index(), 1);
+        assert_eq!(SignalId::from_index(1), b);
+    }
+}

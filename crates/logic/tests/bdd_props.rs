@@ -1,0 +1,151 @@
+//! Property-based tests: the BDD engine against brute-force evaluation of
+//! random Boolean expressions over a small variable universe.
+
+use dic_logic::{Bdd, BddManager, BoolExpr, SignalId, SignalTable, Valuation};
+use proptest::prelude::*;
+
+const NVARS: usize = 5;
+
+fn universe() -> (SignalTable, Vec<SignalId>) {
+    let mut t = SignalTable::new();
+    let ids = (0..NVARS).map(|i| t.intern(&format!("v{i}"))).collect();
+    (t, ids)
+}
+
+/// A recursive strategy for random Boolean expressions over `v0..v4`.
+fn arb_expr(ids: Vec<SignalId>) -> impl Strategy<Value = BoolExpr> {
+    let leaf = prop_oneof![
+        Just(BoolExpr::tt()),
+        Just(BoolExpr::ff()),
+        (0..ids.len()).prop_map(move |i| BoolExpr::var(ids[i])),
+    ];
+    leaf.prop_recursive(4, 48, 3, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(BoolExpr::not),
+            prop::collection::vec(inner.clone(), 1..4).prop_map(BoolExpr::and),
+            prop::collection::vec(inner.clone(), 1..4).prop_map(BoolExpr::or),
+            (inner.clone(), inner).prop_map(|(a, b)| BoolExpr::xor(a, b)),
+        ]
+    })
+}
+
+fn assert_equiv(man: &BddManager, f: Bdd, e: &BoolExpr, ids: &[SignalId], len: usize) {
+    for bits in 0..(1u64 << NVARS) {
+        let mut v = Valuation::all_false(len);
+        v.assign_key(ids, bits);
+        assert_eq!(man.eval(f, &v), e.eval(&v), "disagreement at {bits:05b}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn bdd_matches_brute_force(e in universe().1.pipe_expr()) {
+        let (t, ids) = universe();
+        let mut man = BddManager::new();
+        let f = man.from_expr(&e);
+        assert_equiv(&man, f, &e, &ids, t.len());
+    }
+
+    #[test]
+    fn negation_is_involution(e in universe().1.pipe_expr()) {
+        let mut man = BddManager::new();
+        let f = man.from_expr(&e);
+        let nf = man.not(f);
+        let nnf = man.not(nf);
+        prop_assert_eq!(f, nnf);
+    }
+
+    #[test]
+    fn shannon_expansion_holds(e in universe().1.pipe_expr()) {
+        let (_t, ids) = universe();
+        let mut man = BddManager::new();
+        let f = man.from_expr(&e);
+        let s = ids[0];
+        let v = man.var_for_signal(s);
+        let f1 = man.restrict(f, s, true);
+        let f0 = man.restrict(f, s, false);
+        let rebuilt = man.ite(v, f1, f0);
+        prop_assert_eq!(f, rebuilt);
+    }
+
+    #[test]
+    fn quantifier_duality(e in universe().1.pipe_expr()) {
+        // ∀x.f == ¬∃x.¬f
+        let (_t, ids) = universe();
+        let mut man = BddManager::new();
+        let f = man.from_expr(&e);
+        let s = ids[1];
+        let all = man.forall(f, s);
+        let nf = man.not(f);
+        let ex = man.exists(nf, s);
+        let dual = man.not(ex);
+        prop_assert_eq!(all, dual);
+    }
+
+    #[test]
+    fn isop_cover_rebuilds_function(e in universe().1.pipe_expr()) {
+        let mut man = BddManager::new();
+        let f = man.from_expr(&e);
+        let cover = man.cubes(f);
+        let mut back = Bdd::FALSE;
+        for cube in &cover {
+            let cb = man.from_cube(cube);
+            back = man.or(back, cb);
+        }
+        prop_assert_eq!(back, f);
+    }
+
+    #[test]
+    fn to_expr_round_trips(e in universe().1.pipe_expr()) {
+        let mut man = BddManager::new();
+        let f = man.from_expr(&e);
+        let back = man.to_expr(f);
+        let f2 = man.from_expr(&back);
+        prop_assert_eq!(f, f2);
+    }
+
+    #[test]
+    fn sat_count_matches_truth_table(e in universe().1.pipe_expr()) {
+        let (t, ids) = universe();
+        let mut man = BddManager::new();
+        let f = man.from_expr(&e);
+        // Register all universe variables so counting is over NVARS vars.
+        for &id in &ids {
+            man.var_for_signal(id);
+        }
+        let mut expected = 0u128;
+        for bits in 0..(1u64 << NVARS) {
+            let mut v = Valuation::all_false(t.len());
+            v.assign_key(&ids, bits);
+            if e.eval(&v) {
+                expected += 1;
+            }
+        }
+        prop_assert_eq!(man.sat_count(f, NVARS as u32), expected);
+    }
+
+    #[test]
+    fn parser_printer_round_trip(e in universe().1.pipe_expr()) {
+        let (mut t, ids) = universe();
+        let shown = e.display(&t).to_string();
+        let reparsed = BoolExpr::parse(&shown, &mut t).expect("printer output parses");
+        let mut man = BddManager::new();
+        let f1 = man.from_expr(&e);
+        let f2 = man.from_expr(&reparsed);
+        prop_assert_eq!(f1, f2, "printed form {} changed meaning", shown);
+        let _ = ids;
+    }
+}
+
+/// Helper extension so strategies can be built from the id vector concisely.
+trait PipeExpr {
+    fn pipe_expr(self) -> BoxedStrategy<BoolExpr>;
+}
+
+impl PipeExpr for Vec<SignalId> {
+    fn pipe_expr(self) -> BoxedStrategy<BoolExpr> {
+        arb_expr(self).boxed()
+    }
+}

@@ -1,0 +1,54 @@
+//! Linear temporal logic for the SpecMatcher design-intent-coverage toolkit.
+//!
+//! This crate implements the specification language of the paper:
+//!
+//! * [`Ltl`] — an immutable, cheaply clonable LTL AST over interned
+//!   [`SignalId`](dic_logic::SignalId)s, with smart constructors that apply
+//!   the obvious simplifications,
+//! * a parser ([`Ltl::parse`]) and a pretty printer ([`Ltl::display`]) that
+//!   round-trip,
+//! * negation normal form ([`Ltl::nnf`]) and the U/R-core form used by the
+//!   automaton translation ([`Ltl::core_nnf`]),
+//! * semantics on ultimately periodic words ([`LassoWord`], [`Ltl::holds_on`])
+//!   — the executable definition of a *run* from the paper's Section 2, used
+//!   as the test oracle for the automaton construction,
+//! * syntactic positions with polarity ([`Ltl::positions`],
+//!   [`Ltl::replace_at`]) — the machinery behind the paper's
+//!   structure-preserving weakening (Algorithm 1, steps 2(c)/2(d)),
+//! * [`TemporalCube`] — bounded conjunctions of `X^k literal` terms (the
+//!   "uncovered terms" `UM` of Algorithm 1) with a BDD bridge for the
+//!   universal quantification of step 2(b).
+//!
+//! # Example
+//!
+//! ```
+//! use dic_logic::SignalTable;
+//! use dic_ltl::Ltl;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut sigs = SignalTable::new();
+//! // The architectural intent of the paper's Example 1.
+//! let a = Ltl::parse(
+//!     "G(!wait & r1 & X(r1 U r2) -> X(!d2 U d1))",
+//!     &mut sigs,
+//! )?;
+//! assert_eq!(a.atoms().len(), 5);
+//! let printed = a.display(&sigs).to_string();
+//! let reparsed = Ltl::parse(&printed, &mut sigs)?;
+//! assert_eq!(a, reparsed);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod cube;
+pub mod formula;
+pub mod parse;
+pub mod position;
+pub mod random;
+pub mod semantics;
+
+pub use cube::{PositionedVars, TemporalCube};
+pub use formula::{Ltl, LtlNode};
+pub use parse::ParseLtlError;
+pub use position::{Polarity, Position};
+pub use semantics::LassoWord;

@@ -1,0 +1,139 @@
+//! Property-based tests for the LTL crate: printer/parser round trips and
+//! semantics-preserving transformations, checked on random lasso words.
+
+use dic_logic::SignalTable;
+use dic_ltl::random::{random_formula, random_word, XorShift64};
+use dic_ltl::Ltl;
+use proptest::prelude::*;
+
+fn universe() -> (SignalTable, Vec<dic_logic::SignalId>) {
+    let mut t = SignalTable::new();
+    let atoms = vec![t.intern("p"), t.intern("q"), t.intern("r"), t.intern("s")];
+    (t, atoms)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn print_parse_round_trip(seed in 1u64..5000, budget in 1usize..25) {
+        let (mut t, atoms) = universe();
+        let mut rng = XorShift64::new(seed);
+        let f = random_formula(&mut rng, &atoms, budget);
+        let shown = f.display(&t).to_string();
+        let reparsed = Ltl::parse(&shown, &mut t)
+            .unwrap_or_else(|e| panic!("printed form {shown:?} failed to parse: {e}"));
+        prop_assert_eq!(&f, &reparsed, "printed {} reparsed differently", shown);
+    }
+
+    #[test]
+    fn nnf_preserves_lasso_semantics(
+        seed in 1u64..5000,
+        budget in 1usize..20,
+        prefix in 0usize..4,
+        loop_len in 1usize..5,
+    ) {
+        let (_t, atoms) = universe();
+        let mut rng = XorShift64::new(seed);
+        let f = random_formula(&mut rng, &atoms, budget);
+        let w = random_word(&mut rng, atoms.len(), prefix, loop_len);
+        prop_assert_eq!(f.holds_on(&w), f.nnf().holds_on(&w));
+    }
+
+    #[test]
+    fn core_nnf_preserves_semantics_and_removes_gf(
+        seed in 1u64..5000,
+        budget in 1usize..20,
+        prefix in 0usize..4,
+        loop_len in 1usize..5,
+    ) {
+        use dic_ltl::LtlNode;
+        let (_t, atoms) = universe();
+        let mut rng = XorShift64::new(seed);
+        let f = random_formula(&mut rng, &atoms, budget);
+        let w = random_word(&mut rng, atoms.len(), prefix, loop_len);
+        let core = f.core_nnf();
+        prop_assert_eq!(f.holds_on(&w), core.holds_on(&w));
+        // core form contains no Globally/Finally/Not-above-non-atom.
+        for occ in core.positions() {
+            match occ.subformula.node() {
+                LtlNode::Globally(_) | LtlNode::Finally(_) => {
+                    prop_assert!(false, "core form still has G/F: {:?}", core);
+                }
+                LtlNode::Not(inner) => {
+                    prop_assert!(
+                        matches!(inner.node(), LtlNode::Atom(_)),
+                        "negation above non-atom in {:?}",
+                        core
+                    );
+                }
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn double_negation_preserves_semantics(
+        seed in 1u64..5000,
+        budget in 1usize..20,
+        prefix in 0usize..4,
+        loop_len in 1usize..5,
+    ) {
+        let (_t, atoms) = universe();
+        let mut rng = XorShift64::new(seed);
+        let f = random_formula(&mut rng, &atoms, budget);
+        let w = random_word(&mut rng, atoms.len(), prefix, loop_len);
+        let nn = Ltl::not(Ltl::not(f.clone()));
+        prop_assert_eq!(f.holds_on(&w), nn.holds_on(&w));
+        // And negation flips truth.
+        prop_assert_eq!(f.holds_on(&w), !Ltl::not(f).holds_on(&w));
+    }
+
+    #[test]
+    fn replace_with_self_is_identity(seed in 1u64..5000, budget in 1usize..20) {
+        let (_t, atoms) = universe();
+        let mut rng = XorShift64::new(seed);
+        let f = random_formula(&mut rng, &atoms, budget);
+        for occ in f.positions() {
+            let replaced = f
+                .replace_at(&occ.position, occ.subformula.clone())
+                .expect("position exists");
+            // Smart constructors may locally re-simplify, but replacing a
+            // subformula by itself must preserve lasso semantics.
+            let w = random_word(&mut rng, atoms.len(), 2, 3);
+            prop_assert_eq!(f.holds_on(&w), replaced.holds_on(&w));
+        }
+    }
+
+    #[test]
+    fn weakening_positive_positions_weakens(
+        seed in 1u64..2000,
+        budget in 1usize..15,
+        prefix in 0usize..3,
+        loop_len in 1usize..4,
+    ) {
+        use dic_ltl::Polarity;
+        // Replacing a positive occurrence g by (g | x) can only turn the
+        // whole formula from false to true, never true to false — i.e. the
+        // result is weaker. Checked empirically on random words.
+        let (_t, atoms) = universe();
+        let mut rng = XorShift64::new(seed);
+        let f = random_formula(&mut rng, &atoms, budget);
+        let extra = Ltl::atom(atoms[0]);
+        let w = random_word(&mut rng, atoms.len(), prefix, loop_len);
+        for occ in f.positions() {
+            let weaker_sub = match occ.polarity {
+                Polarity::Positive => Ltl::or([occ.subformula.clone(), extra.clone()]),
+                Polarity::Negative => Ltl::and([occ.subformula.clone(), extra.clone()]),
+            };
+            let weakened = f.replace_at(&occ.position, weaker_sub).expect("pos");
+            if f.holds_on(&w) {
+                prop_assert!(
+                    weakened.holds_on(&w),
+                    "weakening at {} made {:?} false on a word where it held",
+                    occ.position, f
+                );
+            }
+        }
+    }
+}

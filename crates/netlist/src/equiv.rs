@@ -1,0 +1,322 @@
+//! Combinational/structural equivalence checking between modules.
+//!
+//! The optimization passes ([`crate::opt`]) and the cone-of-influence
+//! reduction claim to preserve module behaviour; this module provides the
+//! machine check. Two modules are compared *structurally over a common
+//! state encoding*: latch outputs are treated as free cut points, and for
+//! every module output and every matched latch the driving functions are
+//! compared as BDDs over (inputs ∪ latch outputs).
+//!
+//! For purely combinational modules this decides functional equivalence
+//! exactly. For sequential modules it is the standard sufficient check
+//! (same reset values, equivalent next-state and output functions over the
+//! shared encoding); it cannot equate modules that implement the same
+//! behaviour with different state encodings — re-encoding equivalence is a
+//! model-checking problem, which is what the rest of this workspace is for.
+
+use crate::error::NetlistError;
+use crate::module::Module;
+use crate::opt::infer_constants;
+use dic_logic::{Bdd, BddManager, SignalId, SignalTable, Valuation};
+use std::collections::HashMap;
+
+/// Outcome of [`equiv_check`].
+#[derive(Clone, Debug)]
+pub enum EquivVerdict {
+    /// All outputs and matched latches agree.
+    Equivalent,
+    /// Some driven function differs; a distinguishing assignment over the
+    /// cut points (inputs and latch outputs) is attached.
+    Different {
+        /// The signal whose driving function differs.
+        signal: SignalId,
+        /// An assignment under which the two functions disagree.
+        witness: Valuation,
+    },
+}
+
+impl EquivVerdict {
+    /// Whether the verdict is [`EquivVerdict::Equivalent`].
+    pub fn is_equivalent(&self) -> bool {
+        matches!(self, EquivVerdict::Equivalent)
+    }
+}
+
+/// Checks structural equivalence of two modules over their common state
+/// encoding (see the [module docs](self)).
+///
+/// # Errors
+///
+/// [`NetlistError::Parse`] when the interfaces are not comparable: the
+/// modules differ in output sets, or in latch output sets, or a latch pair
+/// disagrees on reset value (reported with the offending signal's name).
+pub fn equiv_check(
+    a: &Module,
+    b: &Module,
+    table: &SignalTable,
+) -> Result<EquivVerdict, NetlistError> {
+    let mismatch = |message: String| NetlistError::Parse { line: 0, message };
+
+    let mut a_out: Vec<SignalId> = a.outputs().to_vec();
+    let mut b_out: Vec<SignalId> = b.outputs().to_vec();
+    a_out.sort();
+    a_out.dedup();
+    b_out.sort();
+    b_out.dedup();
+    if a_out != b_out {
+        return Err(mismatch(format!(
+            "output sets differ: {} vs {}",
+            a.name(),
+            b.name()
+        )));
+    }
+    // Latches present on only one side are tolerated: after constant
+    // folding a latch may disappear entirely. Shared latches (matched by
+    // output signal) must agree on reset value and next-state function;
+    // one-sided latches are cut points like inputs, and any influence they
+    // have on behaviour is caught by the output comparison.
+    let mut man = BddManager::new();
+
+    // Function of every signal in terms of the cut points. Latches proven
+    // constant (next ≡ reset value) are resolved to their constants so
+    // that a side where `constant_fold` replaced such a latch by a
+    // constant wire still compares equal.
+    let funcs_a = module_functions(a, &mut man);
+    let funcs_b = module_functions(b, &mut man);
+    let consts_a = infer_constants(a);
+    let consts_b = infer_constants(b);
+
+    // Compare outputs.
+    for &o in &a_out {
+        let fa = resolved(o, &funcs_a, &consts_a, &mut man);
+        let fb = resolved(o, &funcs_b, &consts_b, &mut man);
+        let diff = man.xor(fa, fb);
+        if let Some(cube) = man.any_sat(diff) {
+            let mut witness = Valuation::all_false(table.len());
+            for l in cube.lits() {
+                witness.set(l.signal(), l.polarity());
+            }
+            return Ok(EquivVerdict::Different { signal: o, witness });
+        }
+    }
+
+    // Compare shared latches: init values and next-state functions.
+    for (sig, la, lb) in latch_pairs(a, b) {
+        if la.init() != lb.init() {
+            return Err(mismatch(format!(
+                "latch {} resets to {} vs {}",
+                table.name(sig),
+                la.init(),
+                lb.init()
+            )));
+        }
+        let fa = expr_over_cuts(la.next(), &funcs_a, &mut man);
+        let fb = expr_over_cuts(lb.next(), &funcs_b, &mut man);
+        let diff = man.xor(fa, fb);
+        if let Some(cube) = man.any_sat(diff) {
+            let mut witness = Valuation::all_false(table.len());
+            for l in cube.lits() {
+                witness.set(l.signal(), l.polarity());
+            }
+            return Ok(EquivVerdict::Different {
+                signal: sig,
+                witness,
+            });
+        }
+    }
+
+    Ok(EquivVerdict::Equivalent)
+}
+
+/// Latch pairs present in both modules, by output signal.
+fn latch_pairs<'a>(
+    a: &'a Module,
+    b: &'a Module,
+) -> impl Iterator<Item = (SignalId, &'a crate::module::Latch, &'a crate::module::Latch)> {
+    let by_sig: HashMap<SignalId, &crate::module::Latch> =
+        b.latches().iter().map(|l| (l.output(), l)).collect();
+    a.latches().iter().filter_map(move |la| {
+        by_sig
+            .get(&la.output())
+            .map(|lb| (la.output(), la, *lb))
+    })
+}
+
+/// BDDs of every *wire* in terms of the cut points (inputs and latch
+/// outputs are BDD variables).
+fn module_functions(m: &Module, man: &mut BddManager) -> HashMap<SignalId, Bdd> {
+    let mut funcs: HashMap<SignalId, Bdd> = HashMap::new();
+    for &idx in m.wire_order() {
+        let w = &m.wires()[idx];
+        let f = expr_over_cuts(w.func(), &funcs, man);
+        funcs.insert(w.output(), f);
+    }
+    funcs
+}
+
+/// The BDD of a signal: its wire function if driven by a wire, its
+/// constant if provably constant, otherwise a fresh variable (input or
+/// latch output = cut point).
+fn resolved(
+    s: SignalId,
+    funcs: &HashMap<SignalId, Bdd>,
+    consts: &HashMap<SignalId, bool>,
+    man: &mut BddManager,
+) -> Bdd {
+    if let Some(&f) = funcs.get(&s) {
+        return f;
+    }
+    match consts.get(&s) {
+        Some(true) => Bdd::TRUE,
+        Some(false) => Bdd::FALSE,
+        None => man.var_for_signal(s),
+    }
+}
+
+/// Evaluates an expression into a BDD, resolving wire-driven signals
+/// through `funcs` and everything else as variables.
+fn expr_over_cuts(e: &dic_logic::BoolExpr, funcs: &HashMap<SignalId, Bdd>, man: &mut BddManager) -> Bdd {
+    let mut f = man.from_expr(e);
+    // Replace wire-driven signals by their functions (compose), innermost
+    // first: wire_order guarantees `funcs` entries are already over cut
+    // points only.
+    for s in e.support() {
+        if let Some(&g) = funcs.get(&s) {
+            f = man.compose(f, s, g);
+        }
+    }
+    f
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::module::ModuleBuilder;
+    use dic_logic::BoolExpr;
+
+    /// Two structurally different implementations of XOR.
+    #[test]
+    fn equivalent_xor_implementations() {
+        let mut t = SignalTable::new();
+        let m1 = {
+            let mut b = ModuleBuilder::new("xor1", &mut t);
+            let x = b.input("x");
+            let y = b.input("y");
+            let o = b.wire("o", BoolExpr::xor(BoolExpr::var(x), BoolExpr::var(y)));
+            b.mark_output(o);
+            b.finish().expect("valid")
+        };
+        let m2 = {
+            let mut b = ModuleBuilder::new("xor2", &mut t);
+            let x = b.input("x");
+            let y = b.input("y");
+            // (x | y) & !(x & y), via intermediate wires.
+            let or = b.wire("or_xy", BoolExpr::or([BoolExpr::var(x), BoolExpr::var(y)]));
+            let and = b.wire("and_xy", BoolExpr::and([BoolExpr::var(x), BoolExpr::var(y)]));
+            let o2 = b.wire(
+                "o",
+                BoolExpr::and([BoolExpr::var(or), BoolExpr::var(and).not()]),
+            );
+            b.mark_output(o2);
+            b.finish().expect("valid")
+        };
+        assert!(equiv_check(&m1, &m2, &t).expect("comparable").is_equivalent());
+    }
+
+    #[test]
+    fn different_functions_are_caught_with_witness() {
+        let mut t = SignalTable::new();
+        let m1 = {
+            let mut b = ModuleBuilder::new("and", &mut t);
+            let x = b.input("x");
+            let y = b.input("y");
+            let o = b.wire("o", BoolExpr::and([BoolExpr::var(x), BoolExpr::var(y)]));
+            b.mark_output(o);
+            b.finish().expect("valid")
+        };
+        let m2 = {
+            let mut b = ModuleBuilder::new("or", &mut t);
+            let x = b.input("x");
+            let y = b.input("y");
+            let o = b.wire("o", BoolExpr::or([BoolExpr::var(x), BoolExpr::var(y)]));
+            b.mark_output(o);
+            b.finish().expect("valid")
+        };
+        let verdict = equiv_check(&m1, &m2, &t).expect("comparable");
+        let EquivVerdict::Different { signal, witness } = verdict else {
+            panic!("AND and OR must differ");
+        };
+        assert_eq!(t.name(signal), "o");
+        // The witness genuinely distinguishes: x ^ y on it.
+        let x = t.lookup("x").unwrap();
+        let y = t.lookup("y").unwrap();
+        assert_ne!(witness.get(x) && witness.get(y), witness.get(x) || witness.get(y));
+    }
+
+    #[test]
+    fn interface_mismatch_is_an_error() {
+        let mut t = SignalTable::new();
+        let m1 = {
+            let mut b = ModuleBuilder::new("one", &mut t);
+            let x = b.input("x");
+            let o = b.wire("o", BoolExpr::var(x));
+            b.mark_output(o);
+            b.finish().expect("valid")
+        };
+        let m2 = {
+            let mut b = ModuleBuilder::new("two", &mut t);
+            let x = b.input("x");
+            let p = b.wire("p", BoolExpr::var(x));
+            b.mark_output(p);
+            b.finish().expect("valid")
+        };
+        assert!(equiv_check(&m1, &m2, &t).is_err());
+    }
+
+    #[test]
+    fn sequential_next_functions_compared() {
+        let mut t = SignalTable::new();
+        let m1 = {
+            let mut b = ModuleBuilder::new("seq1", &mut t);
+            let d = b.input("d");
+            let q = b.latch("q", BoolExpr::var(d), false);
+            b.mark_output(q);
+            b.finish().expect("valid")
+        };
+        // Same latch, next-function routed through a wire.
+        let m2 = {
+            let mut b = ModuleBuilder::new("seq2", &mut t);
+            let d = b.input("d");
+            let buf = b.wire("buf", BoolExpr::var(d));
+            let q = b.table().intern("q");
+            b.latch("q", BoolExpr::var(buf), false);
+            b.mark_output(q);
+            b.finish().expect("valid")
+        };
+        assert!(equiv_check(&m1, &m2, &t).expect("comparable").is_equivalent());
+        // Inverted next-function differs.
+        let m3 = {
+            let mut b = ModuleBuilder::new("seq3", &mut t);
+            let d = b.input("d");
+            let q = b.latch("q", BoolExpr::var(d).not(), false);
+            b.mark_output(q);
+            b.finish().expect("valid")
+        };
+        assert!(!equiv_check(&m1, &m3, &t).expect("comparable").is_equivalent());
+    }
+
+    #[test]
+    fn reset_mismatch_is_an_error() {
+        let mut t = SignalTable::new();
+        let mk = |init: bool, t: &mut SignalTable, name: &str| {
+            let mut b = ModuleBuilder::new(name, t);
+            let d = b.input("d");
+            let q = b.latch("q", BoolExpr::var(d), init);
+            b.mark_output(q);
+            b.finish().expect("valid")
+        };
+        let m1 = mk(false, &mut t, "r0");
+        let m2 = mk(true, &mut t, "r1");
+        assert!(equiv_check(&m1, &m2, &t).is_err());
+    }
+}

@@ -1,0 +1,61 @@
+//! Error type for netlist construction, validation and parsing.
+
+use dic_logic::SignalId;
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building, validating or parsing netlists.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum NetlistError {
+    /// A signal is driven by more than one wire/latch (or is also an input).
+    DoubleDrive {
+        /// The multiply-driven signal.
+        signal: SignalId,
+        /// Name when available (parsing context), for readable messages.
+        name: String,
+    },
+    /// The combinational wires form a cycle.
+    CombinationalLoop {
+        /// Signals on (or reachable within) the cycle.
+        cycle: Vec<String>,
+    },
+    /// A declared output is never driven and is not an input.
+    UndrivenOutput {
+        /// The undriven output signal name.
+        name: String,
+    },
+    /// SNL text could not be parsed.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+    /// Composition failed (e.g. two modules drive the same signal).
+    Compose {
+        /// Description of the problem.
+        message: String,
+    },
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::DoubleDrive { name, .. } => {
+                write!(f, "signal {name} is driven more than once")
+            }
+            NetlistError::CombinationalLoop { cycle } => {
+                write!(f, "combinational loop through: {}", cycle.join(" -> "))
+            }
+            NetlistError::UndrivenOutput { name } => {
+                write!(f, "output {name} is never driven")
+            }
+            NetlistError::Parse { line, message } => {
+                write!(f, "SNL parse error on line {line}: {message}")
+            }
+            NetlistError::Compose { message } => write!(f, "composition error: {message}"),
+        }
+    }
+}
+
+impl Error for NetlistError {}

@@ -1,0 +1,314 @@
+//! Netlist optimization passes: constant folding and dead-logic removal.
+//!
+//! Pre-verified custom cells and glue blocks — the RTL the paper's method
+//! admits into the coverage analysis — frequently contain tied-off inputs
+//! and logic that cannot influence any observable output. Both inflate the
+//! extracted FSM (every extra latch doubles the explicit state space), so
+//! the passes here are run productively before
+//! [`extract_fsm`](dic_fsm::extract_fsm):
+//!
+//! * [`constant_fold`] — propagates wires/latches that are provably
+//!   constant through the logic and deletes them;
+//! * [`prune_dead`] — drops logic outside the cone of influence of the
+//!   module outputs (a thin wrapper over [`Module::cone_of_influence`]).
+//!
+//! Both passes preserve the input/output behaviour of the module; the
+//! equivalence checker ([`crate::equiv`]) is used in this crate's tests to
+//! machine-check that claim.
+
+use crate::error::NetlistError;
+use crate::module::{Module, ModuleBuilder};
+use dic_logic::{BoolExpr, SignalId, SignalTable};
+use std::collections::HashMap;
+
+/// What [`constant_fold`] did; returned alongside the folded module.
+#[derive(Clone, Debug, Default)]
+pub struct FoldReport {
+    /// Signals proven constant, with their values (informational; a
+    /// constant wire kept as a module output is re-listed on every run).
+    pub constants: Vec<(SignalId, bool)>,
+    /// Wires removed from the netlist.
+    pub removed_wires: usize,
+    /// Latches removed from the netlist.
+    pub removed_latches: usize,
+    /// Driving functions rewritten by constant substitution.
+    pub rewritten: usize,
+}
+
+impl FoldReport {
+    /// Whether the pass changed the netlist structurally (removed a driver
+    /// or rewrote a function) — `constant_fold` is idempotent under this
+    /// notion.
+    pub fn changed(&self) -> bool {
+        self.removed_wires > 0 || self.removed_latches > 0 || self.rewritten > 0
+    }
+}
+
+/// Propagates constants through `module` and removes the logic they pin.
+///
+/// A wire is constant when its function simplifies to `true`/`false` after
+/// substituting already-known constants; a latch is constant when its
+/// next-state function is a constant equal to its reset value (a latch
+/// resetting to `0` whose next value is always `1` is *not* constant — it
+/// steps once). Constant drivers are deleted; module outputs that became
+/// constant keep a constant wire so the interface is unchanged.
+///
+/// # Errors
+///
+/// Rebuilding can only fail if `module` was already invalid
+/// (see [`ModuleBuilder::finish`]).
+pub fn constant_fold(
+    module: &Module,
+    table: &mut SignalTable,
+) -> Result<(Module, FoldReport), NetlistError> {
+    let known = infer_constants(module);
+
+    // Pre-collect names (the builder takes the table mutably).
+    let name_of = |id: SignalId, table: &SignalTable| table.name(id).to_owned();
+    let input_names: Vec<String> = module.inputs().iter().map(|&i| name_of(i, table)).collect();
+    let wire_parts: Vec<(String, SignalId, BoolExpr)> = module
+        .wires()
+        .iter()
+        .map(|w| (name_of(w.output(), table), w.output(), substitute(w.func(), &known)))
+        .collect();
+    let latch_parts: Vec<(String, SignalId, BoolExpr, bool)> = module
+        .latches()
+        .iter()
+        .map(|l| {
+            (
+                name_of(l.output(), table),
+                l.output(),
+                substitute(l.next(), &known),
+                l.init(),
+            )
+        })
+        .collect();
+    let outputs: Vec<SignalId> = module.outputs().to_vec();
+
+    let mut report = FoldReport::default();
+    let mut constants: Vec<(SignalId, bool)> = known.iter().map(|(&s, &v)| (s, v)).collect();
+    constants.sort();
+    report.constants = constants;
+
+    let mut b = ModuleBuilder::new(module.name(), table);
+    for name in &input_names {
+        b.input(name);
+    }
+    for (name, id, func) in &wire_parts {
+        if known.contains_key(id) {
+            // Keep constant *outputs* so the interface is unchanged.
+            if outputs.contains(id) {
+                b.wire(name, BoolExpr::Const(known[id]));
+            } else {
+                report.removed_wires += 1;
+            }
+            continue;
+        }
+        if module
+            .wires()
+            .iter()
+            .find(|w| w.output() == *id)
+            .is_some_and(|w| w.func() != func)
+        {
+            report.rewritten += 1;
+        }
+        b.wire(name, func.clone());
+    }
+    for (name, id, next, init) in &latch_parts {
+        if known.contains_key(id) {
+            if outputs.contains(id) {
+                b.wire(name, BoolExpr::Const(known[id]));
+            }
+            report.removed_latches += 1;
+            continue;
+        }
+        if module
+            .latches()
+            .iter()
+            .find(|l| l.output() == *id)
+            .is_some_and(|l| l.next() != next)
+        {
+            report.rewritten += 1;
+        }
+        b.latch(name, next.clone(), *init);
+    }
+    for &o in &outputs {
+        b.mark_output(o);
+    }
+    Ok((b.finish()?, report))
+}
+
+/// Removes logic outside the cone of influence of the module outputs.
+///
+/// Behaviour on the outputs is unchanged; latches and wires that no output
+/// transitively depends on are dropped. This is the pass that keeps the
+/// explicit state space of [`dic_fsm::extract_fsm`] proportional to the
+/// *relevant* logic.
+pub fn prune_dead(module: &Module, table: &SignalTable) -> Module {
+    let outputs: Vec<SignalId> = module.outputs().to_vec();
+    module.cone_of_influence(&outputs, table)
+}
+
+/// Infers the signals of `module` that are provably constant: wires whose
+/// function simplifies to a constant, and latches whose next-state
+/// function is the constant equal to their reset value (sound by
+/// induction over cycles). Shared by [`constant_fold`] and the equivalence
+/// checker ([`crate::equiv`]).
+pub fn infer_constants(module: &Module) -> HashMap<SignalId, bool> {
+    let mut known: HashMap<SignalId, bool> = HashMap::new();
+    // Fixpoint: each round substitutes the constants found so far.
+    loop {
+        let mut changed = false;
+        for w in module.wires() {
+            if known.contains_key(&w.output()) {
+                continue;
+            }
+            if let Some(v) = substitute(w.func(), &known).as_const() {
+                known.insert(w.output(), v);
+                changed = true;
+            }
+        }
+        for l in module.latches() {
+            if known.contains_key(&l.output()) {
+                continue;
+            }
+            if let Some(v) = substitute(l.next(), &known).as_const() {
+                if v == l.init() {
+                    known.insert(l.output(), v);
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            return known;
+        }
+    }
+}
+
+/// Substitutes known constants into an expression.
+fn substitute(e: &BoolExpr, known: &HashMap<SignalId, bool>) -> BoolExpr {
+    let mut out = e.clone();
+    for s in e.support() {
+        if let Some(&v) = known.get(&s) {
+            out = out.assign(s, v);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::equiv::{equiv_check, EquivVerdict};
+    use dic_logic::BoolExpr;
+
+    /// A module with a tied-off enable: `en = false`, so the masked path
+    /// `masked = d & en` is constantly 0 and `q` latches only `d`.
+    fn tied(t: &mut SignalTable) -> Module {
+        let mut b = ModuleBuilder::new("tied", t);
+        let d = b.input("d");
+        let en = b.wire("en", BoolExpr::ff());
+        let masked = b.wire(
+            "masked",
+            BoolExpr::and([BoolExpr::var(d), BoolExpr::var(en)]),
+        );
+        let q = b.latch(
+            "q",
+            BoolExpr::or([BoolExpr::var(masked), BoolExpr::var(d)]),
+            false,
+        );
+        b.mark_output(q);
+        b.finish().expect("valid")
+    }
+
+    #[test]
+    fn folds_tied_off_logic() {
+        let mut t = SignalTable::new();
+        let m = tied(&mut t);
+        let (folded, report) = constant_fold(&m, &mut t).expect("folds");
+        assert!(report.changed());
+        // en and masked are gone.
+        assert_eq!(report.removed_wires, 2);
+        assert_eq!(folded.wires().len(), 0);
+        assert_eq!(folded.latches().len(), 1);
+        // The latch next-function no longer mentions masked.
+        let q_next = folded.latches()[0].next();
+        let d = t.lookup("d").unwrap();
+        assert_eq!(q_next, &BoolExpr::var(d));
+    }
+
+    #[test]
+    fn folding_preserves_behaviour() {
+        let mut t = SignalTable::new();
+        let m = tied(&mut t);
+        let (folded, _) = constant_fold(&m, &mut t).expect("folds");
+        assert!(matches!(
+            equiv_check(&m, &folded, &t).expect("comparable"),
+            EquivVerdict::Equivalent
+        ));
+    }
+
+    #[test]
+    fn constant_latch_requires_matching_init() {
+        // q' = 1 with init 0: NOT constant (steps 0 -> 1). Must survive.
+        let mut t = SignalTable::new();
+        let mut b = ModuleBuilder::new("step", &mut t);
+        let q = b.latch("q", BoolExpr::tt(), false);
+        b.mark_output(q);
+        let m = b.finish().expect("valid");
+        let (folded, report) = constant_fold(&m, &mut t).expect("folds");
+        assert!(!report.changed());
+        assert_eq!(folded.latches().len(), 1);
+
+        // q' = 1 with init 1: constant, folded to a constant output wire.
+        let mut t2 = SignalTable::new();
+        let mut b2 = ModuleBuilder::new("const", &mut t2);
+        let q2 = b2.latch("q", BoolExpr::tt(), true);
+        b2.mark_output(q2);
+        let m2 = b2.finish().expect("valid");
+        let (folded2, report2) = constant_fold(&m2, &mut t2).expect("folds");
+        assert_eq!(report2.removed_latches, 1);
+        assert_eq!(folded2.latches().len(), 0);
+        assert_eq!(folded2.wires().len(), 1, "constant output wire kept");
+        assert!(matches!(
+            equiv_check(&m2, &folded2, &t2).expect("comparable"),
+            EquivVerdict::Equivalent
+        ));
+    }
+
+    #[test]
+    fn chained_constants_propagate() {
+        // a = true; b = !a (false); c = in | b  == in.
+        let mut t = SignalTable::new();
+        let mut b = ModuleBuilder::new("chain", &mut t);
+        let i = b.input("in");
+        let a = b.wire("a", BoolExpr::tt());
+        let nb = b.wire("b", BoolExpr::var(a).not());
+        let c = b.wire("c", BoolExpr::or([BoolExpr::var(i), BoolExpr::var(nb)]));
+        b.mark_output(c);
+        let m = b.finish().expect("valid");
+        let (folded, report) = constant_fold(&m, &mut t).expect("folds");
+        assert_eq!(report.removed_wires, 2);
+        assert_eq!(folded.wires().len(), 1);
+        let d = t.lookup("in").unwrap();
+        assert_eq!(folded.wires()[0].func(), &BoolExpr::var(d));
+    }
+
+    #[test]
+    fn prune_dead_drops_unobservable_latch() {
+        let mut t = SignalTable::new();
+        let mut b = ModuleBuilder::new("dead", &mut t);
+        let i = b.input("i");
+        let q = b.latch_from("q", i, false);
+        b.latch_from("zombie", i, false); // never read by an output
+        b.mark_output(q);
+        let m = b.finish().expect("valid");
+        assert_eq!(m.latches().len(), 2);
+        let pruned = prune_dead(&m, &t);
+        assert_eq!(pruned.latches().len(), 1);
+        assert!(matches!(
+            equiv_check(&m, &pruned, &t).expect("comparable"),
+            EquivVerdict::Equivalent
+        ));
+    }
+}

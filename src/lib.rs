@@ -1,0 +1,40 @@
+//! **specmatcher** — design intent coverage with RTL blocks.
+//!
+//! This is the facade crate of the workspace reproducing *"What lies
+//! between Design Intent Coverage and Model Checking?"* (DATE 2006). It
+//! re-exports the layered crates:
+//!
+//! | Layer | Crate | Contents |
+//! |---|---|---|
+//! | Boolean | [`logic`] | signals, cubes, expressions, BDDs |
+//! | Temporal | [`ltl`] | LTL AST, parser, lasso semantics, temporal cubes |
+//! | RTL | [`netlist`] | modules, SNL format, simulator |
+//! | Semantics | [`fsm`] | FSM extraction, Kripke structures |
+//! | Checking | [`automata`] | GPVW, emptiness, model checker |
+//! | Coverage | [`core`] | Theorems 1–2, Algorithm 1, the SpecMatcher pipeline |
+//! | Workloads | [`designs`] | MAL, AMBA AHB, pipeline, scaling generators |
+//!
+//! See the workspace `README.md` for a guided tour, `DESIGN.md` for the
+//! architecture and `EXPERIMENTS.md` for the paper-vs-measured record.
+//!
+//! # Example
+//!
+//! ```
+//! use specmatcher::core::{GapConfig, SpecMatcher};
+//! use specmatcher::designs::mal;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let ex2 = mal::ex2();
+//! let run = ex2.check(&SpecMatcher::new(GapConfig::default()))?;
+//! assert!(!run.all_covered()); // the paper's Example 2 gap
+//! # Ok(())
+//! # }
+//! ```
+
+pub use dic_automata as automata;
+pub use dic_core as core;
+pub use dic_designs as designs;
+pub use dic_fsm as fsm;
+pub use dic_logic as logic;
+pub use dic_ltl as ltl;
+pub use dic_netlist as netlist;

@@ -1,0 +1,185 @@
+//! The `specmatcher` command-line tool.
+//!
+//! ```text
+//! specmatcher check --design <name> [--json]   run a packaged design
+//! specmatcher check --snl <file> --spec <file> run user-provided RTL + spec
+//! specmatcher table1                           regenerate the paper's Table 1
+//! specmatcher fsm --design <name>              dump concrete-module FSMs (DOT)
+//! specmatcher list                             list packaged designs
+//! ```
+//!
+//! Spec files contain one property per line:
+//!
+//! ```text
+//! # architectural intent
+//! arch A  = G(!wait & r1 & X(r1 U r2) -> X(!d2 U d1))
+//! # RTL properties
+//! rtl R1  = G(r1 -> X n1)
+//! rtl FAIR = G F hit
+//! ```
+
+use dic_core::{ArchSpec, GapConfig, RtlSpec, SpecMatcher, TmStyle};
+use dic_designs::{mal, table1_designs, Design};
+use dic_fsm::extract_fsm;
+use dic_logic::SignalTable;
+use dic_ltl::Ltl;
+use dic_netlist::parse_snl;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("specmatcher: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<ExitCode, String> {
+    let Some(cmd) = args.first() else {
+        print_usage();
+        return Ok(ExitCode::from(2));
+    };
+    match cmd.as_str() {
+        "check" => cmd_check(&args[1..]),
+        "table1" => cmd_table1(),
+        "fsm" => cmd_fsm(&args[1..]),
+        "list" => {
+            for d in table1_designs() {
+                println!("{}", d.name);
+            }
+            println!("{}", mal::ex1().name);
+            Ok(ExitCode::SUCCESS)
+        }
+        "--help" | "-h" | "help" => {
+            print_usage();
+            Ok(ExitCode::SUCCESS)
+        }
+        other => Err(format!("unknown command {other:?}; try --help")),
+    }
+}
+
+fn print_usage() {
+    eprintln!(
+        "usage:\n  specmatcher check --design <name> [--json]\n  specmatcher check --snl <file> --spec <file> [--json]\n  specmatcher table1\n  specmatcher fsm --design <name>\n  specmatcher list"
+    );
+}
+
+fn option<'a>(args: &'a [String], key: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == key)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn find_design(name: &str) -> Result<Design, String> {
+    let mut all = table1_designs();
+    all.push(mal::ex1());
+    all.into_iter()
+        .find(|d| d.name == name)
+        .ok_or_else(|| format!("unknown design {name:?}; see `specmatcher list`"))
+}
+
+fn cmd_check(args: &[String]) -> Result<ExitCode, String> {
+    let json = args.iter().any(|a| a == "--json");
+    let matcher = SpecMatcher::new(GapConfig::default());
+    let (design, run) = if let Some(name) = option(args, "--design") {
+        let design = find_design(name)?;
+        let run = design.check(&matcher).map_err(|e| e.to_string())?;
+        (design, run)
+    } else {
+        let snl_path = option(args, "--snl").ok_or("check needs --design or --snl/--spec")?;
+        let spec_path = option(args, "--spec").ok_or("check needs --spec with --snl")?;
+        let snl = std::fs::read_to_string(snl_path).map_err(|e| format!("{snl_path}: {e}"))?;
+        let spec = std::fs::read_to_string(spec_path).map_err(|e| format!("{spec_path}: {e}"))?;
+        let mut table = SignalTable::new();
+        let modules = parse_snl(&snl, &mut table).map_err(|e| e.to_string())?;
+        let (arch, rtl_props) = parse_spec(&spec, &mut table)?;
+        let rtl = RtlSpec::new(
+            rtl_props.iter().map(|(n, f)| (n.as_str(), f.clone())),
+            modules,
+        );
+        let arch = ArchSpec::new(arch.iter().map(|(n, f)| (n.as_str(), f.clone())));
+        let design = Design {
+            name: "user",
+            table,
+            arch,
+            rtl,
+        };
+        let run = design.check(&matcher).map_err(|e| e.to_string())?;
+        (design, run)
+    };
+    if json {
+        println!("{}", run.to_json(&design.table));
+    } else {
+        print!("{}", run.render(&design.table));
+    }
+    Ok(if run.all_covered() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    })
+}
+
+type NamedProps = Vec<(String, Ltl)>;
+
+fn parse_spec(src: &str, table: &mut SignalTable) -> Result<(NamedProps, NamedProps), String> {
+    let mut arch = Vec::new();
+    let mut rtl = Vec::new();
+    for (lineno, raw) in src.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let (kind, rest) = line
+            .split_once(char::is_whitespace)
+            .ok_or(format!("line {}: expected 'arch'/'rtl' entry", lineno + 1))?;
+        let (name, formula_src) = rest
+            .split_once('=')
+            .ok_or(format!("line {}: expected NAME = FORMULA", lineno + 1))?;
+        let formula = Ltl::parse(formula_src.trim(), table)
+            .map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        match kind {
+            "arch" => arch.push((name.trim().to_owned(), formula)),
+            "rtl" => rtl.push((name.trim().to_owned(), formula)),
+            other => return Err(format!("line {}: unknown kind {other:?}", lineno + 1)),
+        }
+    }
+    if arch.is_empty() {
+        return Err("spec file declares no architectural (arch) property".into());
+    }
+    Ok((arch, rtl))
+}
+
+fn cmd_table1() -> Result<ExitCode, String> {
+    let matcher = SpecMatcher::new(GapConfig::default()).with_tm_style(TmStyle::Enumerated);
+    println!(
+        "{:<14} {:>9} {:>12} {:>12} {:>12}",
+        "Circuit", "RTL props", "Primary (s)", "TM (s)", "Gap (s)"
+    );
+    for design in table1_designs() {
+        let run = design.check(&matcher).map_err(|e| e.to_string())?;
+        println!(
+            "{:<14} {:>9} {:>12.4} {:>12.4} {:>12.4}",
+            design.name,
+            run.num_rtl_properties,
+            run.timings.primary.as_secs_f64(),
+            run.timings.tm_build.as_secs_f64(),
+            run.timings.gap_find.as_secs_f64(),
+        );
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_fsm(args: &[String]) -> Result<ExitCode, String> {
+    let name = option(args, "--design").ok_or("fsm needs --design <name>")?;
+    let design = find_design(name)?;
+    for module in design.rtl.concrete() {
+        let fsm = extract_fsm(module, &design.table, true).map_err(|e| e.to_string())?;
+        println!("// module {} ({} states)", module.name(), fsm.num_states());
+        println!("{}", fsm.to_dot(&design.table));
+    }
+    Ok(ExitCode::SUCCESS)
+}

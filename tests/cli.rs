@@ -1,0 +1,113 @@
+//! Integration tests for the `specmatcher` command-line tool: the binary
+//! is invoked end to end, covering the packaged designs, user-provided
+//! SNL + spec files, JSON output and the FSM dump.
+
+use std::io::Write as _;
+use std::process::Command;
+
+fn specmatcher(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_specmatcher"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+#[test]
+fn list_names_the_packaged_designs() {
+    let out = specmatcher(&["list"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).expect("utf8");
+    for name in ["mal-26", "pipeline", "amba-ahb", "mal-ex2", "mal-ex1"] {
+        assert!(stdout.contains(name), "missing {name} in: {stdout}");
+    }
+}
+
+#[test]
+fn check_covered_design_exits_zero() {
+    let out = specmatcher(&["check", "--design", "mal-ex1"]);
+    assert!(out.status.success(), "mal-ex1 is covered");
+    let stdout = String::from_utf8(out.stdout).expect("utf8");
+    assert!(stdout.contains("COVERED"));
+}
+
+#[test]
+fn check_gapped_design_exits_one_and_reports() {
+    let out = specmatcher(&["check", "--design", "mal-ex2"]);
+    assert_eq!(out.status.code(), Some(1), "gap => exit code 1");
+    let stdout = String::from_utf8(out.stdout).expect("utf8");
+    assert!(stdout.contains("NOT covered"));
+    assert!(stdout.contains("gap properties"));
+    assert!(stdout.contains("U r2") || stdout.contains("r1 U"));
+}
+
+#[test]
+fn json_output_is_structured() {
+    let out = specmatcher(&["check", "--design", "mal-ex2", "--json"]);
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8(out.stdout).expect("utf8");
+    let json = stdout.trim();
+    assert!(json.starts_with('{') && json.ends_with('}'));
+    assert!(json.contains("\"all_covered\":false"));
+    assert!(json.contains("\"gap_properties\""));
+    assert!(json.contains("\"witness\""));
+}
+
+#[test]
+fn unknown_design_fails_gracefully() {
+    let out = specmatcher(&["check", "--design", "no-such-design"]);
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8(out.stderr).expect("utf8");
+    assert!(stderr.contains("unknown design"));
+}
+
+#[test]
+fn snl_and_spec_files_flow() {
+    let dir = std::env::temp_dir().join(format!("specmatcher-cli-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let snl_path = dir.join("glue.snl");
+    let spec_path = dir.join("glue.spec");
+    let mut snl = std::fs::File::create(&snl_path).expect("snl file");
+    writeln!(
+        snl,
+        "module glue\n  input a\n  output q\n  latch q = a init 0\nendmodule"
+    )
+    .expect("write snl");
+    let mut spec = std::fs::File::create(&spec_path).expect("spec file");
+    writeln!(
+        spec,
+        "# user flow\narch A1 = G(req -> X X q)\nrtl R1 = G(req -> X a)"
+    )
+    .expect("write spec");
+
+    let out = specmatcher(&[
+        "check",
+        "--snl",
+        snl_path.to_str().expect("utf8 path"),
+        "--spec",
+        spec_path.to_str().expect("utf8 path"),
+    ]);
+    let stdout = String::from_utf8(out.stdout).expect("utf8");
+    assert!(out.status.success(), "covered spec: {stdout}");
+    assert!(stdout.contains("COVERED"));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn fsm_dump_is_dot() {
+    let out = specmatcher(&["fsm", "--design", "mal-ex1"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).expect("utf8");
+    assert!(stdout.contains("digraph fsm"));
+    assert!(stdout.contains("->"));
+    assert!(stdout.contains("module"));
+}
+
+#[test]
+fn help_prints_usage() {
+    let out = specmatcher(&["--help"]);
+    assert!(out.status.success());
+    let stderr = String::from_utf8(out.stderr).expect("utf8");
+    assert!(stderr.contains("usage:"));
+    assert!(stderr.contains("--json"));
+}

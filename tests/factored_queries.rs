@@ -1,0 +1,152 @@
+//! Integration test: the factored-product query path (materialized base
+//! product + per-query automaton) agrees with the direct multi-automaton
+//! product on randomized models and formulas.
+//!
+//! This is the soundness backbone of the gap pipeline's performance layer:
+//! `CoverageModel::satisfiable_factored(base, extra)` must coincide with
+//! `satisfiable(base ++ extra)` — same verdicts, and every returned
+//! witness must genuinely satisfy all conjuncts.
+
+use specmatcher::automata::{
+    materialize_product, satisfiable_in_conj, satisfiable_in_conj_cached, GbaCache,
+};
+use specmatcher::core::{ArchSpec, CoverageModel, RtlSpec};
+use specmatcher::fsm::Kripke;
+use specmatcher::logic::{BoolExpr, SignalTable};
+use specmatcher::ltl::random::{random_formula, XorShift64};
+use specmatcher::ltl::Ltl;
+use specmatcher::netlist::{Module, ModuleBuilder};
+
+/// A 2-latch module with three free inputs; small enough that hundreds of
+/// queries stay fast, rich enough to exercise liveness and safety paths.
+fn fixture() -> (SignalTable, Module) {
+    let mut t = SignalTable::new();
+    let mut b = ModuleBuilder::new("fix", &mut t);
+    let i0 = b.input("i0");
+    let i1 = b.input("i1");
+    let q0 = b.table().intern("q0");
+    let q1 = b.table().intern("q1");
+    b.latch(
+        "q0",
+        BoolExpr::or([BoolExpr::var(i0), BoolExpr::var(q1)]),
+        false,
+    );
+    b.latch(
+        "q1",
+        BoolExpr::and([BoolExpr::var(i1), BoolExpr::var(q0).not()]),
+        false,
+    );
+    let o = b.wire("o", BoolExpr::xor(BoolExpr::var(q0), BoolExpr::var(q1)));
+    b.mark_output(o);
+    let q0id = q0;
+    b.mark_output(q0id);
+    b.mark_output(q1);
+    let m = b.finish().expect("valid module");
+    (t, m)
+}
+
+#[test]
+fn materialized_base_agrees_with_direct_product() {
+    let (mut t, m) = fixture();
+    let kripke = Kripke::from_module(&m, &t, &[]).expect("fits");
+    let atoms = vec![
+        t.lookup("i0").unwrap(),
+        t.lookup("i1").unwrap(),
+        t.lookup("q0").unwrap(),
+        t.lookup("o").unwrap(),
+    ];
+    let cache = GbaCache::new();
+    let mut rng = XorShift64::new(0xDA7E_2006);
+    let mut disagreements = 0;
+    for round in 0..60 {
+        let base: Vec<Ltl> = (0..1 + round % 3)
+            .map(|_| random_formula(&mut rng, &atoms, 6))
+            .collect();
+        let extra: Vec<Ltl> = (0..1 + round % 2)
+            .map(|_| random_formula(&mut rng, &atoms, 6))
+            .collect();
+
+        let mut all = base.clone();
+        all.extend(extra.iter().cloned());
+        let direct = satisfiable_in_conj(&all, &kripke);
+
+        let product = materialize_product(&base, &kripke, &cache);
+        let factored = satisfiable_in_conj_cached(&extra, &product, &cache);
+
+        if direct.is_some() != factored.is_some() {
+            disagreements += 1;
+            eprintln!(
+                "round {round}: direct={} factored={} base={base:?} extra={extra:?}",
+                direct.is_some(),
+                factored.is_some()
+            );
+        }
+        // Witnesses must satisfy every conjunct on both paths.
+        for w in direct.iter().chain(factored.iter()) {
+            for f in &all {
+                assert!(f.holds_on(w), "witness violates conjunct in round {round}");
+            }
+        }
+    }
+    assert_eq!(disagreements, 0);
+}
+
+#[test]
+fn empty_extra_queries_the_base_itself() {
+    let (mut t, m) = fixture();
+    let kripke = Kripke::from_module(&m, &t, &[]).expect("fits");
+    let cache = GbaCache::new();
+    let sat = Ltl::parse("G F o", &mut t).expect("parses");
+    let unsat = Ltl::parse("G o & G !o & F i0", &mut t).expect("parses");
+
+    let p_sat = materialize_product(&[sat], &kripke, &cache);
+    assert!(satisfiable_in_conj_cached(&[], &p_sat, &cache).is_some());
+
+    let p_unsat = materialize_product(&[unsat], &kripke, &cache);
+    assert!(satisfiable_in_conj_cached(&[], &p_unsat, &cache).is_none());
+}
+
+#[test]
+fn coverage_model_factored_matches_flat() {
+    let (mut t, m) = fixture();
+    let a = Ltl::parse("G(i0 -> X q0)", &mut t).expect("parses");
+    let r = Ltl::parse("G(i1 -> X !q0)", &mut t).expect("parses");
+    let arch = ArchSpec::new([("A", a.clone())]);
+    let rtl = RtlSpec::new([("R", r.clone())], [m]);
+    let model = CoverageModel::build(&arch, &rtl, &t).expect("builds");
+
+    let atoms = vec![
+        t.lookup("i0").unwrap(),
+        t.lookup("q1").unwrap(),
+        t.lookup("o").unwrap(),
+    ];
+    let mut rng = XorShift64::new(7);
+    for _ in 0..40 {
+        let extra = random_formula(&mut rng, &atoms, 5);
+        let flat = model.satisfiable(&[r.clone(), Ltl::not(a.clone()), extra.clone()]);
+        let factored =
+            model.satisfiable_factored(&[r.clone(), Ltl::not(a.clone())], &[extra.clone()]);
+        assert_eq!(
+            flat.is_some(),
+            factored.is_some(),
+            "disagreement on extra = {extra:?}"
+        );
+    }
+}
+
+#[test]
+fn product_system_reports_shape() {
+    let (mut t, m) = fixture();
+    let kripke = Kripke::from_module(&m, &t, &[]).expect("fits");
+    let cache = GbaCache::new();
+    let f = Ltl::parse("G(i0 -> X q0)", &mut t).expect("parses");
+    let p = materialize_product(&[f], &kripke, &cache);
+    assert!(!p.is_empty());
+    assert!(p.num_states() > 0);
+    assert!(p.num_transitions() >= p.num_states(), "total transition relation");
+
+    // A contradictory base materializes to an empty system.
+    let f2 = Ltl::parse("o & !o", &mut t).expect("parses");
+    let p2 = materialize_product(&[f2], &kripke, &cache);
+    assert!(p2.is_empty());
+}

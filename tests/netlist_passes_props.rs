@@ -1,0 +1,183 @@
+//! Property-based tests for the netlist optimization passes and the FSM
+//! quotient: on randomized modules,
+//!
+//! * `constant_fold` and `prune_dead` preserve behaviour — checked both by
+//!   the BDD equivalence checker and by cycle-accurate co-simulation;
+//! * the bisimulation quotient simulates the original FSM: every concrete
+//!   step is matched by a quotient transition with the same observation.
+
+use proptest::prelude::*;
+use specmatcher::fsm::{extract_fsm, quotient};
+use specmatcher::logic::{BoolExpr, SignalId, SignalTable};
+use specmatcher::ltl::random::XorShift64;
+use specmatcher::netlist::{constant_fold, equiv_check, prune_dead, Module, ModuleBuilder};
+use specmatcher::netlist::{EquivVerdict, Simulator};
+
+/// Deterministically generates a small random module: a DAG of wires over
+/// inputs/earlier signals (with occasional constants so folding has work),
+/// a few latches, and the final wire plus all latches as outputs.
+fn random_module(seed: u64) -> (SignalTable, Module) {
+    let mut rng = XorShift64::new(seed.wrapping_add(1));
+    let mut t = SignalTable::new();
+    let mut b = ModuleBuilder::new("rand", &mut t);
+    let n_inputs = 2 + rng.below(3);
+    let mut pool: Vec<SignalId> = (0..n_inputs)
+        .map(|i| b.input(&format!("i{i}")))
+        .collect();
+
+    let mut leaf = |pool: &[SignalId], rng: &mut XorShift64| -> BoolExpr {
+        match rng.below(8) {
+            0 => BoolExpr::Const(rng.flip()),
+            _ => {
+                let v = BoolExpr::var(pool[rng.below(pool.len())]);
+                if rng.flip() {
+                    v.not()
+                } else {
+                    v
+                }
+            }
+        }
+    };
+
+    let n_wires = 2 + rng.below(5);
+    let mut last_wire = None;
+    for i in 0..n_wires {
+        let a = leaf(&pool, &mut rng);
+        let c = leaf(&pool, &mut rng);
+        let func = match rng.below(3) {
+            0 => BoolExpr::and([a, c]),
+            1 => BoolExpr::or([a, c]),
+            _ => BoolExpr::xor(a, c),
+        };
+        let w = b.wire(&format!("w{i}"), func);
+        pool.push(w);
+        last_wire = Some(w);
+    }
+
+    let n_latches = 1 + rng.below(2);
+    let mut latches = Vec::new();
+    for i in 0..n_latches {
+        let next = leaf(&pool, &mut rng);
+        let q = b.latch(&format!("q{i}"), next, rng.flip());
+        latches.push(q);
+        // Latches feed later logic only via the pool of *earlier* nets, so
+        // keep the DAG property by not extending `pool` here.
+    }
+
+    for &q in &latches {
+        b.mark_output(q);
+    }
+    b.mark_output(last_wire.expect("at least two wires"));
+    let m = b.finish().expect("generated module is valid");
+    (t, m)
+}
+
+/// Drives both modules with the same stimulus and compares the outputs.
+fn co_simulate(a: &Module, b: &Module, t: &SignalTable, seed: u64, cycles: usize) {
+    let mut rng = XorShift64::new(seed ^ 0xC0_51_00);
+    let mut sim_a = Simulator::new(a, t).expect("sim a");
+    let mut sim_b = Simulator::new(b, t).expect("sim b");
+    let inputs: Vec<SignalId> = a.inputs().to_vec();
+    for cycle in 0..cycles {
+        let stimulus: Vec<(SignalId, bool)> =
+            inputs.iter().map(|&i| (i, rng.flip())).collect();
+        let va = sim_a.step(&stimulus);
+        let vb = sim_b.step(&stimulus);
+        for &o in a.outputs() {
+            assert_eq!(
+                va.get(o),
+                vb.get(o),
+                "output {} diverges at cycle {cycle}",
+                t.name(o)
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn constant_fold_preserves_behaviour(seed in 0u64..1 << 48) {
+        let (mut t, m) = random_module(seed);
+        let (folded, _report) = constant_fold(&m, &mut t).expect("folds");
+        prop_assert!(matches!(
+            equiv_check(&m, &folded, &t).expect("comparable"),
+            EquivVerdict::Equivalent
+        ));
+        co_simulate(&m, &folded, &t, seed, 12);
+    }
+
+    #[test]
+    fn prune_dead_preserves_behaviour(seed in 0u64..1 << 48) {
+        let (t, m) = random_module(seed);
+        let pruned = prune_dead(&m, &t);
+        prop_assert!(matches!(
+            equiv_check(&m, &pruned, &t).expect("comparable"),
+            EquivVerdict::Equivalent
+        ));
+        co_simulate(&m, &pruned, &t, seed, 12);
+    }
+
+    #[test]
+    fn passes_compose(seed in 0u64..1 << 48) {
+        let (mut t, m) = random_module(seed);
+        let (folded, _) = constant_fold(&m, &mut t).expect("folds");
+        let slim = prune_dead(&folded, &t);
+        prop_assert!(matches!(
+            equiv_check(&m, &slim, &t).expect("comparable"),
+            EquivVerdict::Equivalent
+        ));
+        // Folding is idempotent.
+        let (again, report) = constant_fold(&slim, &mut t).expect("folds");
+        prop_assert!(!report.changed());
+        prop_assert_eq!(again.wires().len(), slim.wires().len());
+    }
+
+    #[test]
+    fn quotient_simulates_original(seed in 0u64..1 << 48) {
+        let (t, m) = random_module(seed);
+        // Generated modules always fit the explicit enumeration limit.
+        let fsm = extract_fsm(&m, &t, true).expect("fits");
+        // Observe only the first latch; the rest may merge.
+        let observe: Vec<SignalId> = fsm.state_vars().iter().copied().take(1).collect();
+        let quot = quotient(&fsm, &observe);
+        prop_assert!(quot.num_states() <= fsm.num_states());
+        prop_assert!(quot.num_states() >= 1);
+
+        // Dense successor table of the original.
+        let n_keys = 1usize << fsm.input_vars().len();
+        let mut succ = vec![usize::MAX; fsm.num_states() * n_keys];
+        for tr in fsm.transitions() {
+            for key in tr.guard.matching_keys(fsm.input_vars()) {
+                succ[tr.from * n_keys + key as usize] = tr.to;
+            }
+        }
+
+        // Every concrete step is matched by a quotient transition with the
+        // same source/destination classes, and class observations agree
+        // with the member states.
+        let mut rng = XorShift64::new(seed ^ 0xB151);
+        let mut state = fsm.initial();
+        prop_assert_eq!(quot.class_of(state), quot.initial());
+        for _ in 0..24 {
+            let key = rng.below(n_keys) as u64;
+            let next = succ[state * n_keys + key as usize];
+            let (cf, ct) = (quot.class_of(state), quot.class_of(next));
+            let matched = quot.transitions().iter().any(|tr| {
+                tr.from == cf
+                    && tr.to == ct
+                    && tr.guard.matching_keys(fsm.input_vars()).contains(&key)
+            });
+            prop_assert!(matched, "unmatched step {} -{}-> {}", state, key, next);
+            // Observation of the class equals the member's projection.
+            let obs = quot.observation(cf, &fsm);
+            for &s in &observe {
+                let bit = fsm.state_vars().iter().position(|&v| v == s).unwrap();
+                let member_val = fsm.state_key(state) >> bit & 1 == 1;
+                prop_assert_eq!(obs.polarity_of(s), Some(member_val));
+            }
+            state = next;
+        }
+    }
+}

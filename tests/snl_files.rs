@@ -1,0 +1,44 @@
+//! Integration test over the shipped SNL/spec example files — the same
+//! inputs `specmatcher check --snl … --spec …` consumes.
+
+use specmatcher::core::{ArchSpec, GapConfig, RtlSpec, SpecMatcher};
+use specmatcher::logic::SignalTable;
+use specmatcher::ltl::Ltl;
+use specmatcher::netlist::parse_snl;
+
+#[test]
+fn shipped_mal_ex1_files_are_covered() {
+    let snl = include_str!("../examples/data/mal_ex1.snl");
+    let spec = include_str!("../examples/data/mal_ex1.spec");
+
+    let mut table = SignalTable::new();
+    let modules = parse_snl(snl, &mut table).expect("shipped SNL parses");
+    assert_eq!(modules.len(), 2);
+
+    // Minimal spec-file parsing (mirrors the CLI).
+    let mut arch = Vec::new();
+    let mut rtl = Vec::new();
+    for raw in spec.lines() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let (kind, rest) = line.split_once(char::is_whitespace).expect("entry");
+        let (name, formula) = rest.split_once('=').expect("NAME = FORMULA");
+        let f = Ltl::parse(formula.trim(), &mut table).expect("shipped formula parses");
+        match kind {
+            "arch" => arch.push((name.trim().to_owned(), f)),
+            "rtl" => rtl.push((name.trim().to_owned(), f)),
+            other => panic!("unknown kind {other}"),
+        }
+    }
+    assert_eq!(arch.len(), 1);
+    assert_eq!(rtl.len(), 6);
+
+    let arch = ArchSpec::new(arch.iter().map(|(n, f)| (n.as_str(), f.clone())));
+    let rtl = RtlSpec::new(rtl.iter().map(|(n, f)| (n.as_str(), f.clone())), modules);
+    let run = SpecMatcher::new(GapConfig::default())
+        .check(&arch, &rtl, &table)
+        .expect("runs");
+    assert!(run.all_covered(), "the shipped Example 1 must be covered");
+}
