@@ -391,8 +391,8 @@ where
     let mut parent: FastMap<N, Option<N>> = FastMap::default();
     let mut queue = VecDeque::new();
     for s in starts {
-        if !parent.contains_key(&s) {
-            parent.insert(s, None);
+        if let std::collections::hash_map::Entry::Vacant(e) = parent.entry(s) {
+            e.insert(None);
             queue.push_back(s);
         }
     }
@@ -408,8 +408,8 @@ where
             return Some(path);
         }
         for m in succs(n) {
-            if !parent.contains_key(&m) {
-                parent.insert(m, Some(n));
+            if let std::collections::hash_map::Entry::Vacant(e) = parent.entry(m) {
+                e.insert(Some(n));
                 queue.push_back(m);
             }
         }
@@ -453,8 +453,8 @@ fn find_accepting_scc<G: SccGraph>(g: &G, full_mask: u32) -> Option<Vec<G::Node>
             if frame.next_child < frame.succs.len() {
                 let child = frame.succs[frame.next_child];
                 frame.next_child += 1;
-                if !index.contains_key(&child) {
-                    index.insert(child, counter);
+                if let std::collections::hash_map::Entry::Vacant(e) = index.entry(child) {
+                    e.insert(counter);
                     lowlink.insert(child, counter);
                     counter += 1;
                     stack.push(child);

@@ -105,15 +105,13 @@ pub fn close_gap_iteratively(
         // No closing candidate this round: weaken by the first candidate
         // that at least changes the formula, to make progress.
         let occurrences = current.atom_occurrences();
-        let Some((occ, (t, lit))) = occurrences.iter().find_map(|occ| {
+        let (occ, (t, lit)) = occurrences.iter().find_map(|occ| {
             terms
                 .iter()
                 .flat_map(|c| c.lits())
                 .find(|(t, l)| *t >= occ.x_depth && l.signal() != atom_of(occ))
                 .map(|&tl| (occ, tl))
-        }) else {
-            return None;
-        };
+        })?;
         let lit_f = Ltl::next_n(Ltl::literal(lit.signal(), lit.polarity()), t - occ.x_depth);
         let replacement = match occ.polarity {
             dic_ltl::Polarity::Negative => Ltl::and([occ.subformula.clone(), lit_f]),

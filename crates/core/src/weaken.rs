@@ -265,9 +265,9 @@ fn weakest_only(mut props: Vec<GapProperty>) -> Vec<GapProperty> {
         if !keep[i] {
             continue;
         }
-        for j in (i + 1)..props.len() {
-            if keep[j] && implies(i, j) && implies(j, i) {
-                keep[j] = false;
+        for (j, keep_j) in keep.iter_mut().enumerate().skip(i + 1) {
+            if *keep_j && implies(i, j) && implies(j, i) {
+                *keep_j = false;
             }
         }
     }

@@ -37,7 +37,7 @@ fn random_problem(seed: u64) -> (SignalTable, ArchSpec, RtlSpec) {
         _ => b.latch(
             "q",
             BoolExpr::or([BoolExpr::var(a_in), BoolExpr::var(en)]),
-            rng() % 2 == 0,
+            rng().is_multiple_of(2),
         ),
     };
     b.mark_output(q);

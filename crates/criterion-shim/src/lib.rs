@@ -1,0 +1,254 @@
+//! Offline stand-in for the subset of the
+//! [criterion](https://docs.rs/criterion) API this workspace's benches use.
+//!
+//! The build container has no crates.io access, so the bench targets link
+//! this shim (its lib target is named `criterion`). It keeps criterion's
+//! surface — `Criterion`, benchmark groups, `criterion_group!` /
+//! `criterion_main!` — but replaces the statistics engine with a plain
+//! median-of-samples wall-clock measurement:
+//!
+//! * each `Bencher::iter` sample times one batch of iterations with
+//!   `Instant`, sized so a sample takes ≥ ~5 ms;
+//! * `sample_size(n)` controls the number of samples (default 10);
+//! * results go to stdout as `group/name  median  (min .. max)`.
+//!
+//! Good enough to detect order-of-magnitude regressions and to keep
+//! `cargo bench` runnable offline; swap the `criterion-shim` workspace
+//! dependency for the real crate when network access exists.
+
+use std::time::{Duration, Instant};
+
+/// Benchmark driver handed to every `criterion_group!` target.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group; measurements print as `name/<bench-id>`.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            _criterion: self,
+        }
+    }
+
+    /// Measures a standalone function (no group).
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let sample_size = self.sample_size;
+        run_benchmark(&id.into().full_name(None), sample_size, f);
+        self
+    }
+}
+
+/// A named collection of related measurements.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Criterion-compat no-op: the shim sizes batches automatically.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Measures `f` under `id` within this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(
+            &id.into().full_name(Some(&self.name)),
+            self.sample_size,
+            f,
+        );
+        self
+    }
+
+    /// Measures `f` under `id`, passing `input` through.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_benchmark(
+            &id.into().full_name(Some(&self.name)),
+            self.sample_size,
+            |b| f(b, input),
+        );
+        self
+    }
+
+    /// Ends the group (prints a blank separator line).
+    pub fn finish(self) {
+        println!();
+    }
+}
+
+/// Identifies one measurement: a function name plus an optional parameter.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    name: String,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// A parameterized id, printed as `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            name: name.into(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    /// An id from a bare function name.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            name: parameter.to_string(),
+            parameter: None,
+        }
+    }
+
+    fn full_name(&self, group: Option<&str>) -> String {
+        let mut s = String::new();
+        if let Some(g) = group {
+            s.push_str(g);
+            s.push('/');
+        }
+        s.push_str(&self.name);
+        if let Some(p) = &self.parameter {
+            s.push('/');
+            s.push_str(p);
+        }
+        s
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        BenchmarkId {
+            name: name.to_owned(),
+            parameter: None,
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        BenchmarkId {
+            name,
+            parameter: None,
+        }
+    }
+}
+
+/// Passed to the benchmark closure; `iter` runs and times the payload.
+pub struct Bencher {
+    batch: u64,
+    sample: Duration,
+}
+
+impl Bencher {
+    /// Times `batch` calls of `f`, recording the total in `sample`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.batch {
+            std::hint::black_box(f());
+        }
+        self.sample = start.elapsed();
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(name: &str, sample_size: usize, mut f: F) {
+    // Calibrate: run single iterations until the payload's scale is known,
+    // then size batches so one sample costs ≥ ~5 ms (or 1 call if slower).
+    let mut b = Bencher {
+        batch: 1,
+        sample: Duration::ZERO,
+    };
+    f(&mut b);
+    let per_call = b.sample.max(Duration::from_nanos(1));
+    let target = Duration::from_millis(5);
+    let batch = (target.as_nanos() / per_call.as_nanos()).clamp(1, 1_000_000) as u64;
+
+    let mut samples = Vec::with_capacity(sample_size);
+    for _ in 0..sample_size {
+        let mut b = Bencher {
+            batch,
+            sample: Duration::ZERO,
+        };
+        f(&mut b);
+        samples.push(b.sample / batch as u32);
+    }
+    samples.sort();
+    let median = samples[samples.len() / 2];
+    println!(
+        "{name:<48} {:>12}  ({} .. {}, n={sample_size}x{batch})",
+        format_duration(median),
+        format_duration(samples[0]),
+        format_duration(*samples.last().expect("nonempty")),
+    );
+}
+
+fn format_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} us", ns as f64 / 1_000.0)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns as f64 / 1_000_000_000.0)
+    }
+}
+
+/// Expands to a function running each listed benchmark with a fresh
+/// [`Criterion`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+    (name = $group:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Expands to `fn main` invoking each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -317,12 +317,12 @@ mod tests {
         assert_eq!(fsm.num_states(), 4);
         assert_eq!(fsm.num_transitions(), 4); // deterministic, no inputs
         // Each state has exactly one successor, forming one cycle of length 4.
-        let mut next = vec![usize::MAX; 4];
+        let mut next = [usize::MAX; 4];
         for tr in fsm.transitions() {
             assert!(tr.guard.is_empty());
             next[tr.from] = tr.to;
         }
-        let mut seen = vec![false; 4];
+        let mut seen = [false; 4];
         let mut cur = fsm.initial();
         for _ in 0..4 {
             assert!(!seen[cur]);

@@ -19,9 +19,9 @@ fn xs(mut s: u64) -> impl FnMut() -> u64 {
 
 /// A random expression over the given signals (depth-bounded).
 fn rand_expr(rng: &mut impl FnMut() -> u64, sigs: &[SignalId], depth: usize) -> BoolExpr {
-    if depth == 0 || rng() % 4 == 0 {
+    if depth == 0 || rng().is_multiple_of(4) {
         let v = BoolExpr::var(sigs[(rng() % sigs.len() as u64) as usize]);
-        return if rng() % 2 == 0 { v } else { v.not() };
+        return if rng().is_multiple_of(2) { v } else { v.not() };
     }
     match rng() % 3 {
         0 => BoolExpr::and([
@@ -56,7 +56,7 @@ fn rand_module(seed: u64, n_in: usize, n_latch: usize) -> (SignalTable, Module) 
     let state_deps: Vec<SignalId> = ins.iter().chain(latches.iter()).copied().collect();
     for (i, &q) in latches.iter().enumerate() {
         let next = rand_expr(&mut rng, &state_deps, 2);
-        let init = rng() % 2 == 0;
+        let init = rng().is_multiple_of(2);
         let name = format!("q{i}");
         let _ = q;
         b.latch(&name, next, init);

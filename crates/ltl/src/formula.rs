@@ -94,6 +94,10 @@ impl Ltl {
     }
 
     /// Negation with double-negation and constant elimination.
+    // Named after the connective, like the other smart constructors; this
+    // is an associated function, not a method, so it cannot shadow
+    // `std::ops::Not::not` at call sites.
+    #[allow(clippy::should_implement_trait)]
     pub fn not(f: Ltl) -> Self {
         match f.node() {
             LtlNode::True => Ltl::ff(),

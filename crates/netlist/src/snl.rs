@@ -345,7 +345,7 @@ endmodule
         let ms2 = parse_snl(&printed, &mut t).expect("reparse");
         assert_eq!(ms2[0].name(), "rt");
         assert_eq!(ms2[0].wires().len(), ms[0].wires().len());
-        assert_eq!(ms2[0].latches()[0].init(), true);
+        assert!(ms2[0].latches()[0].init());
         // Same structure: identical SNL after a second round trip.
         assert_eq!(printed, ms2[0].to_snl(&t));
     }

@@ -1,0 +1,109 @@
+//! Offline stand-in for the subset of the [proptest](https://docs.rs/proptest)
+//! API this workspace's property tests use.
+//!
+//! The container this workspace builds in has no access to crates.io, so
+//! instead of the real `proptest` the test crates link this shim (its lib
+//! target is named `proptest`, so `use proptest::prelude::*;` resolves here
+//! unchanged). It keeps proptest's *shape* — `Strategy`, `BoxedStrategy`,
+//! `Just`, `prop_oneof!`, `prop_recursive`, `prop::collection::vec`, the
+//! `proptest!` macro — but deliberately simplifies the engine:
+//!
+//! * generation is a deterministic splitmix64 stream seeded per test name,
+//!   so failures reproduce across runs and machines;
+//! * there is **no shrinking**: a failing case panics with the case index,
+//!   which is enough to re-run under a debugger given determinism;
+//! * `prop_assert!`/`prop_assert_eq!` are plain `assert!`/`assert_eq!`.
+//!
+//! If the real proptest ever becomes available, deleting this crate and
+//! pointing the `proptest-shim` workspace dependency at crates.io is the
+//! only change required.
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    //! Everything the property tests import via `proptest::prelude::*`.
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{Config as ProptestConfig, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    pub mod prop {
+        //! The `prop::` module path (`prop::collection::vec(..)`).
+        pub use crate::collection;
+        pub use crate::strategy;
+    }
+}
+
+/// Asserts a condition inside a `proptest!` body.
+///
+/// The real proptest returns a `TestCaseError` so the runner can shrink;
+/// without shrinking a panic carries the same information.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => { assert_eq!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)+) => { assert_eq!($left, $right, $($fmt)+) };
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => { assert_ne!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)+) => { assert_ne!($left, $right, $($fmt)+) };
+}
+
+/// Uniform choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::uniform(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ..) { body }`
+/// becomes a `#[test]` running `body` for `config.cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!($config; $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!($crate::test_runner::Config::default(); $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($config:expr; $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::test_runner::Config = $config;
+                let mut __rng = $crate::test_runner::TestRng::from_name(stringify!($name));
+                for __case in 0..__config.cases {
+                    let __run = || {
+                        $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)*
+                        $body
+                    };
+                    if let Err(panic) = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(__run)) {
+                        eprintln!(
+                            "proptest-shim: {} failed at case {}/{} (deterministic seed; rerun reproduces)",
+                            stringify!($name), __case, __config.cases,
+                        );
+                        ::std::panic::resume_unwind(panic);
+                    }
+                }
+            }
+        )*
+    };
+}

@@ -1,0 +1,215 @@
+//! The `Strategy` trait and the combinators the workspace tests use.
+
+use crate::test_runner::TestRng;
+use std::ops::Range;
+use std::rc::Rc;
+
+/// A recipe for generating values of one type.
+///
+/// Unlike the real proptest there is no value-tree/shrinking layer: a
+/// strategy is just a deterministic function of the RNG stream.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<T, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> T,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Builds a recursive strategy: `recurse` wraps the strategy for the
+    /// next-shallower level; nesting is cut off after `depth` levels.
+    ///
+    /// `desired_size` and `expected_branch_size` are accepted for proptest
+    /// signature compatibility but only bias the leaf/branch coin.
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R,
+    {
+        let base = self.boxed();
+        let mut level = base.clone();
+        for _ in 0..depth {
+            // 1 part leaves to 3 parts branches keeps expressions from
+            // collapsing to leaves while the depth bound still caps size.
+            let deeper = recurse(level).boxed();
+            level = Union::weighted(vec![(1, base.clone()), (3, deeper)]).boxed();
+        }
+        level
+    }
+
+    /// Type-erases the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Rc::new(self))
+    }
+}
+
+/// A type-erased, cheaply clonable strategy.
+pub struct BoxedStrategy<T>(Rc<dyn Strategy<Value = T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0.generate(rng)
+    }
+}
+
+/// Always yields a clone of the given value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// `prop_map` adapter.
+#[derive(Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, T, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> T,
+{
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Weighted choice between strategies of one value type (`prop_oneof!`).
+pub struct Union<T> {
+    options: Vec<(u32, BoxedStrategy<T>)>,
+    total: u64,
+}
+
+impl<T> Union<T> {
+    /// Uniform choice.
+    pub fn uniform(options: Vec<BoxedStrategy<T>>) -> Self {
+        Union::weighted(options.into_iter().map(|s| (1, s)).collect())
+    }
+
+    /// Choice proportional to the given weights.
+    pub fn weighted(options: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+        assert!(!options.is_empty(), "empty Union");
+        let total = options.iter().map(|(w, _)| u64::from(*w)).sum();
+        assert!(total > 0, "Union with zero total weight");
+        Union { options, total }
+    }
+}
+
+impl<T> Clone for Union<T> {
+    fn clone(&self) -> Self {
+        Union {
+            options: self.options.clone(),
+            total: self.total,
+        }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let mut pick = rng.below(self.total);
+        for (w, s) in &self.options {
+            if pick < u64::from(*w) {
+                return s.generate(rng);
+            }
+            pick -= u64::from(*w);
+        }
+        unreachable!("weights sum to total")
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {
+        $(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as u64).wrapping_sub(self.start as u64);
+                    self.start.wrapping_add(rng.below(span) as $t)
+                }
+            }
+        )*
+    };
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<char> {
+    type Value = char;
+    fn generate(&self, rng: &mut TestRng) -> char {
+        let (lo, hi) = (self.start as u32, self.end as u32);
+        assert!(lo < hi, "empty char range");
+        loop {
+            let c = lo + rng.below(u64::from(hi - lo)) as u32;
+            if let Some(c) = char::from_u32(c) {
+                return c;
+            }
+        }
+    }
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        self.start + unit * (self.end - self.start)
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident),+))*) => {
+        $(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        )*
+    };
+}
+
+tuple_strategy! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+}

@@ -1,0 +1,66 @@
+//! Deterministic random source and run configuration.
+
+/// Run configuration; only `cases` is honoured by the shim.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Number of generated inputs per property.
+    pub cases: u32,
+}
+
+impl Config {
+    /// Proptest-compatible constructor: run `cases` inputs per property.
+    pub fn with_cases(cases: u32) -> Self {
+        Config { cases }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config { cases: 256 }
+    }
+}
+
+/// A splitmix64 stream. Deterministic on purpose: every CI run and every
+/// laptop explores the same inputs, so a red property test is always
+/// reproducible by rerunning the suite.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds from an arbitrary integer.
+    pub fn new(seed: u64) -> Self {
+        TestRng {
+            state: seed ^ 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+
+    /// Seeds from a test name (FNV-1a), so distinct properties in one file
+    /// draw distinct streams.
+    pub fn from_name(name: &str) -> Self {
+        let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100_0000_01B3);
+        }
+        TestRng::new(h)
+    }
+
+    /// Next raw 64-bit draw (splitmix64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, n)`; `n` must be nonzero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0, "below(0)");
+        // Multiply-shift bounded draw (Lemire); bias is negligible for the
+        // small ranges strategies use.
+        ((u128::from(self.next_u64()) * u128::from(n)) >> 64) as u64
+    }
+}

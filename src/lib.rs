@@ -30,6 +30,62 @@
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! # Failure modes
+//!
+//! The pipeline fails *closed*: ill-posed inputs are rejected with a
+//! [`core::CoreError`] instead of producing a vacuous verdict. The
+//! paper's Assumption 1 requires every architectural signal to appear in
+//! the RTL specification (`AP_A ⊆ AP_R`) — intent over a signal the spec
+//! never mentions can never be covered by decomposition:
+//!
+//! ```
+//! use specmatcher::core::{ArchSpec, CoreError, GapConfig, RtlSpec, SpecMatcher};
+//! use specmatcher::logic::SignalTable;
+//! use specmatcher::ltl::Ltl;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut t = SignalTable::new();
+//! // Intent mentions `ghost`; the RTL spec only ever talks about `a`.
+//! let arch = ArchSpec::new([("A", Ltl::parse("G(ghost -> X a)", &mut t)?)]);
+//! let rtl = RtlSpec::new([("R", Ltl::parse("G a", &mut t)?)], []);
+//!
+//! let err = SpecMatcher::new(GapConfig::default())
+//!     .check(&arch, &rtl, &t)
+//!     .unwrap_err();
+//! assert!(matches!(err, CoreError::UnknownArchSignal { ref name } if name == "ghost"));
+//! assert!(err.to_string().contains("Assumption 1"));
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! Malformed property text is a parse error, never a panic:
+//!
+//! ```
+//! use specmatcher::logic::SignalTable;
+//! use specmatcher::ltl::Ltl;
+//!
+//! let mut t = SignalTable::new();
+//! assert!(Ltl::parse("G(req -> X", &mut t).is_err()); // unbalanced paren
+//! assert!(Ltl::parse("", &mut t).is_err());           // empty input
+//! ```
+//!
+//! [`SignalId`](logic::SignalId)s, by contrast, are *capabilities*: they
+//! are only meaningful relative to the [`SignalTable`](logic::SignalTable)
+//! that issued them, and resolving a foreign id is a programming error
+//! that panics rather than misrendering another design's report:
+//!
+//! ```should_panic
+//! use specmatcher::logic::SignalTable;
+//!
+//! let mut mine = SignalTable::new();
+//! let mut theirs = SignalTable::new();
+//! mine.intern("clk");
+//! theirs.intern("a");
+//! theirs.intern("b");
+//! let foreign = theirs.intern("c");
+//! mine.name(foreign); // panics: `mine` never issued this id
+//! ```
 
 pub use dic_automata as automata;
 pub use dic_core as core;

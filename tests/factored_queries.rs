@@ -47,7 +47,7 @@ fn fixture() -> (SignalTable, Module) {
 
 #[test]
 fn materialized_base_agrees_with_direct_product() {
-    let (mut t, m) = fixture();
+    let (t, m) = fixture();
     let kripke = Kripke::from_module(&m, &t, &[]).expect("fits");
     let atoms = vec![
         t.lookup("i0").unwrap(),
@@ -124,8 +124,8 @@ fn coverage_model_factored_matches_flat() {
     for _ in 0..40 {
         let extra = random_formula(&mut rng, &atoms, 5);
         let flat = model.satisfiable(&[r.clone(), Ltl::not(a.clone()), extra.clone()]);
-        let factored =
-            model.satisfiable_factored(&[r.clone(), Ltl::not(a.clone())], &[extra.clone()]);
+        let factored = model
+            .satisfiable_factored(&[r.clone(), Ltl::not(a.clone())], std::slice::from_ref(&extra));
         assert_eq!(
             flat.is_some(),
             factored.is_some(),

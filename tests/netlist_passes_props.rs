@@ -25,7 +25,7 @@ fn random_module(seed: u64) -> (SignalTable, Module) {
         .map(|i| b.input(&format!("i{i}")))
         .collect();
 
-    let mut leaf = |pool: &[SignalId], rng: &mut XorShift64| -> BoolExpr {
+    let leaf = |pool: &[SignalId], rng: &mut XorShift64| -> BoolExpr {
         match rng.below(8) {
             0 => BoolExpr::Const(rng.flip()),
             _ => {
