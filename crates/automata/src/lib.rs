@@ -49,7 +49,7 @@ pub use degeneralize::degeneralize;
 pub use gba::{translate, Gba};
 pub use mc::{
     holds_in, materialize_product, satisfiable_in, satisfiable_in_conj,
-    satisfiable_in_conj_cached, GbaCache, ProductSystem, Verdict,
+    satisfiable_in_conj_cached, translate_cached, GbaCache, ProductSystem, Verdict,
 };
 pub use sat::{
     equivalent, implies, is_satisfiable, is_satisfiable_ndfs, is_valid, stronger_than, witness,

@@ -1,6 +1,7 @@
 //! The model checker: universal and existential LTL queries over a model.
 
 use crate::gba::{translate, Gba};
+use crate::hashing::FastMap;
 use crate::product::{find_accepting_lasso, Product};
 use crate::system::TransitionSystem;
 use dic_ltl::{LassoWord, Ltl};
@@ -12,8 +13,10 @@ use std::sync::{Arc, Mutex};
 /// Coverage analysis model-checks conjunctions sharing most conjuncts (the
 /// RTL properties `R` and `¬FA` appear in every candidate-closure query of
 /// Algorithm 1), so the translations are interned once and shared. The
-/// cache is cheap to hit — [`Ltl`] hashing is `O(1)` on the hash-consed
-/// representation — and is internally synchronized.
+/// table is keyed by formula hash through [`crate::hashing`]'s
+/// multiplicative hasher — formula keys are program-built structures, not
+/// adversarial input, so the DoS-resistant default hasher buys nothing on
+/// this hot path — and is internally synchronized.
 ///
 /// # Examples
 ///
@@ -31,7 +34,7 @@ use std::sync::{Arc, Mutex};
 /// ```
 #[derive(Debug, Default)]
 pub struct GbaCache {
-    map: Mutex<HashMap<Ltl, Arc<Gba>>>,
+    map: Mutex<FastMap<Ltl, Arc<Gba>>>,
 }
 
 impl GbaCache {
@@ -60,6 +63,26 @@ impl GbaCache {
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
+}
+
+thread_local! {
+    /// Per-thread translation memo backing [`translate_cached`].
+    static LOCAL_TRANSLATIONS: GbaCache = GbaCache::new();
+}
+
+/// [`translate`](crate::translate) through a per-thread memo keyed by
+/// formula hash.
+///
+/// The pure-formula decision procedures ([`crate::implies`],
+/// [`crate::is_satisfiable`], …) are called hundreds of times per
+/// coverage run on a small set of recurring formulas (every candidate of
+/// Algorithm 1 is compared against the same intent and siblings); caching
+/// here means each distinct formula runs the GPVW tableau exactly once per
+/// thread. The cache is append-only for the life of the thread — formula
+/// closures are small, so this trades a bounded amount of memory for the
+/// dominant translation cost.
+pub fn translate_cached(formula: &Ltl) -> Arc<Gba> {
+    LOCAL_TRANSLATIONS.with(|c| c.get(formula))
 }
 
 /// Result of a universal check ([`holds_in`]).
@@ -345,6 +368,17 @@ mod tests {
 
     fn parse(t: &mut SignalTable, src: &str) -> Ltl {
         Ltl::parse(src, t).expect("parse")
+    }
+
+    #[test]
+    fn translate_cached_memoizes_per_thread() {
+        let mut t = SignalTable::new();
+        let f = parse(&mut t, "G(p -> X q)");
+        let first = translate_cached(&f);
+        // A structurally equal but freshly built formula hits the cache.
+        let rebuilt = parse(&mut t, "G(p -> X q)");
+        let again = translate_cached(&rebuilt);
+        assert!(Arc::ptr_eq(&first, &again));
     }
 
     #[test]

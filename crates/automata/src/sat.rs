@@ -4,7 +4,7 @@
 //! consistent, so automaton non-emptiness coincides with formula
 //! satisfiability) — no 2^AP product is ever built.
 
-use crate::gba::translate;
+use crate::mc::translate_cached;
 use crate::product::{find_accepting_lasso, GbaGraph};
 use dic_logic::Valuation;
 use dic_ltl::{LassoWord, Ltl};
@@ -17,7 +17,7 @@ pub fn is_satisfiable(formula: &Ltl) -> bool {
 /// A satisfying lasso word over a table of `n_signals` signals, if any.
 /// Signals unconstrained by the automaton run are set low.
 pub fn witness(formula: &Ltl, n_signals: usize) -> Option<LassoWord> {
-    let gba = translate(formula);
+    let gba = translate_cached(formula);
     let graph = GbaGraph(&gba);
     let (states, loop_start) = find_accepting_lasso(&graph, gba.full_acc_mask())?;
     let n = n_signals.max(
@@ -48,7 +48,7 @@ pub fn is_valid(formula: &Ltl) -> bool {
 /// throughout the test suite as an engine cross-check, and available to
 /// callers who want a second opinion from a disjoint code path.
 pub fn is_satisfiable_ndfs(formula: &Ltl) -> bool {
-    let gba = translate(formula);
+    let gba = translate_cached(formula);
     let ba = crate::degeneralize::degeneralize(&gba);
     let any_cycle = ba.num_acceptance_sets() == 0;
     crate::ndfs::find_accepting_lasso_ndfs(&GbaGraph(&ba), any_cycle).is_some()

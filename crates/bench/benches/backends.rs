@@ -1,0 +1,60 @@
+//! Explicit vs symbolic backend on the primary coverage question.
+//!
+//! Two sweeps: the packaged designs both engines can handle (head-to-head
+//! crossover data behind `Backend::Auto`'s threshold), and the latch-chain
+//! scaling family where only the symbolic engine survives past the
+//! explicit bit limit.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dic_bench::{build_model_with_backend, phase_primary};
+use dic_core::Backend;
+use dic_designs::scaling::chain_design;
+use dic_designs::{mal, pipeline};
+use std::hint::black_box;
+
+fn bench_backend_head_to_head(c: &mut Criterion) {
+    let mut group = c.benchmark_group("backends/head_to_head");
+    group.sample_size(10);
+    // mal-26 is explicit-minutes-scale; bin/table1 reports it. These two
+    // stay comfortably inside both engines. The model is rebuilt inside
+    // every iteration: the symbolic engine memoizes fixpoints in its BDD
+    // manager, so a shared model would measure cache hits from the second
+    // iteration on — build+query is the honest end-to-end unit for the
+    // crossover data behind `Backend::Auto`'s threshold.
+    for design in [mal::ex2(), pipeline::pipeline12()] {
+        for backend in [Backend::Explicit, Backend::Symbolic] {
+            group.bench_with_input(
+                BenchmarkId::new(design.name, backend.to_string()),
+                &backend,
+                |b, &backend| {
+                    b.iter(|| {
+                        let model = build_model_with_backend(&design, backend);
+                        black_box(phase_primary(&design, &model))
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_symbolic_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("backends/chain_scaling");
+    group.sample_size(10);
+    // 16 fits the explicit engine; 24 and 32 do not — the rows the paper's
+    // Section 5 warns about, now measurable. Fresh model per iteration,
+    // for the same cache-hit reason as the head-to-head group.
+    for n in [16usize, 24, 32] {
+        let design = chain_design(n, false);
+        group.bench_with_input(BenchmarkId::new("symbolic", n), &n, |b, _| {
+            b.iter(|| {
+                let model = build_model_with_backend(&design, Backend::Symbolic);
+                black_box(phase_primary(&design, &model))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_backend_head_to_head, bench_symbolic_scaling);
+criterion_main!(benches);

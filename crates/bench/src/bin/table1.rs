@@ -1,25 +1,36 @@
 //! Regenerates the paper's Table 1: per-design runtimes of the three
 //! SpecMatcher phases, printed next to the published 2006 numbers.
 //!
-//! Run with: `cargo run --release -p dic-bench --bin table1`
+//! Run with: `cargo run --release -p dic-bench --bin table1 [-- --backend auto|explicit|symbolic]`
 
 use dic_bench::{measure_design, paper_reference};
+use dic_core::Backend;
 use dic_designs::table1_designs;
 
 fn main() {
-    println!("Table 1 — SpecMatcher runtimes (measured on this machine vs DATE 2006, 2 GHz P4)");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let backend = args
+        .iter()
+        .position(|a| a == "--backend")
+        .and_then(|i| args.get(i + 1))
+        .map(|s| Backend::parse(s).expect("--backend explicit|symbolic|auto"))
+        .unwrap_or(Backend::Explicit);
+    println!(
+        "Table 1 — SpecMatcher runtimes (measured on this machine vs DATE 2006, 2 GHz P4; requested backend: {backend})"
+    );
     println!();
     println!(
-        "{:<18} {:>5}  {:>12} {:>12} {:>12}   {:>8} {:>8} {:>8}",
-        "Circuit", "props", "Primary (s)", "TM (s)", "Gap (s)", "P4 Prim", "P4 TM", "P4 Gap"
+        "{:<18} {:>5} {:>9}  {:>12} {:>12} {:>12}   {:>8} {:>8} {:>8}",
+        "Circuit", "props", "backend", "Primary (s)", "TM (s)", "Gap (s)", "P4 Prim", "P4 TM", "P4 Gap"
     );
     let reference = paper_reference();
     for (design, paper) in table1_designs().iter().zip(reference) {
-        let row = measure_design(design);
+        let row = measure_design(design, backend);
         println!(
-            "{:<18} {:>5}  {:>12.4} {:>12.4} {:>12.4}   {:>8.2} {:>8.2} {:>8.2}",
+            "{:<18} {:>5} {:>9}  {:>12.4} {:>12.4} {:>12.4}   {:>8.2} {:>8.2} {:>8.2}",
             row.circuit,
             row.num_rtl,
+            row.backend.to_string(),
             row.primary.as_secs_f64(),
             row.tm_build.as_secs_f64(),
             row.gap_find.as_secs_f64(),
@@ -46,4 +57,5 @@ fn main() {
     println!("shape check: gap finding dominates the other phases, as in the paper;");
     println!("absolute values differ (explicit-state checker on a modern CPU vs 2006 tool on a P4).");
     println!("the toy example row carries 2 published + 4 well-posedness properties (see EXPERIMENTS.md).");
+    println!("rerun with `-- --backend symbolic` (or `auto`) for the BDD engine's primary-phase numbers.");
 }

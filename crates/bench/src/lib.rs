@@ -8,23 +8,30 @@
 
 use dic_core::tm::{tm_for_modules, TmStyle};
 use dic_core::{
-    find_gap, primary_coverage, uncovered_terms, CoverageModel, GapConfig, SpecMatcher,
+    find_gap, primary_coverage, uncovered_terms, Backend, CoverageModel, GapConfig, SpecMatcher,
 };
 use dic_designs::Design;
 use dic_ltl::Ltl;
 use std::time::Duration;
 
-/// Builds the coverage model of a design (untimed setup shared by phases).
+/// Builds the coverage model of a design (untimed setup shared by phases)
+/// with the explicit backend, preserving the paper-faithful measurement.
 pub fn build_model(design: &Design) -> CoverageModel {
-    CoverageModel::build(&design.arch, &design.rtl, &design.table)
-        .expect("packaged designs fit the explicit limits")
+    build_model_with_backend(design, Backend::Explicit)
+}
+
+/// Builds the coverage model of a design with a chosen backend.
+pub fn build_model_with_backend(design: &Design, backend: Backend) -> CoverageModel {
+    CoverageModel::build_with_backend(&design.arch, &design.rtl, &design.table, backend)
+        .expect("packaged designs fit the backend limits")
 }
 
 /// Phase 1: the primary coverage question (Theorem 1) for the first
-/// architectural property. Returns the refuting witness, if any.
+/// architectural property, answered by the model's backend. Returns the
+/// refuting witness, if any.
 pub fn phase_primary(design: &Design, model: &CoverageModel) -> Option<dic_ltl::LassoWord> {
     let fa = design.arch.properties()[0].formula();
-    primary_coverage(fa, &design.rtl, model)
+    primary_coverage(fa, &design.rtl, model).expect("within backend limits")
 }
 
 /// Phase 2: `T_M` construction (Definition 4, enumerated — what the paper
@@ -59,6 +66,8 @@ pub struct TableRow {
     pub tm_build: Duration,
     /// Gap finding time.
     pub gap_find: Duration,
+    /// The backend that answered the primary questions.
+    pub backend: Backend,
 }
 
 /// The gap budget used for the Table 1 rows: enough to find the
@@ -74,8 +83,10 @@ pub fn table1_config() -> GapConfig {
 }
 
 /// Runs the full pipeline once and reports the row (used by `bin/table1`).
-pub fn measure_design(design: &Design) -> TableRow {
-    let matcher = SpecMatcher::new(table1_config()).with_tm_style(TmStyle::Enumerated);
+pub fn measure_design(design: &Design, backend: Backend) -> TableRow {
+    let matcher = SpecMatcher::new(table1_config())
+        .with_tm_style(TmStyle::Enumerated)
+        .with_backend(backend);
     let run = design.check(&matcher).expect("packaged design runs");
     TableRow {
         circuit: design.name.to_owned(),
@@ -83,6 +94,7 @@ pub fn measure_design(design: &Design) -> TableRow {
         primary: run.timings.primary,
         tm_build: run.timings.tm_build,
         gap_find: run.timings.gap_find,
+        backend: run.backend,
     }
 }
 

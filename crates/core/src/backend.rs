@@ -1,0 +1,72 @@
+//! Backend selection: explicit-state vs symbolic model checking.
+
+use std::fmt;
+
+/// Number of state bits (latches + nondeterministic inputs) above which
+/// [`Backend::Auto`] switches the primary coverage question to the
+/// symbolic engine.
+///
+/// Below this the explicit engine's cache-friendly enumeration wins (its
+/// product graphs have a few thousand nodes); above it the `2^bits`
+/// state×input enumeration starts to dominate everything else in the
+/// pipeline while BDD sizes stay polynomial for typical control logic.
+/// The crossover was measured on the packaged designs: mal-26 (17 bits)
+/// drops from ~45 s explicit to well under a second symbolically, while
+/// the small fixtures (≤ 10 bits) stay fastest explicit.
+pub const AUTO_SYMBOLIC_BITS: usize = 14;
+
+/// Which model-checking engine answers the primary coverage question
+/// (Theorem 1) and related existential queries.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum Backend {
+    /// Explicit-state enumeration (`dic_fsm::Kripke` + Tarjan emptiness).
+    /// Faithful to the paper; refuses models beyond
+    /// [`dic_fsm::KRIPKE_BIT_LIMIT`] state bits.
+    Explicit,
+    /// BDD-based symbolic reachability and fair-cycle detection
+    /// (`dic_symbolic`). Handles state spaces the explicit engine cannot;
+    /// refuses past its node budget instead.
+    Symbolic,
+    /// Pick per model: explicit below [`AUTO_SYMBOLIC_BITS`] state bits,
+    /// symbolic above. The explicit structure is still built alongside
+    /// whenever it fits, because the gap-representation machinery
+    /// (Algorithm 1) runs on it.
+    #[default]
+    Auto,
+}
+
+impl Backend {
+    /// Parses a CLI-style backend name.
+    pub fn parse(s: &str) -> Option<Backend> {
+        match s {
+            "explicit" => Some(Backend::Explicit),
+            "symbolic" => Some(Backend::Symbolic),
+            "auto" => Some(Backend::Auto),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Backend {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Backend::Explicit => "explicit",
+            Backend::Symbolic => "symbolic",
+            Backend::Auto => "auto",
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_round_trips() {
+        for b in [Backend::Explicit, Backend::Symbolic, Backend::Auto] {
+            assert_eq!(Backend::parse(&b.to_string()), Some(b));
+        }
+        assert_eq!(Backend::parse("magic"), None);
+        assert_eq!(Backend::default(), Backend::Auto);
+    }
+}

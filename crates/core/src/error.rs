@@ -2,6 +2,7 @@
 
 use dic_fsm::FsmError;
 use dic_netlist::NetlistError;
+use dic_symbolic::SymbolicError;
 use std::error::Error;
 use std::fmt;
 
@@ -12,6 +13,9 @@ pub enum CoreError {
     Netlist(NetlistError),
     /// The composed model is too large for explicit exploration.
     Fsm(FsmError),
+    /// The symbolic engine exceeded its resource budget (or was handed a
+    /// signal it cannot interpret).
+    Symbolic(SymbolicError),
     /// The paper's Assumption 1 (`AP_A ⊆ AP_R`) is violated: an
     /// architectural signal is neither constrained by an RTL property nor
     /// present in any concrete module, so no decomposition can ever cover
@@ -27,6 +31,7 @@ impl fmt::Display for CoreError {
         match self {
             CoreError::Netlist(e) => write!(f, "netlist error: {e}"),
             CoreError::Fsm(e) => write!(f, "state-space error: {e}"),
+            CoreError::Symbolic(e) => write!(f, "symbolic-engine error: {e}"),
             CoreError::UnknownArchSignal { name } => write!(
                 f,
                 "architectural signal {name} does not appear in the RTL specification \
@@ -41,8 +46,15 @@ impl Error for CoreError {
         match self {
             CoreError::Netlist(e) => Some(e),
             CoreError::Fsm(e) => Some(e),
+            CoreError::Symbolic(e) => Some(e),
             CoreError::UnknownArchSignal { .. } => None,
         }
+    }
+}
+
+impl From<SymbolicError> for CoreError {
+    fn from(e: SymbolicError) -> Self {
+        CoreError::Symbolic(e)
     }
 }
 

@@ -22,6 +22,12 @@ pub fn exact_hole(fa: &Ltl, rtl: &RtlSpec, tm: &Ltl) -> Ltl {
 /// Whether adding `candidate` to the RTL properties closes the coverage
 /// gap for `fa`: `(R ∧ candidate) ∧ ¬fa` must be false in `M`
 /// (Definition 3).
+///
+/// # Panics
+///
+/// Panics if the model was built without the explicit backend (closure
+/// checks run on the explicit factored-product machinery); guard with
+/// [`CoverageModel::has_explicit`].
 pub fn closes_gap(candidate: &Ltl, fa: &Ltl, rtl: &RtlSpec, model: &CoverageModel) -> bool {
     closure_witness(candidate, fa, rtl, model).is_none()
 }
@@ -32,6 +38,10 @@ pub fn closes_gap(candidate: &Ltl, fa: &Ltl, rtl: &RtlSpec, model: &CoverageMode
 /// The witness is reusable — any later candidate that holds on it cannot
 /// close the gap either, which lets [`find_gap`](crate::find_gap) reject
 /// most candidates with a word evaluation instead of a model check.
+///
+/// # Panics
+///
+/// As for [`closes_gap`]: requires the explicit backend.
 pub fn closure_witness(
     candidate: &Ltl,
     fa: &Ltl,
@@ -78,7 +88,7 @@ mod tests {
         let (t, arch, rtl, model) = gapped();
         let fa = arch.properties()[0].formula();
         // Gap: primary coverage fails.
-        assert!(crate::primary_coverage(fa, &rtl, &model).is_some());
+        assert!(crate::primary_coverage(fa, &rtl, &model).expect("runs").is_some());
         // Theorem 2 hole closes it.
         let tm = tm_for_modules(rtl.concrete(), &t, TmStyle::Relational).unwrap();
         let hole = exact_hole(fa, &rtl, &tm);
@@ -114,6 +124,6 @@ mod tests {
         let rtl = RtlSpec::new([("R1", r_prop)], [m]);
         let model = CoverageModel::build(&arch, &rtl, &t).unwrap();
         let fa = arch.properties()[0].formula();
-        assert!(crate::primary_coverage(fa, &rtl, &model).is_none());
+        assert!(crate::primary_coverage(fa, &rtl, &model).expect("runs").is_none());
     }
 }

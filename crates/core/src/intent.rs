@@ -82,7 +82,15 @@ pub fn close_gap_iteratively(
     config: &GapConfig,
     max_rounds: usize,
 ) -> Option<(Ltl, usize)> {
-    if crate::primary_coverage(fa, rtl, model).is_none() {
+    // Like all of Algorithm 1, the closure loop runs on the explicit
+    // machinery; a symbolic-only model cannot enumerate candidates, so the
+    // search is (gracefully) empty.
+    if !model.has_explicit() {
+        return None;
+    }
+    let mut conj: Vec<Ltl> = rtl.formulas().to_vec();
+    conj.push(Ltl::not(fa.clone()));
+    if model.satisfiable(&conj).is_none() {
         // Covered: the empty addition suffices.
         return Some((Ltl::tt(), 0));
     }

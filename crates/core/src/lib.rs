@@ -56,6 +56,7 @@
 //! # }
 //! ```
 
+pub mod backend;
 pub mod error;
 pub mod hole;
 pub mod intent;
@@ -67,6 +68,7 @@ pub mod terms;
 pub mod tm;
 pub mod weaken;
 
+pub use backend::{Backend, AUTO_SYMBOLIC_BITS};
 pub use error::CoreError;
 pub use hole::{closes_gap, exact_hole};
 pub use intent::{close_gap_iteratively, uncovered_intent};
@@ -81,12 +83,21 @@ pub use weaken::{find_gap, GapConfig, GapProperty};
 /// architectural property `fa` iff `¬fa ∧ R` is false in the model of the
 /// concrete modules. Returns `Ok(None)` when covered, or the witness run
 /// refuting coverage.
+///
+/// Dispatches to the backend the model was built with (explicit
+/// enumeration or symbolic fair-cycle detection); the witness contract is
+/// identical either way.
+///
+/// # Errors
+///
+/// [`CoreError::Symbolic`] if the symbolic backend exceeds its node budget
+/// mid-analysis (the explicit backend cannot fail once built).
 pub fn primary_coverage(
     fa: &dic_ltl::Ltl,
     rtl: &RtlSpec,
     model: &CoverageModel,
-) -> Option<dic_ltl::LassoWord> {
+) -> Result<Option<dic_ltl::LassoWord>, CoreError> {
     let mut conj: Vec<dic_ltl::Ltl> = rtl.formulas().to_vec();
     conj.push(dic_ltl::Ltl::not(fa.clone()));
-    model.satisfiable(&conj)
+    model.primary_query(&conj)
 }

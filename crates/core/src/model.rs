@@ -1,12 +1,14 @@
 //! The coverage model: composed concrete modules + free spec signals.
 
+use crate::backend::{Backend, AUTO_SYMBOLIC_BITS};
 use crate::error::CoreError;
 use crate::spec::{ArchSpec, RtlSpec};
-use dic_fsm::Kripke;
+use dic_fsm::{Kripke, KRIPKE_BIT_LIMIT};
 use dic_logic::{SignalId, SignalTable};
 use dic_netlist::Module;
+use dic_symbolic::{SymbolicModel, SymbolicOptions};
 use std::collections::{BTreeSet, HashMap};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// The model `M` of the paper's Definition 1: the synchronous composition
 /// of the concrete modules, with every specification signal that the
@@ -15,19 +17,45 @@ use std::sync::Arc;
 /// Its runs are exactly the runs "consistent with the concrete modules",
 /// so satisfiability of `R ∧ ¬A` *within this model* is the paper's
 /// "`¬A ∧ R` is true in M".
+///
+/// A model carries up to two engines for that question, selected by
+/// [`Backend`]: the explicit Kripke structure (always used by the
+/// gap-representation machinery of Algorithm 1) and the symbolic BDD
+/// model. [`CoverageModel::build`] resolves [`Backend::Auto`] by state-bit
+/// count; see [`CoverageModel::primary_backend`] for the outcome.
 #[derive(Debug)]
 pub struct CoverageModel {
     composed: Module,
-    kripke: Kripke,
+    kripke: Option<Kripke>,
+    symbolic: Option<Mutex<SymbolicModel>>,
+    /// The engine answering primary queries (`Explicit` or `Symbolic`).
+    primary_backend: Backend,
+    /// Nondeterministic inputs: module primary inputs + free spec signals.
+    inputs: Vec<SignalId>,
     observable: BTreeSet<SignalId>,
     hidden: BTreeSet<SignalId>,
     cache: dic_automata::GbaCache,
     /// Materialized base products, keyed by the baked-in conjunction.
-    products: std::sync::Mutex<HashMap<Vec<dic_ltl::Ltl>, Arc<dic_automata::ProductSystem>>>,
+    products: Mutex<HashMap<Vec<dic_ltl::Ltl>, Arc<dic_automata::ProductSystem>>>,
 }
 
 impl CoverageModel {
-    /// Builds the model for a spec pair.
+    /// Builds the model with the default [`Backend::Auto`] selection.
+    ///
+    /// See [`CoverageModel::build_with_backend`].
+    ///
+    /// # Errors
+    ///
+    /// As for [`CoverageModel::build_with_backend`].
+    pub fn build(
+        arch: &ArchSpec,
+        rtl: &RtlSpec,
+        table: &SignalTable,
+    ) -> Result<Self, CoreError> {
+        Self::build_with_backend(arch, rtl, table, Backend::Auto)
+    }
+
+    /// Builds the model for a spec pair with an explicit backend choice.
     ///
     /// Free signals are all atoms of `A` and `R` not driven by the concrete
     /// modules. The *observable* alphabet — what uncovered terms may mention
@@ -35,16 +63,27 @@ impl CoverageModel {
     /// the composition (the paper eliminates `AP_R − AP_A`, which is the
     /// complement of this set among term signals).
     ///
+    /// Backend resolution: [`Backend::Explicit`] and [`Backend::Symbolic`]
+    /// build only their engine; [`Backend::Auto`] goes explicit below
+    /// [`AUTO_SYMBOLIC_BITS`] state bits and symbolic above, additionally
+    /// keeping the explicit structure when it fits
+    /// ([`dic_fsm::KRIPKE_BIT_LIMIT`]) so Algorithm 1 can still represent
+    /// gaps.
+    ///
     /// # Errors
     ///
     /// * [`CoreError::Netlist`] if the concrete modules cannot be composed,
-    /// * [`CoreError::Fsm`] if the state space exceeds the explicit limit,
+    /// * [`CoreError::Fsm`] if the explicit backend was requested and the
+    ///   state space exceeds the explicit limit,
+    /// * [`CoreError::Symbolic`] if the symbolic encoding exceeds its node
+    ///   budget,
     /// * [`CoreError::UnknownArchSignal`] if an architectural signal appears
     ///   nowhere in the RTL spec (Assumption 1).
-    pub fn build(
+    pub fn build_with_backend(
         arch: &ArchSpec,
         rtl: &RtlSpec,
         table: &SignalTable,
+        backend: Backend,
     ) -> Result<Self, CoreError> {
         // Assumption 1: AP_A ⊆ AP_R.
         let ap_r = rtl.alphabet();
@@ -83,14 +122,62 @@ impl CoverageModel {
                 free.push(s);
             }
         }
-        let kripke = Kripke::from_module(&composed, table, &free)?;
+        // State-bit count, by the same accounting both engines use.
+        let input_vars = composed.nondet_inputs(&free);
+        let state_bits = composed.state_signals().len() + input_vars.len();
+
+        let (kripke, symbolic, primary_backend) = match backend {
+            Backend::Explicit => (
+                Some(Kripke::from_module(&composed, table, &free)?),
+                None,
+                Backend::Explicit,
+            ),
+            Backend::Symbolic => (
+                None,
+                Some(Mutex::new(SymbolicModel::from_module(
+                    &composed,
+                    table,
+                    &free,
+                    SymbolicOptions::default(),
+                )?)),
+                Backend::Symbolic,
+            ),
+            Backend::Auto => {
+                if state_bits <= AUTO_SYMBOLIC_BITS {
+                    (
+                        Some(Kripke::from_module(&composed, table, &free)?),
+                        None,
+                        Backend::Explicit,
+                    )
+                } else {
+                    // Symbolic for the primary question; the explicit
+                    // structure rides along when it fits, because the
+                    // gap-representation machinery needs it.
+                    let kripke = if state_bits <= KRIPKE_BIT_LIMIT {
+                        Some(Kripke::from_module(&composed, table, &free)?)
+                    } else {
+                        None
+                    };
+                    (
+                        kripke,
+                        Some(Mutex::new(SymbolicModel::from_module(
+                            &composed,
+                            table,
+                            &free,
+                            SymbolicOptions::default(),
+                        )?)),
+                        Backend::Symbolic,
+                    )
+                }
+            }
+        };
 
         // Observable: the architectural alphabet plus every nondeterministic
         // input of the model (design primary inputs and free environment
         // signals). This is why the paper's gap property U may mention
         // `hit`: it is an input of the concrete L1, not an internal signal.
         let mut observable: BTreeSet<SignalId> = arch.alphabet();
-        observable.extend(kripke.input_vars().iter().copied());
+        observable.extend(input_vars.iter().copied());
         // Terms may mention anything the model constrains or the spec names;
         // the rest is quantified away.
         let mut term_signals: BTreeSet<SignalId> = observable.clone();
@@ -103,20 +190,70 @@ impl CoverageModel {
         Ok(CoverageModel {
             composed,
             kripke,
+            symbolic,
+            primary_backend,
+            inputs: input_vars,
             observable,
             hidden,
             cache: dic_automata::GbaCache::new(),
-            products: std::sync::Mutex::new(HashMap::new()),
+            products: Mutex::new(HashMap::new()),
         })
     }
 
-    /// Existential query against this model with memoized automaton
-    /// translations: is some run of `M` satisfying every formula in
-    /// `formulas`? This is the primitive behind every coverage question;
-    /// repeated conjuncts (the `R` suite, `¬FA`) are translated once per
-    /// model.
+    /// The engine answering primary coverage queries: [`Backend::Explicit`]
+    /// or [`Backend::Symbolic`] (never `Auto` — resolution happens at build
+    /// time).
+    pub fn primary_backend(&self) -> Backend {
+        self.primary_backend
+    }
+
+    /// Whether the explicit Kripke structure is available (required by the
+    /// gap-representation machinery of Algorithm 1).
+    pub fn has_explicit(&self) -> bool {
+        self.kripke.is_some()
+    }
+
+    /// The nondeterministic inputs of the model: the composition's primary
+    /// inputs plus every free spec signal — the stimulus alphabet a witness
+    /// run must be driven with to replay on the simulator. Available for
+    /// every backend (unlike `kripke().input_vars()`).
+    pub fn input_signals(&self) -> &[SignalId] {
+        &self.inputs
+    }
+
+    /// Backend-dispatched existential query: is some run of `M` satisfying
+    /// every formula in `formulas`? The primitive behind the paper's
+    /// Theorem 1.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Symbolic`] when the symbolic engine exceeds its node
+    /// budget mid-analysis (the explicit path is infallible once built).
+    pub fn primary_query(
+        &self,
+        formulas: &[dic_ltl::Ltl],
+    ) -> Result<Option<dic_ltl::LassoWord>, CoreError> {
+        match (&self.symbolic, self.primary_backend) {
+            (Some(sym), Backend::Symbolic) => {
+                let mut sym = sym.lock().expect("symbolic model poisoned");
+                Ok(sym.satisfiable_conj(formulas)?)
+            }
+            _ => Ok(self.satisfiable(formulas)),
+        }
+    }
+
+    /// Existential query against the *explicit* model with memoized
+    /// automaton translations: is some run of `M` satisfying every formula
+    /// in `formulas`? Repeated conjuncts (the `R` suite, `¬FA`) are
+    /// translated once per model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model was built without the explicit backend; use
+    /// [`CoverageModel::primary_query`] for backend-dispatched queries and
+    /// [`CoverageModel::has_explicit`] to test availability.
     pub fn satisfiable(&self, formulas: &[dic_ltl::Ltl]) -> Option<dic_ltl::LassoWord> {
-        dic_automata::satisfiable_in_conj_cached(formulas, &self.kripke, &self.cache)
+        dic_automata::satisfiable_in_conj_cached(formulas, self.kripke(), &self.cache)
     }
 
     /// Factored existential query: is some run of `M` satisfying `base`
@@ -128,6 +265,11 @@ impl CoverageModel {
     /// of queries sharing the same base (`R ∧ ¬FA` for candidate closure,
     /// `R` for term generalization), which makes this the dominant
     /// performance lever of the whole pipeline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model was built without the explicit backend (like
+    /// [`CoverageModel::satisfiable`]).
     pub fn satisfiable_factored(
         &self,
         base: &[dic_ltl::Ltl],
@@ -140,7 +282,7 @@ impl CoverageModel {
                 None => {
                     let p = Arc::new(dic_automata::materialize_product(
                         base,
-                        &self.kripke,
+                        self.kripke(),
                         &self.cache,
                     ));
                     products.insert(base.to_vec(), Arc::clone(&p));
@@ -156,9 +298,17 @@ impl CoverageModel {
         &self.composed
     }
 
-    /// The Kripke structure explored by the model checker.
+    /// The explicit Kripke structure explored by the model checker.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model was built without the explicit backend (pure
+    /// [`Backend::Symbolic`], or [`Backend::Auto`] past the explicit bit
+    /// limit); guard with [`CoverageModel::has_explicit`].
     pub fn kripke(&self) -> &Kripke {
-        &self.kripke
+        self.kripke
+            .as_ref()
+            .expect("explicit backend not available for this model")
     }
 
     /// Signals that may appear in reported gap terms.
@@ -236,6 +386,40 @@ mod tests {
             Err(CoreError::UnknownArchSignal { name }) => assert_eq!(name, "phantom"),
             other => panic!("expected Assumption 1 violation, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn backend_resolution_and_dispatch() {
+        let (t, arch, rtl) = setup();
+        // Small model: Auto resolves explicit.
+        let auto = CoverageModel::build(&arch, &rtl, &t).expect("builds");
+        assert_eq!(auto.primary_backend(), Backend::Explicit);
+        assert!(auto.has_explicit());
+
+        // Forced symbolic: no explicit structure, primary still answers,
+        // and the verdict matches the explicit engine's.
+        let sym = CoverageModel::build_with_backend(&arch, &rtl, &t, Backend::Symbolic)
+            .expect("builds");
+        assert_eq!(sym.primary_backend(), Backend::Symbolic);
+        assert!(!sym.has_explicit());
+        let fa = arch.properties()[0].formula();
+        let ve = crate::primary_coverage(fa, &rtl, &auto).expect("explicit total");
+        let vs = crate::primary_coverage(fa, &rtl, &sym).expect("within budget");
+        assert_eq!(ve.is_some(), vs.is_some());
+
+        // Inputs are reported for every backend (witness replay needs them).
+        assert_eq!(auto.input_signals(), sym.input_signals());
+        let req = t.lookup("req").unwrap();
+        assert!(sym.input_signals().contains(&req));
+    }
+
+    #[test]
+    #[should_panic(expected = "explicit backend not available")]
+    fn kripke_accessor_guards_symbolic_models() {
+        let (t, arch, rtl) = setup();
+        let sym = CoverageModel::build_with_backend(&arch, &rtl, &t, Backend::Symbolic)
+            .expect("builds");
+        let _ = sym.kripke();
     }
 
     #[test]

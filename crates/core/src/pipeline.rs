@@ -1,6 +1,7 @@
 //! The SpecMatcher pipeline: end-to-end coverage analysis with the
 //! per-phase timing breakdown of the paper's Table 1.
 
+use crate::backend::Backend;
 use crate::error::CoreError;
 use crate::hole::exact_hole;
 use crate::model::CoverageModel;
@@ -52,6 +53,8 @@ pub struct PropertyReport {
     pub exact_hole: Ltl,
     /// Per-phase wall-clock for this property.
     pub timings: PhaseTimings,
+    /// The engine that answered the primary question for this property.
+    pub backend: Backend,
 }
 
 impl PropertyReport {
@@ -109,6 +112,9 @@ pub struct CoverageRun {
     pub timings: PhaseTimings,
     /// Number of RTL properties (Table 1's first column).
     pub num_rtl_properties: usize,
+    /// The engine that answered the primary questions (resolved from the
+    /// matcher's requested backend at model-build time).
+    pub backend: Backend,
 }
 
 impl CoverageRun {
@@ -125,8 +131,8 @@ impl CoverageRun {
         }
         let _ = writeln!(
             out,
-            "timings: primary {:?}, TM build {:?}, gap finding {:?}",
-            self.timings.primary, self.timings.tm_build, self.timings.gap_find
+            "timings ({} backend): primary {:?}, TM build {:?}, gap finding {:?}",
+            self.backend, self.timings.primary, self.timings.tm_build, self.timings.gap_find
         );
         out
     }
@@ -139,14 +145,17 @@ impl CoverageRun {
 pub struct SpecMatcher {
     config: GapConfig,
     tm_style: TmStyle,
+    backend: Backend,
 }
 
 impl SpecMatcher {
-    /// Creates a checker with the given gap-finding configuration.
+    /// Creates a checker with the given gap-finding configuration (and the
+    /// default [`Backend::Auto`] engine selection).
     pub fn new(config: GapConfig) -> Self {
         SpecMatcher {
             config,
             tm_style: TmStyle::default(),
+            backend: Backend::default(),
         }
     }
 
@@ -156,9 +165,21 @@ impl SpecMatcher {
         self
     }
 
+    /// Selects the model-checking backend for the primary coverage
+    /// question (explicit, symbolic, or size-based auto selection).
+    pub fn with_backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self
+    }
+
     /// The configuration.
     pub fn config(&self) -> &GapConfig {
         &self.config
+    }
+
+    /// The requested backend.
+    pub fn backend(&self) -> Backend {
+        self.backend
     }
 
     /// Runs the full analysis: primary coverage for every architectural
@@ -175,7 +196,7 @@ impl SpecMatcher {
         rtl: &RtlSpec,
         table: &SignalTable,
     ) -> Result<CoverageRun, CoreError> {
-        let model = CoverageModel::build(arch, rtl, table)?;
+        let model = CoverageModel::build_with_backend(arch, rtl, table, self.backend)?;
         self.check_with_model(arch, rtl, table, &model)
     }
 
@@ -206,15 +227,19 @@ impl SpecMatcher {
         for prop in arch.properties() {
             let fa = prop.formula();
 
-            // Phase: primary coverage question (Theorem 1).
+            // Phase: primary coverage question (Theorem 1), answered by
+            // the backend the model was built with.
             let t0 = Instant::now();
-            let witness = crate::primary_coverage(fa, rtl, model);
+            let witness = crate::primary_coverage(fa, rtl, model)?;
             let primary = t0.elapsed();
             let covered = witness.is_none();
 
-            // Phase: gap finding (Algorithm 1).
+            // Phase: gap finding (Algorithm 1). Gap *representation* runs
+            // on the explicit structure; when the model is symbolic-only
+            // (state space beyond the explicit limit) the report falls back
+            // to the exact hole of Theorem 2, which needs no exploration.
             let t1 = Instant::now();
-            let (terms, gaps) = if covered {
+            let (terms, gaps) = if covered || !model.has_explicit() {
                 (Vec::new(), Vec::new())
             } else {
                 let terms = uncovered_terms(fa, rtl, model, &self.config);
@@ -238,6 +263,7 @@ impl SpecMatcher {
                 gap_properties: gaps,
                 exact_hole: exact_hole(fa, rtl, &tm),
                 timings,
+                backend: model.primary_backend(),
             });
         }
 
@@ -246,6 +272,7 @@ impl SpecMatcher {
             tm,
             timings: total,
             num_rtl_properties: rtl.num_properties(),
+            backend: model.primary_backend(),
         })
     }
 }

@@ -12,6 +12,7 @@
 //! ```json
 //! {
 //!   "num_rtl_properties": 6,
+//!   "backend": "explicit",
 //!   "timings": {"primary_s": 0.01, "tm_build_s": 0.002, "gap_find_s": 1.9},
 //!   "tm_size": 124,
 //!   "all_covered": false,
@@ -42,6 +43,7 @@ impl CoverageRun {
         let mut w = JsonWriter::new();
         w.open_object();
         w.field_u64("num_rtl_properties", self.num_rtl_properties as u64);
+        w.field_str("backend", &self.backend.to_string());
         w.key("timings");
         timings_json(&mut w, &self.timings);
         w.field_u64("tm_size", self.tm.size() as u64);

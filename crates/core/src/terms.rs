@@ -24,12 +24,20 @@ use dic_ltl::{Ltl, LtlNode, TemporalCube};
 /// the scenario `c` — and every literal of `c` is *essential*: flipping it
 /// makes the (window-anchored) violation impossible. Together the cubes
 /// cover every counterexample found within the enumeration budget.
+///
+/// Scenario enumeration runs on the explicit engine; for a symbolic-only
+/// model (state space beyond the explicit limit) no terms can be
+/// enumerated and the result is empty — callers fall back to Theorem 2's
+/// [`exact_hole`](crate::exact_hole), as the pipeline does.
 pub fn uncovered_terms(
     fa: &Ltl,
     rtl: &RtlSpec,
     model: &CoverageModel,
     config: &GapConfig,
 ) -> Vec<TemporalCube> {
+    if !model.has_explicit() {
+        return Vec::new();
+    }
     let base: Vec<Ltl> = rtl
         .formulas()
         .iter()

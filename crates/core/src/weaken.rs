@@ -98,6 +98,10 @@ struct Candidate {
 /// the weakest closing candidates (weakest first; empty when no structured
 /// candidate closes the gap — callers then fall back to Theorem 2's
 /// [`exact_hole`](crate::exact_hole)).
+///
+/// Candidate verification runs on the explicit engine; for a symbolic-only
+/// model the result is empty (same fallback as
+/// [`uncovered_terms`](crate::uncovered_terms)).
 pub fn find_gap(
     fa: &Ltl,
     terms: &[TemporalCube],
@@ -105,6 +109,9 @@ pub fn find_gap(
     model: &CoverageModel,
     config: &GapConfig,
 ) -> Vec<GapProperty> {
+    if !model.has_explicit() {
+        return Vec::new();
+    }
     let candidates = push_terms(fa, terms, config);
     // Pool of known *bad* runs — runs of `M` satisfying `R ∧ ¬fa`. Every
     // failed closure check contributes one. A candidate that holds on any

@@ -135,7 +135,8 @@ proptest! {
             .check(&arch, &rtl, &t)
             .expect("runs");
         for (rep, p) in run.properties.iter().zip(arch.properties()) {
-            let direct = dic_core::primary_coverage(p.formula(), &rtl, &model);
+            let direct =
+                dic_core::primary_coverage(p.formula(), &rtl, &model).expect("within limits");
             prop_assert_eq!(rep.covered, direct.is_none());
         }
     }

@@ -188,7 +188,7 @@ mod tests {
         let d = ahb29();
         let model = CoverageModel::build(&d.arch, &d.rtl, &d.table).expect("builds");
         let fa = d.arch.properties()[0].formula();
-        let witness = dic_core::primary_coverage(fa, &d.rtl, &model);
+        let witness = dic_core::primary_coverage(fa, &d.rtl, &model).expect("within limits");
         assert!(
             witness.is_some(),
             "the in-flight grant race must open a coverage gap"

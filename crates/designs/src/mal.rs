@@ -328,7 +328,7 @@ mod tests {
         let d = ex1();
         let model = CoverageModel::build(&d.arch, &d.rtl, &d.table).expect("builds");
         let fa = d.arch.properties()[0].formula();
-        let witness = dic_core::primary_coverage(fa, &d.rtl, &model);
+        let witness = dic_core::primary_coverage(fa, &d.rtl, &model).expect("within limits");
         assert!(
             witness.is_none(),
             "Example 1 must be covered; counterexample: {:?}",
@@ -346,7 +346,7 @@ mod tests {
         let d = ex2();
         let model = CoverageModel::build(&d.arch, &d.rtl, &d.table).expect("builds");
         let fa = d.arch.properties()[0].formula();
-        let witness = dic_core::primary_coverage(fa, &d.rtl, &model);
+        let witness = dic_core::primary_coverage(fa, &d.rtl, &model).expect("within limits");
         assert!(witness.is_some(), "Example 2 must have a coverage gap");
         // The witness genuinely breaks A while satisfying every R property.
         let w = witness.expect("checked");

@@ -132,7 +132,7 @@ mod tests {
         let d = pipeline12();
         let model = CoverageModel::build(&d.arch, &d.rtl, &d.table).expect("builds");
         let fa = d.arch.properties()[0].formula();
-        let witness = dic_core::primary_coverage(fa, &d.rtl, &model);
+        let witness = dic_core::primary_coverage(fa, &d.rtl, &model).expect("within limits");
         assert!(witness.is_some(), "the ack-timing gap must exist");
     }
 

@@ -47,6 +47,40 @@ pub fn twin_chain(n: usize) -> (SignalTable, Module) {
     (t, m)
 }
 
+/// A packaged coverage problem over an `n`-stage latch chain: the intent
+/// says the input reaches the chain's tail after `n` cycles (true by
+/// construction when `gapped` is false; off by one — and therefore gapped
+/// with a witness — when `gapped` is true). `R` is empty: the question is
+/// pure model checking of `¬A` against the concrete chain.
+///
+/// At `n ≥ 20` the explicit engine rejects this design with
+/// `FsmError::TooLarge` (`n` latches + 1 input exceed the Kripke bit
+/// limit), which is the point: these are the rows only the symbolic
+/// backend can check. Packaged in the CLI as `chain-<n>` / `chain-<n>-gap`.
+pub fn chain_design(n: usize, gapped: bool) -> Design {
+    assert!(n >= 1, "chain needs at least one stage");
+    let (mut table, module) = latch_chain(n);
+    let (name, src) = if gapped {
+        // Claims the value arrives one cycle early: refuted by any run
+        // toggling `a`, so the checker must produce a witness lasso.
+        let xs_short = "X ".repeat(n - 1);
+        (format!("chain-{n}-gap"), format!("G(a -> {xs_short}q{n})"))
+    } else {
+        let xs = "X ".repeat(n);
+        (format!("chain-{n}"), format!("G(a -> {xs}q{n})"))
+    };
+    let a = Ltl::parse(&src, &mut table).expect("chain intent parses");
+    Design {
+        // Fixture generators are called a handful of times per process;
+        // leaking the name buys `&'static str` parity with the packaged
+        // designs without rippling `Design.name` to `String`.
+        name: Box::leak(name.into_boxed_str()),
+        arch: ArchSpec::new([("A", a)]),
+        rtl: RtlSpec::new(Vec::<(&str, Ltl)>::new(), [module]),
+        table,
+    }
+}
+
 /// The MAL generalized to `n` request channels (Ex. 2 topology), with the
 /// proportional property suite. Used by the `mc_scaling` bench: the
 /// primary coverage question grows with `n` on both the model side
@@ -217,5 +251,36 @@ mod tests {
     fn wide_mal_scales_property_count() {
         assert!(wide_mal(2).rtl.num_properties() < wide_mal(3).rtl.num_properties());
         assert!(wide_mal(3).rtl.num_properties() < wide_mal(4).rtl.num_properties());
+    }
+
+    #[test]
+    fn chain_design_beyond_explicit_limit_needs_symbolic() {
+        use dic_core::{Backend, CoverageModel, CoreError};
+        let d = chain_design(24, false);
+        assert_eq!(d.name, "chain-24");
+        // The explicit engine refuses this state space…
+        match CoverageModel::build_with_backend(&d.arch, &d.rtl, &d.table, Backend::Explicit) {
+            Err(CoreError::Fsm(dic_fsm::FsmError::TooLarge { .. })) => {}
+            other => panic!("expected the explicit limit to trip, got {other:?}"),
+        }
+        // …while Auto resolves to (pure) symbolic and proves coverage.
+        let model = CoverageModel::build(&d.arch, &d.rtl, &d.table).expect("symbolic builds");
+        assert_eq!(model.primary_backend(), Backend::Symbolic);
+        assert!(!model.has_explicit());
+        let fa = d.arch.properties()[0].formula();
+        let witness = dic_core::primary_coverage(fa, &d.rtl, &model).expect("within limits");
+        assert!(witness.is_none(), "the chain intent holds by construction");
+    }
+
+    #[test]
+    fn gapped_chain_produces_replayable_witness_at_scale() {
+        let d = chain_design(22, true);
+        let model =
+            dic_core::CoverageModel::build(&d.arch, &d.rtl, &d.table).expect("symbolic builds");
+        let fa = d.arch.properties()[0].formula();
+        let witness = dic_core::primary_coverage(fa, &d.rtl, &model)
+            .expect("within limits")
+            .expect("off-by-one intent must be refuted");
+        assert!(!fa.holds_on(&witness), "witness must break the intent");
     }
 }

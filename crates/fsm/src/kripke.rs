@@ -54,13 +54,7 @@ impl Kripke {
         extra_free: &[SignalId],
     ) -> Result<Self, FsmError> {
         let state_vars: Vec<SignalId> = module.state_signals();
-        let driven = module.driven_signals();
-        let mut input_vars: Vec<SignalId> = module.inputs().to_vec();
-        for &s in extra_free {
-            if !driven.contains(&s) && !input_vars.contains(&s) {
-                input_vars.push(s);
-            }
-        }
+        let input_vars: Vec<SignalId> = module.nondet_inputs(extra_free);
         if state_vars.len() + input_vars.len() > KRIPKE_BIT_LIMIT {
             return Err(FsmError::TooLarge {
                 state_bits: state_vars.len(),

@@ -49,4 +49,4 @@ pub mod minimize;
 pub use error::FsmError;
 pub use fsm::{extract_fsm, Fsm, FsmTransition};
 pub use minimize::{quotient, Quotient};
-pub use kripke::{Kripke, StateId};
+pub use kripke::{Kripke, StateId, KRIPKE_BIT_LIMIT};

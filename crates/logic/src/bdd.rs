@@ -81,7 +81,25 @@ pub struct BddManager {
     ite_cache: HashMap<(u32, u32, u32), u32>,
     var_to_signal: Vec<SignalId>,
     signal_to_var: HashMap<SignalId, u32>,
+    /// Interned sorted variable sets for [`BddManager::and_exists`].
+    var_sets: Vec<Vec<u32>>,
+    /// Interned variable pairings for [`BddManager::rename`].
+    pairings: Vec<Vec<(u32, u32)>>,
+    /// Memo for `and_exists`, keyed by `(set, f, g)` with `f <= g`.
+    and_exists_cache: HashMap<(u32, u32, u32), u32>,
+    /// Memo for `rename`, keyed by `(pairing, f)`.
+    rename_cache: HashMap<(u32, u32), u32>,
 }
+
+/// A handle to a registered quantification variable set
+/// (see [`BddManager::register_var_set`]).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct VarSetId(u32);
+
+/// A handle to a registered variable pairing
+/// (see [`BddManager::register_pairing`]).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct PairingId(u32);
 
 impl BddManager {
     /// Creates an empty manager.
@@ -92,6 +110,10 @@ impl BddManager {
             ite_cache: HashMap::new(),
             var_to_signal: Vec::new(),
             signal_to_var: HashMap::new(),
+            var_sets: Vec::new(),
+            pairings: Vec::new(),
+            and_exists_cache: HashMap::new(),
+            rename_cache: HashMap::new(),
         };
         // Index 0 = FALSE, 1 = TRUE.
         m.nodes.push(Node { var: TERMINAL_VAR, lo: 0, hi: 0 });
@@ -129,6 +151,180 @@ impl BddManager {
     /// Number of live nodes (including the two terminals).
     pub fn node_count(&self) -> usize {
         self.nodes.len()
+    }
+
+    /// Total number of entries across the operation memo tables (`ite`,
+    /// `and_exists`, `rename`).
+    ///
+    /// Together with [`BddManager::node_count`] this is the memory-growth
+    /// accounting the symbolic engine's fail-closed limit is built on: the
+    /// node store and the memo tables are the only unbounded allocations in
+    /// the manager.
+    pub fn cache_entries(&self) -> usize {
+        self.ite_cache.len() + self.and_exists_cache.len() + self.rename_cache.len()
+    }
+
+    /// Drops every operation memo table (the unique table and node store are
+    /// kept, so all existing [`Bdd`] handles stay valid and canonical).
+    ///
+    /// Subsequent operations recompute from scratch; callers under memory
+    /// pressure trade time for space.
+    pub fn clear_op_caches(&mut self) {
+        self.ite_cache.clear();
+        self.and_exists_cache.clear();
+        self.rename_cache.clear();
+    }
+
+    /// Registers a set of variables for [`BddManager::and_exists`],
+    /// returning its handle. Registering the same set again returns the
+    /// existing handle.
+    pub fn register_var_set(&mut self, vars: &[u32]) -> VarSetId {
+        let mut sorted: Vec<u32> = vars.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        if let Some(i) = self.var_sets.iter().position(|s| *s == sorted) {
+            return VarSetId(i as u32);
+        }
+        self.var_sets.push(sorted);
+        VarSetId((self.var_sets.len() - 1) as u32)
+    }
+
+    /// Combined and-exists (the *relational product*): `∃ S. f ∧ g` in one
+    /// recursive pass, without ever materializing the conjunction `f ∧ g`.
+    ///
+    /// This is the primitive behind symbolic image/preimage computation: the
+    /// intermediate `T ∧ S` of a naive implementation is routinely orders of
+    /// magnitude larger than either operand or the result, and this operator
+    /// quantifies variables out as soon as the recursion passes their level.
+    pub fn and_exists(&mut self, f: Bdd, g: Bdd, set: VarSetId) -> Bdd {
+        let vars = std::mem::take(&mut self.var_sets[set.0 as usize]);
+        let r = self.and_exists_rec(f, g, &vars, 0, set.0);
+        self.var_sets[set.0 as usize] = vars;
+        r
+    }
+
+    fn and_exists_rec(&mut self, f: Bdd, g: Bdd, vars: &[u32], from: usize, set: u32) -> Bdd {
+        if f.is_false() || g.is_false() {
+            return Bdd::FALSE;
+        }
+        if f.is_true() && g.is_true() {
+            return Bdd::TRUE;
+        }
+        // Normalize for the commutative cache.
+        let (f, g) = if f <= g { (f, g) } else { (g, f) };
+        let key = (set, f.0, g.0);
+        if let Some(&r) = self.and_exists_cache.get(&key) {
+            return Bdd(r);
+        }
+        let v = self.top_var(f).min(self.top_var(g));
+        // Quantified variables above the current level cannot occur below.
+        let mut from = from;
+        while from < vars.len() && vars[from] < v {
+            from += 1;
+        }
+        let (f0, f1) = self.cofactors(f, v);
+        let (g0, g1) = self.cofactors(g, v);
+        let quantify = from < vars.len() && vars[from] == v;
+        let lo = self.and_exists_rec(f0, g0, vars, from, set);
+        let r = if quantify && lo.is_true() {
+            // Short-circuit: lo ∨ hi is true regardless of hi.
+            Bdd::TRUE
+        } else {
+            let hi = self.and_exists_rec(f1, g1, vars, from, set);
+            if quantify {
+                self.or(lo, hi)
+            } else {
+                self.mk(v, lo, hi)
+            }
+        };
+        self.and_exists_cache.insert(key, r.0);
+        r
+    }
+
+    /// Registers a variable pairing for [`BddManager::rename`], returning
+    /// its handle. Registering the same pairing again returns the existing
+    /// handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the pairing is *order-preserving*: sorting by source
+    /// variable must also sort the targets, and no target may collide with a
+    /// source of a different pair. (Current/next state variables allocated
+    /// interleaved satisfy this by construction; the restriction is what
+    /// keeps renaming a single linear rebuild instead of a general compose.)
+    pub fn register_pairing(&mut self, pairs: &[(u32, u32)]) -> PairingId {
+        let mut sorted: Vec<(u32, u32)> = pairs.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        for w in sorted.windows(2) {
+            assert!(
+                w[0].0 != w[1].0,
+                "pairing maps variable {} twice",
+                w[0].0
+            );
+            assert!(
+                w[0].1 < w[1].1,
+                "pairing is not order-preserving: {} -> {} but {} -> {}",
+                w[0].0,
+                w[0].1,
+                w[1].0,
+                w[1].1
+            );
+        }
+        for &(from, to) in &sorted {
+            assert!(
+                from == to || sorted.binary_search_by_key(&to, |&(f, _)| f).is_err(),
+                "pairing target {to} is also a source"
+            );
+        }
+        if let Some(i) = self.pairings.iter().position(|p| *p == sorted) {
+            return PairingId(i as u32);
+        }
+        self.pairings.push(sorted);
+        PairingId((self.pairings.len() - 1) as u32)
+    }
+
+    /// Renames variables of `f` according to a registered pairing
+    /// (simultaneous substitution `f[x := x']` for every `(x, x')` pair).
+    ///
+    /// Used to swap between current-state and next-state variable banks in
+    /// symbolic image computation.
+    pub fn rename(&mut self, f: Bdd, pairing: PairingId) -> Bdd {
+        let pairs = std::mem::take(&mut self.pairings[pairing.0 as usize]);
+        let r = self.rename_rec(f, &pairs, pairing.0);
+        self.pairings[pairing.0 as usize] = pairs;
+        r
+    }
+
+    fn rename_rec(&mut self, f: Bdd, pairs: &[(u32, u32)], pairing: u32) -> Bdd {
+        if f.is_true() || f.is_false() {
+            return f;
+        }
+        let key = (pairing, f.0);
+        if let Some(&r) = self.rename_cache.get(&key) {
+            return Bdd(r);
+        }
+        let n = self.node(f);
+        let lo = self.rename_rec(Bdd(n.lo), pairs, pairing);
+        let hi = self.rename_rec(Bdd(n.hi), pairs, pairing);
+        let var = match pairs.binary_search_by_key(&n.var, |&(from, _)| from) {
+            Ok(i) => pairs[i].1,
+            Err(_) => n.var,
+        };
+        debug_assert!(
+            self.top_var(lo) > var && self.top_var(hi) > var,
+            "pairing broke the variable order at {var}"
+        );
+        let r = self.mk(var, lo, hi);
+        self.rename_cache.insert(key, r.0);
+        r
+    }
+
+    /// Existential quantification over raw variable indices (the symbolic
+    /// engine's state variables are not always backed by table signals).
+    pub fn exists_vars(&mut self, f: Bdd, vars: &[u32]) -> Bdd {
+        let set = self.register_var_set(vars);
+        self.and_exists(f, Bdd::TRUE, set)
     }
 
     fn mk(&mut self, var: u32, lo: Bdd, hi: Bdd) -> Bdd {
@@ -401,6 +597,27 @@ impl BddManager {
             vars.push(self.var_to_signal[v as usize]);
         }
         vars
+    }
+
+    /// The variable indices `f` actually depends on, in variable order.
+    ///
+    /// Like [`BddManager::support`] but in terms of raw variables, for
+    /// callers (the symbolic engine) whose variables are not all backed by
+    /// table signals.
+    pub fn support_vars(&self, f: Bdd) -> Vec<u32> {
+        let mut seen = std::collections::HashSet::new();
+        let mut stack = vec![f];
+        let mut varset = std::collections::BTreeSet::new();
+        while let Some(g) = stack.pop() {
+            if g.is_true() || g.is_false() || !seen.insert(g) {
+                continue;
+            }
+            let n = self.node(g);
+            varset.insert(n.var);
+            stack.push(Bdd(n.lo));
+            stack.push(Bdd(n.hi));
+        }
+        varset.into_iter().collect()
     }
 
     /// Number of BDD nodes reachable from `f` (excluding terminals).
@@ -731,6 +948,114 @@ mod tests {
         assert_eq!(m.support(f), vec![ids[0], ids[2]]);
         assert_eq!(m.size(f), 2);
         assert_eq!(m.size(Bdd::TRUE), 0);
+    }
+
+    #[test]
+    fn and_exists_matches_naive() {
+        let (_t, mut m, ids) = setup();
+        let a = m.var_for_signal(ids[0]);
+        let b = m.var_for_signal(ids[1]);
+        let c = m.var_for_signal(ids[2]);
+        let d = m.var_for_signal(ids[3]);
+        let nb = m.not(b);
+        let f = m.or(a, nb);
+        let cd = m.and(c, d);
+        let g = m.xor(b, cd);
+        let vb = m.var_index(ids[1]);
+        let vc = m.var_index(ids[2]);
+        let set = m.register_var_set(&[vb, vc]);
+        let fast = m.and_exists(f, g, set);
+        let conj = m.and(f, g);
+        let naive = m.exists_all(conj, &[ids[1], ids[2]]);
+        assert_eq!(fast, naive);
+        // Quantifying nothing is plain conjunction.
+        let empty = m.register_var_set(&[]);
+        assert_eq!(m.and_exists(f, g, empty), conj);
+        // One operand true degrades to plain quantification.
+        let quantified = m.exists_all(g, &[ids[1], ids[2]]);
+        assert_eq!(m.and_exists(g, Bdd::TRUE, set), quantified);
+    }
+
+    #[test]
+    fn exists_vars_matches_exists_all() {
+        let (_t, mut m, ids) = setup();
+        let a = m.var_for_signal(ids[0]);
+        let b = m.var_for_signal(ids[1]);
+        let f = m.and(a, b);
+        let va = m.var_index(ids[0]);
+        assert_eq!(m.exists_vars(f, &[va]), m.exists(f, ids[0]));
+    }
+
+    #[test]
+    fn rename_swaps_variable_banks() {
+        // Interleaved banks: a (curr), b (next), c (curr), d (next).
+        let (_t, mut m, ids) = setup();
+        let a = m.var_for_signal(ids[0]);
+        let _b = m.var_for_signal(ids[1]);
+        let c = m.var_for_signal(ids[2]);
+        let _d = m.var_for_signal(ids[3]);
+        let (va, vb, vc, vd) = (
+            m.var_index(ids[0]),
+            m.var_index(ids[1]),
+            m.var_index(ids[2]),
+            m.var_index(ids[3]),
+        );
+        // f over the "next" bank: b & !d.
+        let b = m.var_for_signal(ids[1]);
+        let d = m.var_for_signal(ids[3]);
+        let nd = m.not(d);
+        let f = m.and(b, nd);
+        let next_to_curr = m.register_pairing(&[(vb, va), (vd, vc)]);
+        let renamed = m.rename(f, next_to_curr);
+        let nc = m.not(c);
+        let expect = m.and(a, nc);
+        assert_eq!(renamed, expect);
+        // Functions not mentioning paired variables are untouched.
+        assert_eq!(m.rename(a, next_to_curr), a);
+        assert_eq!(m.rename(Bdd::TRUE, next_to_curr), Bdd::TRUE);
+    }
+
+    #[test]
+    fn registration_is_idempotent() {
+        let (_t, mut m, ids) = setup();
+        let va = m.var_index(ids[0]);
+        let vb = m.var_index(ids[1]);
+        assert_eq!(
+            m.register_var_set(&[vb, va, va]),
+            m.register_var_set(&[va, vb])
+        );
+        assert_eq!(
+            m.register_pairing(&[(va, vb)]),
+            m.register_pairing(&[(va, vb)])
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "order-preserving")]
+    fn non_monotone_pairing_rejected() {
+        let (_t, mut m, ids) = setup();
+        let va = m.var_index(ids[0]);
+        let vb = m.var_index(ids[1]);
+        let vc = m.var_index(ids[2]);
+        let vd = m.var_index(ids[3]);
+        // a -> d and c -> b reverses the order of the targets.
+        m.register_pairing(&[(va, vd), (vc, vb)]);
+    }
+
+    #[test]
+    fn cache_accounting_moves() {
+        let (_t, mut m, ids) = setup();
+        let a = m.var_for_signal(ids[0]);
+        let b = m.var_for_signal(ids[1]);
+        let _f = m.and(a, b);
+        assert!(m.cache_entries() > 0);
+        let before_nodes = m.node_count();
+        m.clear_op_caches();
+        assert_eq!(m.cache_entries(), 0);
+        assert_eq!(m.node_count(), before_nodes, "nodes survive a cache clear");
+        // Handles stay canonical after clearing.
+        let f2 = m.and(a, b);
+        assert_eq!(f2, _f);
     }
 
     #[test]

@@ -115,6 +115,25 @@ impl Module {
             .collect()
     }
 
+    /// The module's nondeterministic inputs extended with `extra_free`:
+    /// declared inputs first, then every extra signal the module does not
+    /// drive, deduplicated in order.
+    ///
+    /// This is *the* state-variable accounting shared by the explicit
+    /// Kripke construction, the symbolic encoding and the backend auto
+    /// selection — one definition, so a size threshold can never disagree
+    /// with the engines' own bit counts.
+    pub fn nondet_inputs(&self, extra_free: &[SignalId]) -> Vec<SignalId> {
+        let driven = self.driven_signals();
+        let mut inputs: Vec<SignalId> = self.inputs.clone();
+        for &s in extra_free {
+            if !driven.contains(&s) && !inputs.contains(&s) {
+                inputs.push(s);
+            }
+        }
+        inputs
+    }
+
     /// Every signal mentioned anywhere in the module.
     pub fn signals(&self) -> BTreeSet<SignalId> {
         let mut all: BTreeSet<SignalId> = self.driven_signals();

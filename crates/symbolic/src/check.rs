@@ -1,0 +1,539 @@
+//! Symbolic LTL checking: GBA product encoding, Emerson–Lei fair-cycle
+//! detection and replayable lasso counterexamples.
+//!
+//! The existential query "is there a run of `M` satisfying every formula?"
+//! is answered fully symbolically:
+//!
+//! 1. each conjunct is translated to a (small, explicit) generalized Büchi
+//!    automaton — the same GPVW translation the explicit engine uses — and
+//!    its state space is *encoded in binary* over fresh BDD variables: the
+//!    automaton transition structure, its literal obligations, its initial
+//!    states and its acceptance sets all become BDDs;
+//! 2. the product of the module's transition relation with every automaton
+//!    relation is never built as a graph: images and preimages run over the
+//!    partitioned conjunct list with early quantification
+//!    ([`dic_logic::BddManager::and_exists`]);
+//! 3. forward reachability restricts the search, and an Emerson–Lei
+//!    greatest fixpoint `νZ. ⋀_j EX E[Z U (Z ∧ F_j)]` finds the states
+//!    with a fair path (one fairness set per acceptance set of every
+//!    automaton);
+//! 4. when the intersection with the initial states is non-empty, a
+//!    deterministic walk through the fixpoint — guided by backward
+//!    "onion-ring" distances to each fairness set — extracts a concrete
+//!    lasso, which is replayed into full signal valuations
+//!    ([`dic_ltl::LassoWord`]) exactly like the explicit engine's
+//!    counterexamples.
+
+use crate::error::SymbolicError;
+use crate::model::SymbolicModel;
+use dic_automata::{translate_cached, Gba};
+use dic_logic::{Bdd, PairingId, SignalId, Valuation, VarSetId};
+use dic_ltl::{LassoWord, Ltl};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// One automaton encoded over a slice of the shared bit pool.
+struct AutEnc {
+    /// Transition structure over this automaton's current/next bits only
+    /// (literal obligations live in `inv`, not here).
+    trans: Bdd,
+    /// `⋁_q enc(q) ∧ literals(q)`: every position must pick a valid state
+    /// code *and* satisfy its literal obligations.
+    inv: Bdd,
+    /// `⋁_{q initial} enc(q)`.
+    init: Bdd,
+    /// One fairness set per acceptance set: `⋁_{q ∈ F_j} enc(q)`.
+    fair: Vec<Bdd>,
+}
+
+/// A per-query product checker: the module plus the encoded automata, with
+/// precomputed quantification schedules for image/preimage.
+struct Check<'a> {
+    m: &'a mut SymbolicModel,
+    /// Transition conjuncts: one per latch, then one per automaton.
+    conjuncts: Vec<Bdd>,
+    /// Current-bank variables whose last occurrence is conjunct `i`
+    /// (image schedule).
+    img_sets: Vec<VarSetId>,
+    /// Current-bank variables no conjunct mentions (quantified up front).
+    img_tail: VarSetId,
+    /// Next-bank variables whose last occurrence is conjunct `i`
+    /// (preimage schedule).
+    pre_sets: Vec<VarSetId>,
+    /// Next-bank variables no conjunct mentions (free inputs).
+    pre_tail: VarSetId,
+    next_to_curr: PairingId,
+    curr_to_next: PairingId,
+    /// Conjunction of every automaton's `inv`.
+    inv: Bdd,
+    /// Module reset ∧ automata initial ∧ `inv`.
+    init: Bdd,
+    /// All fairness sets, flattened across automata.
+    fair: Vec<Bdd>,
+    /// Every current-bank variable of the product (module + automaton).
+    all_curr: Vec<u32>,
+    /// Length for product-state valuations (covers synthetic ids).
+    val_len: usize,
+}
+
+impl SymbolicModel {
+    /// Existential query: is there a run of the model satisfying every
+    /// formula in `formulas` simultaneously? Returns a replayable witness
+    /// lasso if so — the symbolic counterpart of
+    /// [`dic_automata::satisfiable_in_conj`].
+    ///
+    /// # Errors
+    ///
+    /// [`SymbolicError::NodeLimit`] when the BDDs outgrow the configured
+    /// budget, [`SymbolicError::UnknownSignal`] for formula atoms the model
+    /// does not know.
+    pub fn satisfiable_conj(
+        &mut self,
+        formulas: &[Ltl],
+    ) -> Result<Option<LassoWord>, SymbolicError> {
+        let gbas: Vec<Arc<Gba>> = formulas.iter().map(translate_cached).collect();
+        if gbas.iter().any(|g| g.initial().is_empty()) {
+            // Some conjunct is unsatisfiable on its own (e.g. `p ∧ ¬p`).
+            return Ok(None);
+        }
+        let mut check = Check::build(self, &gbas)?;
+        check.run()
+    }
+}
+
+/// Number of binary code bits for an `n`-state automaton.
+fn bits_for(n: usize) -> usize {
+    let mut bits = 1;
+    while (1usize << bits) < n {
+        bits += 1;
+    }
+    bits
+}
+
+impl<'a> Check<'a> {
+    fn build(m: &'a mut SymbolicModel, gbas: &[Arc<Gba>]) -> Result<Self, SymbolicError> {
+        // Allocate a stable slice of the bit pool per automaton.
+        let mut ranges = Vec::with_capacity(gbas.len());
+        let mut cursor = 0usize;
+        for g in gbas {
+            let nbits = bits_for(g.num_states());
+            ranges.push((cursor, nbits));
+            cursor += nbits;
+        }
+        m.ensure_aut_bits(cursor);
+
+        let mut encs = Vec::with_capacity(gbas.len());
+        for (g, &(start, nbits)) in gbas.iter().zip(&ranges) {
+            let bits = m.aut_pool[start..start + nbits].to_vec();
+            encs.push(encode_gba(m, g, &bits)?);
+        }
+
+        // Assemble the plan: conjuncts, invariant, init, fairness.
+        let mut conjuncts = m.trans_latches.clone();
+        let mut inv = Bdd::TRUE;
+        let mut init = m.init;
+        let mut fair = Vec::new();
+        for e in &encs {
+            conjuncts.push(e.trans);
+            inv = m.man.and(inv, e.inv);
+            init = m.man.and(init, e.init);
+            fair.extend(e.fair.iter().copied());
+        }
+        init = m.man.and(init, inv);
+
+        let mut all_curr: Vec<u32> = m.curr_var.clone();
+        let mut all_next: Vec<u32> = m.next_var.clone();
+        for &(c, n) in &m.aut_pool[..cursor] {
+            all_curr.push(c);
+            all_next.push(n);
+        }
+
+        // Early-quantification schedules: a variable can be summed out as
+        // soon as the last conjunct mentioning it has been conjoined.
+        let img_groups = last_occurrence_groups(m, &conjuncts, &all_curr);
+        let pre_groups = last_occurrence_groups(m, &conjuncts, &all_next);
+        let img_sets: Vec<VarSetId> = img_groups
+            .per_conjunct
+            .iter()
+            .map(|vars| m.man.register_var_set(vars))
+            .collect();
+        let img_tail = m.man.register_var_set(&img_groups.unmentioned);
+        let pre_sets: Vec<VarSetId> = pre_groups
+            .per_conjunct
+            .iter()
+            .map(|vars| m.man.register_var_set(vars))
+            .collect();
+        let pre_tail = m.man.register_var_set(&pre_groups.unmentioned);
+
+        let pairs_n2c: Vec<(u32, u32)> =
+            all_next.iter().copied().zip(all_curr.iter().copied()).collect();
+        let pairs_c2n: Vec<(u32, u32)> =
+            all_curr.iter().copied().zip(all_next.iter().copied()).collect();
+        let next_to_curr = m.man.register_pairing(&pairs_n2c);
+        let curr_to_next = m.man.register_pairing(&pairs_c2n);
+
+        let val_len = m.table.len() + m.synth_count;
+        m.check_limit()?;
+        Ok(Check {
+            m,
+            conjuncts,
+            img_sets,
+            img_tail,
+            pre_sets,
+            pre_tail,
+            next_to_curr,
+            curr_to_next,
+            inv,
+            init,
+            fair,
+            all_curr,
+            val_len,
+        })
+    }
+
+    /// The full decision procedure: reachability, fair states, witness.
+    fn run(&mut self) -> Result<Option<LassoWord>, SymbolicError> {
+        if self.init.is_false() {
+            return Ok(None);
+        }
+        let reach = self.reachable()?;
+        let z = self.fair_states(reach)?;
+        let start = self.m.man.and(self.init, z);
+        if start.is_false() {
+            return Ok(None);
+        }
+        let product_lasso = self.extract_lasso(start, z)?;
+        Ok(Some(self.to_word(&product_lasso.0, product_lasso.1)))
+    }
+
+    /// Successor image of `s` (a set over the current bank), restricted to
+    /// the invariant.
+    fn image(&mut self, s: Bdd) -> Result<Bdd, SymbolicError> {
+        let mut acc = self.m.man.and_exists(s, Bdd::TRUE, self.img_tail);
+        for i in 0..self.conjuncts.len() {
+            acc = self.m.man.and_exists(acc, self.conjuncts[i], self.img_sets[i]);
+        }
+        let renamed = self.m.man.rename(acc, self.next_to_curr);
+        let out = self.m.man.and(renamed, self.inv);
+        self.m.check_limit()?;
+        Ok(out)
+    }
+
+    /// Predecessor image of `s`, restricted to the invariant.
+    fn preimage(&mut self, s: Bdd) -> Result<Bdd, SymbolicError> {
+        let shifted = self.m.man.rename(s, self.curr_to_next);
+        let mut acc = self.m.man.and_exists(shifted, Bdd::TRUE, self.pre_tail);
+        for i in 0..self.conjuncts.len() {
+            acc = self.m.man.and_exists(acc, self.conjuncts[i], self.pre_sets[i]);
+        }
+        let out = self.m.man.and(acc, self.inv);
+        self.m.check_limit()?;
+        Ok(out)
+    }
+
+    /// Forward reachability from the initial states (frontier-based).
+    fn reachable(&mut self) -> Result<Bdd, SymbolicError> {
+        let mut reach = self.init;
+        let mut frontier = self.init;
+        loop {
+            let img = self.image(frontier)?;
+            let fresh = diff(self.m, img, reach);
+            if fresh.is_false() {
+                return Ok(reach);
+            }
+            reach = self.m.man.or(reach, fresh);
+            frontier = fresh;
+        }
+    }
+
+    /// `E[inside U target]` (both already restricted to the product
+    /// invariant): least fixpoint of backward steps within `inside`.
+    fn until(&mut self, inside: Bdd, target: Bdd) -> Result<Bdd, SymbolicError> {
+        let mut y = target;
+        loop {
+            let pre = self.preimage(y)?;
+            let step = self.m.man.and(inside, pre);
+            let next = self.m.man.or(y, step);
+            if next == y {
+                return Ok(y);
+            }
+            y = next;
+        }
+    }
+
+    /// The Emerson–Lei greatest fixpoint: states with a fair path, i.e.
+    /// `νZ. ⋀_j EX E[Z U (Z ∧ F_j)]` — or `νZ. EX Z` when no fairness
+    /// sets exist (all conjuncts are safety; any cycle will do).
+    fn fair_states(&mut self, reach: Bdd) -> Result<Bdd, SymbolicError> {
+        let mut z = reach;
+        loop {
+            let z_old = z;
+            if self.fair.is_empty() {
+                let pre = self.preimage(z)?;
+                z = self.m.man.and(z, pre);
+            } else {
+                for j in 0..self.fair.len() {
+                    let target = self.m.man.and(z, self.fair[j]);
+                    let eu = self.until(z, target)?;
+                    let pre = self.preimage(eu)?;
+                    z = self.m.man.and(z, pre);
+                }
+            }
+            if z == z_old {
+                return Ok(z);
+            }
+        }
+    }
+
+    /// Backward BFS "onion rings" from `target` within `z`: `rings[0]` is
+    /// the target, `rings[d]` the states first reaching it in `d` steps.
+    /// Every state of `z` with a path to the target lands in some ring.
+    fn rings_to(&mut self, z: Bdd, target: Bdd) -> Result<Vec<Bdd>, SymbolicError> {
+        let t0 = self.m.man.and(z, target);
+        let mut rings = vec![t0];
+        let mut covered = t0;
+        loop {
+            let last = *rings.last().expect("non-empty");
+            let pre = self.preimage(last)?;
+            let in_z = self.m.man.and(pre, z);
+            let fresh = diff(self.m, in_z, covered);
+            if fresh.is_false() {
+                return Ok(rings);
+            }
+            covered = self.m.man.or(covered, fresh);
+            rings.push(fresh);
+        }
+    }
+
+    /// Picks one concrete product state out of a non-empty set
+    /// (deterministically; unconstrained variables default to 0, which is
+    /// a valid completion of the satisfying cube).
+    fn pick(&mut self, set: Bdd) -> Valuation {
+        let cube = self.m.man.any_sat(set).expect("picked from a non-empty set");
+        let mut v = Valuation::all_false(self.val_len);
+        for l in cube.lits() {
+            v.set(l.signal(), l.polarity());
+        }
+        v
+    }
+
+    /// The characteristic cube of one concrete product state.
+    fn state_cube(&mut self, s: &Valuation) -> Bdd {
+        let mut acc = Bdd::TRUE;
+        for i in 0..self.all_curr.len() {
+            let var = self.all_curr[i];
+            let sig = self.m.man.signal_of_var(var);
+            let v = self.m.var_bdd(var);
+            let lit = if s.get(sig) { v } else { self.m.man.not(v) };
+            acc = self.m.man.and(acc, lit);
+        }
+        acc
+    }
+
+    fn holds(&self, set: Bdd, s: &Valuation) -> bool {
+        self.m.man.eval(set, s)
+    }
+
+    /// Extracts a concrete lasso inside the fair hull `z`, starting from a
+    /// state of `start ⊆ z`.
+    ///
+    /// With fairness sets, the walk services them round-robin, always
+    /// stepping one ring closer to the pending set; whenever a full round
+    /// completes at an already-seen round boundary, the segment between the
+    /// two occurrences contains every fairness set and closes the loop.
+    /// The walk is deterministic in (state, pending set), so a boundary
+    /// must eventually repeat.
+    fn extract_lasso(
+        &mut self,
+        start: Bdd,
+        z: Bdd,
+    ) -> Result<(Vec<Valuation>, usize), SymbolicError> {
+        let first = self.pick(start);
+        if self.fair.is_empty() {
+            // Any cycle within z: walk arbitrary successors until a state
+            // repeats (z is closed under "has a successor in z").
+            let mut seq = vec![first.clone()];
+            let mut index: HashMap<Valuation, usize> = HashMap::from([(first, 0)]);
+            loop {
+                let cube = self.state_cube(seq.last().expect("non-empty"));
+                let img = self.image(cube)?;
+                let succ = self.m.man.and(img, z);
+                let next = self.pick(succ);
+                if let Some(&i) = index.get(&next) {
+                    return Ok((seq, i));
+                }
+                index.insert(next.clone(), seq.len());
+                seq.push(next);
+            }
+        }
+
+        let fairs = self.fair.clone();
+        let mut rings = Vec::with_capacity(fairs.len());
+        for &f in &fairs {
+            rings.push(self.rings_to(z, f)?);
+        }
+        let k = fairs.len();
+        let mut seq = vec![first];
+        let mut boundary: HashMap<Valuation, usize> = HashMap::new();
+        let mut j = 0usize;
+        loop {
+            let cur = seq.last().expect("non-empty").clone();
+            // Retire every pending fairness set the current state satisfies
+            // (at most one sweep over all k, to avoid spinning when one
+            // state satisfies every set).
+            let mut retired = 0;
+            while retired < k && self.holds(rings[j][0], &cur) {
+                if j == k - 1 {
+                    // A full round just completed here.
+                    let idx = seq.len() - 1;
+                    if let Some(&i) = boundary.get(&cur) {
+                        // seq[idx] == seq[i]: drop the duplicate; the loop
+                        // [i..idx) contains a complete round.
+                        seq.pop();
+                        return Ok((seq, i));
+                    }
+                    boundary.insert(cur.clone(), idx);
+                }
+                j = (j + 1) % k;
+                retired += 1;
+            }
+            // One step: toward the pending set if it is elsewhere, or
+            // anywhere within z if the current state already provides it.
+            let cube = self.state_cube(&cur);
+            let img = self.image(cube)?;
+            let d = rings[j]
+                .iter()
+                .position(|&r| self.holds(r, &cur))
+                .expect("every fair-hull state reaches every fairness set");
+            let goal = if d == 0 { z } else { rings[j][d - 1] };
+            let succ = self.m.man.and(img, goal);
+            let next = self.pick(succ);
+            seq.push(next);
+        }
+    }
+
+    /// Replays a product lasso into full signal valuations: state signals
+    /// are copied from the product state, wires are settled through the
+    /// module logic — the exact label construction of the explicit Kripke
+    /// structure, so witnesses replay on the simulator identically.
+    fn to_word(&self, seq: &[Valuation], loop_start: usize) -> LassoWord {
+        let words: Vec<Valuation> = seq
+            .iter()
+            .map(|s| {
+                let mut v = Valuation::all_false(self.m.table.len());
+                for &sig in &self.m.state_signals {
+                    v.set(sig, s.get(sig));
+                }
+                self.m.module.eval_wires(&mut v);
+                v
+            })
+            .collect();
+        LassoWord::new(words, loop_start).expect("walk produced a loop")
+    }
+}
+
+/// `a ∧ ¬b` in one ite.
+fn diff(m: &mut SymbolicModel, a: Bdd, b: Bdd) -> Bdd {
+    m.man.ite(b, Bdd::FALSE, a)
+}
+
+/// Variables grouped by the last conjunct whose support mentions them.
+struct OccurrenceGroups {
+    per_conjunct: Vec<Vec<u32>>,
+    unmentioned: Vec<u32>,
+}
+
+fn last_occurrence_groups(
+    m: &SymbolicModel,
+    conjuncts: &[Bdd],
+    bank: &[u32],
+) -> OccurrenceGroups {
+    let mut last: HashMap<u32, usize> = HashMap::new();
+    for (i, &c) in conjuncts.iter().enumerate() {
+        for v in m.man.support_vars(c) {
+            if bank.contains(&v) {
+                last.insert(v, i);
+            }
+        }
+    }
+    let mut per_conjunct = vec![Vec::new(); conjuncts.len()];
+    let mut unmentioned = Vec::new();
+    for &v in bank {
+        match last.get(&v) {
+            Some(&i) => per_conjunct[i].push(v),
+            None => unmentioned.push(v),
+        }
+    }
+    OccurrenceGroups {
+        per_conjunct,
+        unmentioned,
+    }
+}
+
+/// Encodes one GBA over `bits` (a `(curr, next)` variable pair per code
+/// bit): transition structure, literal invariant, initial set, fairness.
+fn encode_gba(
+    m: &mut SymbolicModel,
+    gba: &Gba,
+    bits: &[(u32, u32)],
+) -> Result<AutEnc, SymbolicError> {
+    let enc = |m: &mut SymbolicModel, q: u32, next_bank: bool| -> Bdd {
+        let mut acc = Bdd::TRUE;
+        for (b, &(cv, nv)) in bits.iter().enumerate() {
+            let var = if next_bank { nv } else { cv };
+            let v = m.var_bdd(var);
+            let lit = if q >> b & 1 == 1 { v } else { m.man.not(v) };
+            acc = m.man.and(acc, lit);
+        }
+        acc
+    };
+
+    let n = gba.num_states() as u32;
+    let mut trans = Bdd::FALSE;
+    let mut inv = Bdd::FALSE;
+    let mut init = Bdd::FALSE;
+    let mut fair = vec![Bdd::FALSE; gba.num_acceptance_sets() as usize];
+    for q in 0..n {
+        let eq = enc(m, q, false);
+
+        // Successor choice: enc(q) ∧ ⋁_{q'} enc'(q').
+        let mut succs = Bdd::FALSE;
+        for &q2 in gba.successors(q) {
+            let eq2 = enc(m, q2, true);
+            succs = m.man.or(succs, eq2);
+        }
+        let step = m.man.and(eq, succs);
+        trans = m.man.or(trans, step);
+
+        // Literal obligations of q over the current signal bank.
+        let mut lits = Bdd::TRUE;
+        for l in gba.state(q).literals() {
+            let sig = signal_lit(m, l.signal(), l.polarity())?;
+            lits = m.man.and(lits, sig);
+        }
+        let obliged = m.man.and(eq, lits);
+        inv = m.man.or(inv, obliged);
+
+        for (j, f) in fair.iter_mut().enumerate() {
+            if gba.state(q).acc_bits() >> j & 1 == 1 {
+                *f = m.man.or(*f, eq);
+            }
+        }
+    }
+    for &q in gba.initial() {
+        let eq = enc(m, q, false);
+        init = m.man.or(init, eq);
+    }
+    Ok(AutEnc {
+        trans,
+        inv,
+        init,
+        fair,
+    })
+}
+
+/// The BDD of a signal literal over the current bank.
+fn signal_lit(m: &mut SymbolicModel, s: SignalId, polarity: bool) -> Result<Bdd, SymbolicError> {
+    let f = m.signal_bdd(s)?;
+    Ok(if polarity { f } else { m.man.not(f) })
+}

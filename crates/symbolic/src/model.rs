@@ -1,0 +1,390 @@
+//! Symbolic encoding of a netlist: transition relation over BDD variable
+//! banks, never materializing states.
+//!
+//! A *symbolic state* is an assignment to the **state signals** — the
+//! module's latches plus its nondeterministic inputs (declared inputs and
+//! the spec signals passed as `extra_free`), exactly the state notion of
+//! the explicit [`dic_fsm::Kripke`] structure. Every state signal gets two
+//! BDD variables, a *current* and a *next* one, allocated interleaved
+//! (`curr(s) < next(s) < curr(s')`) so that swapping banks is an
+//! order-preserving rename ([`dic_logic::BddManager::rename`]).
+//!
+//! Combinational wires never get variables: their functions are built once
+//! as BDDs over the current bank and substituted wherever a property or
+//! automaton literal mentions them. The transition relation stays
+//! *partitioned* — one conjunct `next(l) ↔ f_l(current)` per latch — so
+//! image computation can interleave conjunction with early quantification
+//! through the combined and-exists operator instead of ever building the
+//! monolithic relation.
+
+use crate::error::SymbolicError;
+use dic_logic::{Bdd, BddManager, BoolExpr, SignalId, SignalTable};
+use dic_netlist::Module;
+use std::collections::HashMap;
+
+/// Default budget for live BDD nodes (see [`SymbolicOptions::node_limit`]).
+///
+/// At roughly 60 bytes per node (node store + unique table entry) this
+/// bounds the manager around 360 MB before the engine refuses — sized so
+/// every packaged design fits with headroom (mal-26's primary question
+/// peaks near 2.5 M nodes) while still failing closed long before a
+/// development container OOMs.
+pub const DEFAULT_NODE_LIMIT: usize = 6_000_000;
+
+/// Automaton state bits pre-allocated *above* the module variable banks.
+///
+/// BDD variable order is registration order, and sets produced by the
+/// fair-cycle fixpoints are typically "multiplexers": a disjunction over
+/// automaton codes of per-code signal conditions. With the code bits at
+/// the top of the order such a set is the disjoint union of its branches
+/// (linear); with the code bits at the bottom every signal combination
+/// must be remembered before the code is read (exponential). Queries
+/// needing more bits than this still work — overflow bits are allocated
+/// below the banks — they just lose the good ordering.
+pub const AUT_BITS_ON_TOP: usize = 160;
+
+/// Tuning knobs for the symbolic engine.
+#[derive(Clone, Copy, Debug)]
+pub struct SymbolicOptions {
+    /// Fail-closed budget for live BDD nodes, checked between fixpoint
+    /// steps (the symbolic analogue of `dic_fsm::KRIPKE_BIT_LIMIT`).
+    pub node_limit: usize,
+}
+
+impl Default for SymbolicOptions {
+    /// The default budget, overridable through the
+    /// `SPECMATCHER_BDD_NODE_LIMIT` environment variable (an escape hatch
+    /// for models just past [`DEFAULT_NODE_LIMIT`] on machines with memory
+    /// to spare — the limit exists to fail closed, not to cap capability).
+    fn default() -> Self {
+        let node_limit = std::env::var("SPECMATCHER_BDD_NODE_LIMIT")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(DEFAULT_NODE_LIMIT);
+        SymbolicOptions { node_limit }
+    }
+}
+
+/// A netlist encoded as BDDs: variable banks, partitioned transition
+/// relation, initial states and wire functions.
+///
+/// Build one per model with [`SymbolicModel::from_module`], then answer
+/// existential LTL queries with
+/// [`SymbolicModel::satisfiable_conj`](crate::check). The BDD manager is
+/// owned by the model and shared across queries, so repeated checks reuse
+/// node structure and operation caches.
+#[derive(Debug)]
+pub struct SymbolicModel {
+    pub(crate) man: BddManager,
+    pub(crate) module: Module,
+    /// Snapshot of the signal table at build time (diagnostics + word
+    /// reconstruction; the model is only meaningful for formulas whose
+    /// atoms were interned before the snapshot).
+    pub(crate) table: SignalTable,
+    /// State signals: latch outputs first, then nondeterministic inputs.
+    pub(crate) state_signals: Vec<SignalId>,
+    pub(crate) n_latches: usize,
+    /// Current/next variable index per state signal (parallel to
+    /// `state_signals`).
+    pub(crate) curr_var: Vec<u32>,
+    pub(crate) next_var: Vec<u32>,
+    /// Signal → BDD over the current bank, for every signal a literal may
+    /// mention: latches and inputs map to their variable, wires to their
+    /// substituted function.
+    pub(crate) sig_bdd: HashMap<SignalId, Bdd>,
+    /// One conjunct `next(l) ↔ f_l(current)` per latch, in latch order.
+    pub(crate) trans_latches: Vec<Bdd>,
+    /// Reset states: latches at their init values, inputs free.
+    pub(crate) init: Bdd,
+    /// Synthetic ids handed to the manager for next-bank and automaton
+    /// variables; the next fresh one is `table.len() + synth_count`.
+    pub(crate) synth_count: usize,
+    /// Pool of automaton state bits, `(curr var, next var)` per bit,
+    /// reused across queries (bit `i` always maps to the same variables).
+    pub(crate) aut_pool: Vec<(u32, u32)>,
+    pub(crate) options: SymbolicOptions,
+}
+
+impl SymbolicModel {
+    /// Encodes `module` with `extra_free` signals (spec signals the module
+    /// does not drive) as additional nondeterministic inputs — the same
+    /// contract as [`dic_fsm::Kripke::from_module`], without the explicit
+    /// state-space limit.
+    ///
+    /// # Errors
+    ///
+    /// [`SymbolicError::NodeLimit`] if encoding the next-state functions
+    /// alone exceeds the node budget (pathological netlists only).
+    pub fn from_module(
+        module: &Module,
+        table: &SignalTable,
+        extra_free: &[SignalId],
+        options: SymbolicOptions,
+    ) -> Result<Self, SymbolicError> {
+        let mut m = SymbolicModel {
+            man: BddManager::new(),
+            module: module.clone(),
+            table: table.clone(),
+            state_signals: Vec::new(),
+            n_latches: 0,
+            curr_var: Vec::new(),
+            next_var: Vec::new(),
+            sig_bdd: HashMap::new(),
+            trans_latches: Vec::new(),
+            init: Bdd::TRUE,
+            synth_count: 0,
+            aut_pool: Vec::new(),
+            options,
+        };
+
+        // Automaton bits first: the top of the variable order (see
+        // [`AUT_BITS_ON_TOP`]).
+        m.ensure_aut_bits(AUT_BITS_ON_TOP);
+
+        // State signals: latches, then declared inputs, then free spec
+        // signals (dedup'd, driven ones ignored) — the same accounting as
+        // the explicit Kripke constructor.
+        let latch_signals = module.state_signals();
+        m.n_latches = latch_signals.len();
+        let inputs = module.nondet_inputs(extra_free);
+        m.state_signals = latch_signals.into_iter().chain(inputs).collect();
+
+        // Interleaved variable banks: curr(s) immediately above next(s).
+        for i in 0..m.state_signals.len() {
+            let s = m.state_signals[i];
+            let curr = m.man.var_index(s);
+            let next = m.fresh_var();
+            m.curr_var.push(curr);
+            m.next_var.push(next);
+            let v = m.man.var_for_signal(s);
+            m.sig_bdd.insert(s, v);
+        }
+
+        // Wire functions over the current bank, in dependency order.
+        for &wi in module.wire_order() {
+            let w = &module.wires()[wi];
+            let f = m.expr_bdd(w.func())?;
+            m.sig_bdd.insert(w.output(), f);
+        }
+
+        // Partitioned transition relation and initial states.
+        for (li, latch) in module.latches().iter().enumerate() {
+            let f = m.expr_bdd(latch.next())?;
+            let nv = m.var_bdd(m.next_var[li]);
+            let conjunct = m.man.iff(nv, f);
+            m.trans_latches.push(conjunct);
+
+            let cv = m.var_bdd(m.curr_var[li]);
+            let lit = if latch.init() { cv } else { m.man.not(cv) };
+            m.init = m.man.and(m.init, lit);
+        }
+        m.check_limit()?;
+        Ok(m)
+    }
+
+    /// Number of state bits (latches + nondeterministic inputs) — the
+    /// quantity the explicit engine compares against its bit limit, and
+    /// what `Backend::Auto` thresholds on.
+    pub fn state_bits(&self) -> usize {
+        self.state_signals.len()
+    }
+
+    /// Number of latch bits.
+    pub fn num_latches(&self) -> usize {
+        self.n_latches
+    }
+
+    /// Live BDD nodes in the owned manager.
+    pub fn node_count(&self) -> usize {
+        self.man.node_count()
+    }
+
+    /// Operation-cache entries in the owned manager.
+    pub fn cache_entries(&self) -> usize {
+        self.man.cache_entries()
+    }
+
+    /// The configured node budget.
+    pub fn node_limit(&self) -> usize {
+        self.options.node_limit
+    }
+
+    /// Fails closed once the manager outgrows its budget; called between
+    /// fixpoint steps so the error surfaces before memory pressure does.
+    pub(crate) fn check_limit(&self) -> Result<(), SymbolicError> {
+        let nodes = self.man.node_count();
+        if nodes > self.options.node_limit {
+            return Err(SymbolicError::NodeLimit {
+                nodes,
+                cache_entries: self.man.cache_entries(),
+                limit: self.options.node_limit,
+            });
+        }
+        Ok(())
+    }
+
+    /// Allocates a fresh manager variable backed by a synthetic signal id
+    /// (next-bank and automaton variables have no table entry).
+    pub(crate) fn fresh_var(&mut self) -> u32 {
+        let id = SignalId::from_index(self.table.len() + self.synth_count);
+        self.synth_count += 1;
+        self.man.var_index(id)
+    }
+
+    /// Ensures the automaton bit pool holds at least `n` bits and returns
+    /// nothing; bit `i` is stable across queries, so reusing the pool keeps
+    /// the variable count bounded no matter how many queries run.
+    pub(crate) fn ensure_aut_bits(&mut self, n: usize) {
+        while self.aut_pool.len() < n {
+            let curr = self.fresh_var();
+            let next = self.fresh_var();
+            self.aut_pool.push((curr, next));
+        }
+    }
+
+    /// The single-variable function for a raw variable index.
+    pub(crate) fn var_bdd(&mut self, var: u32) -> Bdd {
+        let sig = self.man.signal_of_var(var);
+        self.man.var_for_signal(sig)
+    }
+
+    /// The BDD of a signal over the current bank (latch/input variable or
+    /// substituted wire function).
+    pub(crate) fn signal_bdd(&self, s: SignalId) -> Result<Bdd, SymbolicError> {
+        self.sig_bdd
+            .get(&s)
+            .copied()
+            .ok_or_else(|| SymbolicError::UnknownSignal {
+                name: if s.index() < self.table.len() {
+                    self.table.name(s).to_owned()
+                } else {
+                    format!("{s:?}")
+                },
+            })
+    }
+
+    /// Builds the BDD of a wire/latch function, substituting state
+    /// variables and previously built wire functions.
+    fn expr_bdd(&mut self, e: &BoolExpr) -> Result<Bdd, SymbolicError> {
+        Ok(match e {
+            BoolExpr::Const(true) => Bdd::TRUE,
+            BoolExpr::Const(false) => Bdd::FALSE,
+            BoolExpr::Var(s) => self.signal_bdd(*s)?,
+            BoolExpr::Not(inner) => {
+                let f = self.expr_bdd(inner)?;
+                self.man.not(f)
+            }
+            BoolExpr::And(parts) => {
+                let mut acc = Bdd::TRUE;
+                for p in parts {
+                    let f = self.expr_bdd(p)?;
+                    acc = self.man.and(acc, f);
+                    if acc.is_false() {
+                        break;
+                    }
+                }
+                acc
+            }
+            BoolExpr::Or(parts) => {
+                let mut acc = Bdd::FALSE;
+                for p in parts {
+                    let f = self.expr_bdd(p)?;
+                    acc = self.man.or(acc, f);
+                    if acc.is_true() {
+                        break;
+                    }
+                }
+                acc
+            }
+            BoolExpr::Xor(a, b) => {
+                let fa = self.expr_bdd(a)?;
+                let fb = self.expr_bdd(b)?;
+                self.man.xor(fa, fb)
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dic_netlist::ModuleBuilder;
+
+    fn simple() -> (SignalTable, Module) {
+        let mut t = SignalTable::new();
+        let mut b = ModuleBuilder::new("simple", &mut t);
+        let a = b.input("a");
+        let bb = b.input("b");
+        b.latch(
+            "c",
+            BoolExpr::and([BoolExpr::var(a), BoolExpr::var(bb)]),
+            false,
+        );
+        let m = b.finish().expect("valid");
+        (t, m)
+    }
+
+    #[test]
+    fn banks_are_interleaved() {
+        let (t, m) = simple();
+        let sm =
+            SymbolicModel::from_module(&m, &t, &[], SymbolicOptions::default()).expect("builds");
+        assert_eq!(sm.state_bits(), 3); // c, a, b
+        assert_eq!(sm.num_latches(), 1);
+        for i in 0..sm.state_bits() {
+            assert_eq!(sm.next_var[i], sm.curr_var[i] + 1, "curr/next adjacent");
+        }
+        assert_eq!(sm.trans_latches.len(), 1);
+        assert!(!sm.init.is_false());
+    }
+
+    #[test]
+    fn extra_free_extends_the_state() {
+        let (mut t, m) = simple();
+        let r = t.intern("r_free");
+        let c = t.lookup("c").unwrap();
+        let sm = SymbolicModel::from_module(&m, &t, &[r, c], SymbolicOptions::default())
+            .expect("builds");
+        // r is free (added); c is driven (ignored).
+        assert_eq!(sm.state_bits(), 4);
+        assert!(sm.state_signals.contains(&r));
+    }
+
+    #[test]
+    fn wire_functions_are_substituted() {
+        let mut t = SignalTable::new();
+        let mut b = ModuleBuilder::new("m", &mut t);
+        let a = b.input("a");
+        let c = b.table().intern("c");
+        b.latch("c", BoolExpr::var(a), false);
+        let w = b.or_gate("w", [a, c], []);
+        let m = b.finish().expect("valid");
+        let mut sm =
+            SymbolicModel::from_module(&m, &t, &[], SymbolicOptions::default()).expect("builds");
+        let wf = sm.signal_bdd(w).expect("wire known");
+        let va = sm.man.var_for_signal(a);
+        let vc = sm.man.var_for_signal(c);
+        let expect = sm.man.or(va, vc);
+        assert_eq!(wf, expect, "w = a | c over the current bank");
+    }
+
+    #[test]
+    fn unknown_signal_is_reported() {
+        let (mut t, m) = simple();
+        let ghost = t.intern("ghost");
+        let sm =
+            SymbolicModel::from_module(&m, &t, &[], SymbolicOptions::default()).expect("builds");
+        match sm.signal_bdd(ghost) {
+            Err(SymbolicError::UnknownSignal { name }) => assert_eq!(name, "ghost"),
+            other => panic!("expected UnknownSignal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn tiny_node_limit_fails_closed() {
+        let (t, m) = simple();
+        let err = SymbolicModel::from_module(&m, &t, &[], SymbolicOptions { node_limit: 2 })
+            .expect_err("limit of 2 nodes cannot hold the relation");
+        assert!(matches!(err, SymbolicError::NodeLimit { limit: 2, .. }));
+    }
+}

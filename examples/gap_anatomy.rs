@@ -42,7 +42,7 @@ fn main() {
 
     // Phase 1 — the primary coverage question (Theorem 1).
     let t0 = Instant::now();
-    let witness = primary_coverage(fa, &d.rtl, &model);
+    let witness = primary_coverage(fa, &d.rtl, &model).expect("within backend limits");
     println!("\n== Primary coverage (Theorem 1): {:?}", t0.elapsed());
     let Some(run) = witness else {
         println!("covered — nothing to explain");

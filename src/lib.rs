@@ -11,7 +11,8 @@
 //! | RTL | [`netlist`] | modules, SNL format, simulator |
 //! | Semantics | [`fsm`] | FSM extraction, Kripke structures |
 //! | Checking | [`automata`] | GPVW, emptiness, model checker |
-//! | Coverage | [`core`] | Theorems 1–2, Algorithm 1, the SpecMatcher pipeline |
+//! | Symbolic | [`symbolic`] | BDD transition relations, reachability, fair cycles |
+//! | Coverage | [`core`] | Theorems 1–2, Algorithm 1, backend selection, the SpecMatcher pipeline |
 //! | Workloads | [`designs`] | MAL, AMBA AHB, pipeline, scaling generators |
 //!
 //! See the workspace `README.md` for a guided tour, `DESIGN.md` for the
@@ -94,3 +95,4 @@ pub use dic_fsm as fsm;
 pub use dic_logic as logic;
 pub use dic_ltl as ltl;
 pub use dic_netlist as netlist;
+pub use dic_symbolic as symbolic;

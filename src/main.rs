@@ -1,12 +1,17 @@
 //! The `specmatcher` command-line tool.
 //!
 //! ```text
-//! specmatcher check --design <name> [--json]   run a packaged design
-//! specmatcher check --snl <file> --spec <file> run user-provided RTL + spec
-//! specmatcher table1                           regenerate the paper's Table 1
+//! specmatcher check --design <name> [--backend B] [--json]   run a packaged design
+//! specmatcher check --snl <file> --spec <file> [--backend B] run user RTL + spec
+//! specmatcher table1 [--backend B] [--quick]   regenerate the paper's Table 1
 //! specmatcher fsm --design <name>              dump concrete-module FSMs (DOT)
 //! specmatcher list                             list packaged designs
 //! ```
+//!
+//! `--backend` selects the model-checking engine for the primary coverage
+//! question: `explicit` (state enumeration, refuses large models),
+//! `symbolic` (BDD reachability + fair cycles) or `auto` (the default:
+//! explicit for small state spaces, symbolic past the threshold).
 //!
 //! Spec files contain one property per line:
 //!
@@ -18,8 +23,8 @@
 //! rtl FAIR = G F hit
 //! ```
 
-use dic_core::{ArchSpec, GapConfig, RtlSpec, SpecMatcher, TmStyle};
-use dic_designs::{mal, table1_designs, Design};
+use dic_core::{ArchSpec, Backend, GapConfig, RtlSpec, SpecMatcher, TmStyle};
+use dic_designs::{mal, scaling, table1_designs, Design};
 use dic_fsm::extract_fsm;
 use dic_logic::SignalTable;
 use dic_ltl::Ltl;
@@ -44,13 +49,15 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
     };
     match cmd.as_str() {
         "check" => cmd_check(&args[1..]),
-        "table1" => cmd_table1(),
+        "table1" => cmd_table1(&args[1..]),
         "fsm" => cmd_fsm(&args[1..]),
         "list" => {
             for d in table1_designs() {
                 println!("{}", d.name);
             }
             println!("{}", mal::ex1().name);
+            println!("chain-<n>        (scaling: n-stage latch chain, covered)");
+            println!("chain-<n>-gap    (scaling: off-by-one intent, gapped)");
             Ok(ExitCode::SUCCESS)
         }
         "--help" | "-h" | "help" => {
@@ -63,7 +70,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
 
 fn print_usage() {
     eprintln!(
-        "usage:\n  specmatcher check --design <name> [--json]\n  specmatcher check --snl <file> --spec <file> [--json]\n  specmatcher table1\n  specmatcher fsm --design <name>\n  specmatcher list"
+        "usage:\n  specmatcher check --design <name> [--backend explicit|symbolic|auto] [--json]\n  specmatcher check --snl <file> --spec <file> [--backend ...] [--json]\n  specmatcher table1 [--backend ...] [--quick]\n  specmatcher fsm --design <name>\n  specmatcher list\n\nbackends: explicit = state enumeration (paper-faithful, limited size),\n          symbolic = BDD reachability + fair cycles (scales further),\n          auto     = pick by state-space size (default)"
     );
 }
 
@@ -74,7 +81,31 @@ fn option<'a>(args: &'a [String], key: &str) -> Option<&'a str> {
         .map(String::as_str)
 }
 
+fn backend_option(args: &[String]) -> Result<Backend, String> {
+    match option(args, "--backend") {
+        None if args.iter().any(|a| a == "--backend") => {
+            Err("--backend needs a value: explicit, symbolic or auto".into())
+        }
+        None => Ok(Backend::Auto),
+        Some(s) => Backend::parse(s)
+            .ok_or_else(|| format!("unknown backend {s:?}; use explicit, symbolic or auto")),
+    }
+}
+
 fn find_design(name: &str) -> Result<Design, String> {
+    // The chain-<n>[-gap] scaling family is generated on demand.
+    if let Some(rest) = name.strip_prefix("chain-") {
+        let (n_str, gapped) = match rest.strip_suffix("-gap") {
+            Some(n_str) => (n_str, true),
+            None => (rest, false),
+        };
+        if let Ok(n) = n_str.parse::<usize>() {
+            if (1..=62).contains(&n) {
+                return Ok(scaling::chain_design(n, gapped));
+            }
+        }
+        return Err(format!("unknown design {name:?}; chain stages must be 1..=62"));
+    }
     let mut all = table1_designs();
     all.push(mal::ex1());
     all.into_iter()
@@ -84,7 +115,8 @@ fn find_design(name: &str) -> Result<Design, String> {
 
 fn cmd_check(args: &[String]) -> Result<ExitCode, String> {
     let json = args.iter().any(|a| a == "--json");
-    let matcher = SpecMatcher::new(GapConfig::default());
+    let backend = backend_option(args)?;
+    let matcher = SpecMatcher::new(GapConfig::default()).with_backend(backend);
     let (design, run) = if let Some(name) = option(args, "--design") {
         let design = find_design(name)?;
         let run = design.check(&matcher).map_err(|e| e.to_string())?;
@@ -153,24 +185,84 @@ fn parse_spec(src: &str, table: &mut SignalTable) -> Result<(NamedProps, NamedPr
     Ok((arch, rtl))
 }
 
-fn cmd_table1() -> Result<ExitCode, String> {
-    let matcher = SpecMatcher::new(GapConfig::default()).with_tm_style(TmStyle::Enumerated);
+fn cmd_table1(args: &[String]) -> Result<ExitCode, String> {
+    let backend = backend_option(args)?;
+    if args.iter().any(|a| a == "--quick") {
+        return cmd_table1_quick(backend);
+    }
+    let matcher = SpecMatcher::new(GapConfig::default())
+        .with_tm_style(TmStyle::Enumerated)
+        .with_backend(backend);
     println!(
-        "{:<14} {:>9} {:>12} {:>12} {:>12}",
-        "Circuit", "RTL props", "Primary (s)", "TM (s)", "Gap (s)"
+        "{:<14} {:>9} {:>9} {:>12} {:>12} {:>12}",
+        "Circuit", "RTL props", "backend", "Primary (s)", "TM (s)", "Gap (s)"
     );
     for design in table1_designs() {
         let run = design.check(&matcher).map_err(|e| e.to_string())?;
         println!(
-            "{:<14} {:>9} {:>12.4} {:>12.4} {:>12.4}",
+            "{:<14} {:>9} {:>9} {:>12.4} {:>12.4} {:>12.4}",
             design.name,
             run.num_rtl_properties,
+            run.backend.to_string(),
             run.timings.primary.as_secs_f64(),
             run.timings.tm_build.as_secs_f64(),
             run.timings.gap_find.as_secs_f64(),
         );
     }
     Ok(ExitCode::SUCCESS)
+}
+
+/// `table1 --quick`: the primary coverage question only (no gap finding,
+/// no enumerated `T_M`), over the Table 1 designs *plus* a scaling row the
+/// explicit engine cannot handle — with every verdict pinned. This is the
+/// CI smoke test: a backend-selection regression (wrong engine, wrong
+/// verdict) or a reintroduced state-explosion cliff fails the run instead
+/// of silently slowing it.
+fn cmd_table1_quick(backend: Backend) -> Result<ExitCode, String> {
+    use dic_core::CoverageModel;
+    use std::time::Instant;
+
+    // (design, primary coverage holds?)
+    let rows: Vec<(Design, bool)> = vec![
+        (mal::mal26(), false),
+        (dic_designs::pipeline::pipeline12(), false),
+        (dic_designs::amba::ahb29(), false),
+        (mal::ex2(), false),
+        (mal::ex1(), true),
+        (scaling::chain_design(24, false), true),
+        (scaling::chain_design(22, true), false),
+    ];
+    println!(
+        "{:<14} {:>9} {:>9} {:>12}  verdict",
+        "Circuit", "RTL props", "backend", "Primary (s)"
+    );
+    let mut ok = true;
+    for (design, expect_covered) in rows {
+        let t0 = Instant::now();
+        let model =
+            CoverageModel::build_with_backend(&design.arch, &design.rtl, &design.table, backend)
+                .map_err(|e| format!("{}: {e}", design.name))?;
+        let fa = design.arch.properties()[0].formula();
+        let witness = dic_core::primary_coverage(fa, &design.rtl, &model)
+            .map_err(|e| format!("{}: {e}", design.name))?;
+        let covered = witness.is_none();
+        let verdict_ok = covered == expect_covered;
+        ok &= verdict_ok;
+        println!(
+            "{:<14} {:>9} {:>9} {:>12.4}  {}{}",
+            design.name,
+            design.rtl.num_properties(),
+            model.primary_backend().to_string(),
+            t0.elapsed().as_secs_f64(),
+            if covered { "covered" } else { "gap" },
+            if verdict_ok { "" } else { "  << UNEXPECTED" },
+        );
+    }
+    if ok {
+        Ok(ExitCode::SUCCESS)
+    } else {
+        Err("quick table1 verdicts diverged from the pinned expectations".into())
+    }
 }
 
 fn cmd_fsm(args: &[String]) -> Result<ExitCode, String> {

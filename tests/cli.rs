@@ -53,6 +53,54 @@ fn json_output_is_structured() {
 }
 
 #[test]
+fn both_backends_honor_the_exit_code_contract() {
+    // 0 = covered, 1 = gap, 2 = usage/model error — for every backend.
+    for backend in ["explicit", "symbolic", "auto"] {
+        let out = specmatcher(&["check", "--design", "mal-ex1", "--backend", backend]);
+        assert_eq!(
+            out.status.code(),
+            Some(0),
+            "mal-ex1 covered under {backend}"
+        );
+        let out = specmatcher(&["check", "--design", "mal-ex2", "--backend", backend]);
+        assert_eq!(out.status.code(), Some(1), "mal-ex2 gap under {backend}");
+        let stdout = String::from_utf8(out.stdout).expect("utf8");
+        assert!(stdout.contains("NOT covered"));
+    }
+    // An unknown backend is a usage error.
+    let out = specmatcher(&["check", "--design", "mal-ex1", "--backend", "magic"]);
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8(out.stderr).expect("utf8");
+    assert!(stderr.contains("unknown backend"));
+}
+
+#[test]
+fn scaling_design_needs_the_symbolic_backend() {
+    // Beyond the explicit bit limit: explicit errors (2), symbolic and
+    // auto prove coverage (0).
+    let out = specmatcher(&["check", "--design", "chain-24", "--backend", "explicit"]);
+    assert_eq!(out.status.code(), Some(2), "explicit must refuse chain-24");
+    let stderr = String::from_utf8(out.stderr).expect("utf8");
+    assert!(stderr.contains("state space too large"));
+
+    for backend in ["symbolic", "auto"] {
+        let out = specmatcher(&["check", "--design", "chain-24", "--backend", backend]);
+        assert_eq!(out.status.code(), Some(0), "chain-24 covered under {backend}");
+        let stdout = String::from_utf8(out.stdout).expect("utf8");
+        assert!(stdout.contains("COVERED"));
+        assert!(stdout.contains("symbolic"), "report must name the backend");
+    }
+
+    // The gapped variant exits 1 with a witness even past the explicit
+    // limit.
+    let out = specmatcher(&["check", "--design", "chain-22-gap"]);
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8(out.stdout).expect("utf8");
+    assert!(stdout.contains("NOT covered"));
+    assert!(stdout.contains("witness run"));
+}
+
+#[test]
 fn unknown_design_fails_gracefully() {
     let out = specmatcher(&["check", "--design", "no-such-design"]);
     assert_eq!(out.status.code(), Some(2));
@@ -110,4 +158,6 @@ fn help_prints_usage() {
     let stderr = String::from_utf8(out.stderr).expect("utf8");
     assert!(stderr.contains("usage:"));
     assert!(stderr.contains("--json"));
+    assert!(stderr.contains("--backend"));
+    assert!(stderr.contains("symbolic"));
 }

@@ -1,27 +1,27 @@
-//! Cross-layer validation: witnesses produced by the automata-theoretic
-//! model checker are replayed on the cycle-accurate netlist simulator.
+//! Cross-layer validation: witnesses produced by the model checkers are
+//! replayed on the cycle-accurate netlist simulator.
 //!
-//! The Kripke structure (`dic-fsm`) and the simulator (`dic-netlist`)
-//! implement the same synchronous semantics through entirely different
-//! code paths — explicit state enumeration vs event-free cycle evaluation.
-//! Every counterexample run the coverage pipeline reports must therefore
-//! *replay*: driving the simulator with the witness's input projection has
-//! to reproduce the witness's values on every module-driven signal.
+//! The Kripke structure (`dic-fsm`), the symbolic engine (`dic-symbolic`)
+//! and the simulator (`dic-netlist`) implement the same synchronous
+//! semantics through entirely different code paths — explicit state
+//! enumeration vs BDD image computation vs event-free cycle evaluation.
+//! Every counterexample run the coverage pipeline reports, from either
+//! backend, must therefore *replay*: driving the simulator with the
+//! witness's input projection has to reproduce the witness's values on
+//! every module-driven signal.
 
-use specmatcher::core::{primary_coverage, CoverageModel};
-use specmatcher::designs::{mal, table1_designs};
+use specmatcher::core::{primary_coverage, Backend, CoverageModel};
+use specmatcher::designs::{mal, scaling, table1_designs};
 use specmatcher::logic::SignalId;
 use specmatcher::netlist::Simulator;
 
-/// Replays `witness` against every concrete module of `design`,
+/// Replays `witness` against the design's composed concrete modules,
 /// checking each driven signal at each stored position.
-fn assert_replays(design: &specmatcher::designs::Design) {
-    let model = CoverageModel::build(&design.arch, &design.rtl, &design.table).expect("builds");
-    let fa = design.arch.properties()[0].formula();
-    let Some(witness) = primary_coverage(fa, &design.rtl, &model) else {
-        panic!("{} must have a coverage gap to produce a witness", design.name);
-    };
-
+fn assert_word_replays(
+    design: &specmatcher::designs::Design,
+    model: &CoverageModel,
+    witness: &specmatcher::ltl::LassoWord,
+) {
     // The model is the *composed* module (with cone-of-influence applied),
     // so replay against the composition the model actually used.
     let composed = model.composed();
@@ -31,7 +31,7 @@ fn assert_replays(design: &specmatcher::designs::Design) {
         .inputs()
         .iter()
         .copied()
-        .chain(model.kripke().input_vars().iter().copied())
+        .chain(model.input_signals().iter().copied())
         .filter(|s| !driven.contains(s))
         .collect();
 
@@ -52,9 +52,27 @@ fn assert_replays(design: &specmatcher::designs::Design) {
     }
 }
 
+/// Builds the model with `backend`, demands a primary-coverage witness and
+/// replays it.
+fn assert_replays(design: &specmatcher::designs::Design, backend: Backend) {
+    let model =
+        CoverageModel::build_with_backend(&design.arch, &design.rtl, &design.table, backend)
+            .expect("builds");
+    let fa = design.arch.properties()[0].formula();
+    let Some(witness) = primary_coverage(fa, &design.rtl, &model).expect("within limits") else {
+        panic!("{} must have a coverage gap to produce a witness", design.name);
+    };
+    assert_word_replays(design, &model, &witness);
+}
+
 #[test]
 fn mal_ex2_witness_replays_on_simulator() {
-    assert_replays(&mal::ex2());
+    assert_replays(&mal::ex2(), Backend::Explicit);
+}
+
+#[test]
+fn mal_ex2_symbolic_witness_replays_on_simulator() {
+    assert_replays(&mal::ex2(), Backend::Symbolic);
 }
 
 #[test]
@@ -64,10 +82,39 @@ fn all_gapped_table1_witnesses_replay() {
             CoverageModel::build(&design.arch, &design.rtl, &design.table).expect("builds");
         let fa = design.arch.properties()[0].formula();
         if design.name == "mal-26" {
-            continue; // minutes-scale primary query; covered by bin/table1
+            continue; // minutes-scale explicit primary; see the test below
         }
-        if primary_coverage(fa, &design.rtl, &model).is_some() {
-            assert_replays(&design);
+        if primary_coverage(fa, &design.rtl, &model)
+            .expect("within limits")
+            .is_some()
+        {
+            assert_replays(&design, Backend::Explicit);
         }
     }
+}
+
+#[test]
+fn gapped_table1_symbolic_witnesses_replay() {
+    // The symbolic engine makes mal-26 affordable here, so no row is
+    // skipped: every gapped design's symbolic witness replays.
+    for design in table1_designs() {
+        let model = CoverageModel::build_with_backend(
+            &design.arch,
+            &design.rtl,
+            &design.table,
+            Backend::Symbolic,
+        )
+        .expect("builds");
+        let fa = design.arch.properties()[0].formula();
+        if let Some(witness) = primary_coverage(fa, &design.rtl, &model).expect("within limits") {
+            assert_word_replays(&design, &model, &witness);
+        }
+    }
+}
+
+#[test]
+fn scaling_witness_beyond_explicit_limit_replays() {
+    // 22 latches + 1 input: only the symbolic engine can even pose the
+    // question; its witness must still replay on the simulator.
+    assert_replays(&scaling::chain_design(22, true), Backend::Symbolic);
 }
