@@ -20,17 +20,18 @@ fn main() {
     );
     println!();
     println!(
-        "{:<18} {:>5} {:>9}  {:>12} {:>12} {:>12}   {:>8} {:>8} {:>8}",
-        "Circuit", "props", "backend", "Primary (s)", "TM (s)", "Gap (s)", "P4 Prim", "P4 TM", "P4 Gap"
+        "{:<18} {:>5} {:>9} {:>9}  {:>12} {:>12} {:>12}   {:>8} {:>8} {:>8}",
+        "Circuit", "props", "primary", "gap", "Primary (s)", "TM (s)", "Gap (s)", "P4 Prim", "P4 TM", "P4 Gap"
     );
     let reference = paper_reference();
     for (design, paper) in table1_designs().iter().zip(reference) {
         let row = measure_design(design, backend);
         println!(
-            "{:<18} {:>5} {:>9}  {:>12.4} {:>12.4} {:>12.4}   {:>8.2} {:>8.2} {:>8.2}",
+            "{:<18} {:>5} {:>9} {:>9}  {:>12.4} {:>12.4} {:>12.4}   {:>8.2} {:>8.2} {:>8.2}",
             row.circuit,
             row.num_rtl,
             row.backend.to_string(),
+            row.gap_backend.to_string(),
             row.primary.as_secs_f64(),
             row.tm_build.as_secs_f64(),
             row.gap_find.as_secs_f64(),

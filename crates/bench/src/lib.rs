@@ -41,15 +41,18 @@ pub fn phase_tm(design: &Design, style: TmStyle) -> Ltl {
         .expect("packaged designs fit the explicit limits")
 }
 
-/// Phase 3: gap finding (Algorithm 1) for the first architectural property.
+/// Phase 3: gap finding (Algorithm 1) for the first architectural property,
+/// on the model's gap backend.
 pub fn phase_gap(
     design: &Design,
     model: &CoverageModel,
     config: &GapConfig,
 ) -> (Vec<dic_ltl::TemporalCube>, usize) {
     let fa = design.arch.properties()[0].formula();
-    let terms = uncovered_terms(fa, &design.rtl, model, config);
-    let gaps = find_gap(fa, &terms, &design.rtl, model, config);
+    let terms =
+        uncovered_terms(fa, &design.rtl, model, config).expect("within backend limits");
+    let gaps =
+        find_gap(fa, &terms, &design.rtl, model, config).expect("within backend limits");
     (terms, gaps.len())
 }
 
@@ -68,6 +71,8 @@ pub struct TableRow {
     pub gap_find: Duration,
     /// The backend that answered the primary questions.
     pub backend: Backend,
+    /// The backend that ran the gap phase (per-phase `Auto` resolution).
+    pub gap_backend: Backend,
 }
 
 /// The gap budget used for the Table 1 rows: enough to find the
@@ -95,6 +100,7 @@ pub fn measure_design(design: &Design, backend: Backend) -> TableRow {
         tm_build: run.timings.tm_build,
         gap_find: run.timings.gap_find,
         backend: run.backend,
+        gap_backend: run.gap_backend,
     }
 }
 

@@ -16,6 +16,15 @@ pub enum CoreError {
     /// The symbolic engine exceeded its resource budget (or was handed a
     /// signal it cannot interpret).
     Symbolic(SymbolicError),
+    /// A phase was forced onto a backend whose engine is not available
+    /// for this model (e.g. an explicit gap phase requested on a model
+    /// built symbolic-only, past the explicit state limit).
+    BackendUnavailable {
+        /// The analysis phase that needed the engine (`"gap"`).
+        phase: &'static str,
+        /// The backend that was requested.
+        requested: crate::backend::Backend,
+    },
     /// The paper's Assumption 1 (`AP_A ⊆ AP_R`) is violated: an
     /// architectural signal is neither constrained by an RTL property nor
     /// present in any concrete module, so no decomposition can ever cover
@@ -32,6 +41,11 @@ impl fmt::Display for CoreError {
             CoreError::Netlist(e) => write!(f, "netlist error: {e}"),
             CoreError::Fsm(e) => write!(f, "state-space error: {e}"),
             CoreError::Symbolic(e) => write!(f, "symbolic-engine error: {e}"),
+            CoreError::BackendUnavailable { phase, requested } => write!(
+                f,
+                "the {requested} backend is not available for the {phase} phase of this \
+                 model (build the model with a backend that constructs it, or use auto)"
+            ),
             CoreError::UnknownArchSignal { name } => write!(
                 f,
                 "architectural signal {name} does not appear in the RTL specification \
@@ -47,6 +61,7 @@ impl Error for CoreError {
             CoreError::Netlist(e) => Some(e),
             CoreError::Fsm(e) => Some(e),
             CoreError::Symbolic(e) => Some(e),
+            CoreError::BackendUnavailable { .. } => None,
             CoreError::UnknownArchSignal { .. } => None,
         }
     }

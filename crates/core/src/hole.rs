@@ -1,5 +1,7 @@
 //! Coverage holes: Theorem 2 and gap-closure checks.
 
+use crate::backend::Backend;
+use crate::error::CoreError;
 use crate::model::CoverageModel;
 use crate::spec::RtlSpec;
 use dic_ltl::Ltl;
@@ -23,13 +25,22 @@ pub fn exact_hole(fa: &Ltl, rtl: &RtlSpec, tm: &Ltl) -> Ltl {
 /// gap for `fa`: `(R ∧ candidate) ∧ ¬fa` must be false in `M`
 /// (Definition 3).
 ///
-/// # Panics
+/// Dispatches through the model's gap backend (explicit factored products
+/// or the symbolic closure engine — [`CoverageModel::gap_backend`] with
+/// [`Backend::Auto`]), so it works on models beyond the explicit state
+/// limit.
 ///
-/// Panics if the model was built without the explicit backend (closure
-/// checks run on the explicit factored-product machinery); guard with
-/// [`CoverageModel::has_explicit`].
-pub fn closes_gap(candidate: &Ltl, fa: &Ltl, rtl: &RtlSpec, model: &CoverageModel) -> bool {
-    closure_witness(candidate, fa, rtl, model).is_none()
+/// # Errors
+///
+/// [`CoreError::Symbolic`] when the symbolic engine exceeds its node
+/// budget mid-check.
+pub fn closes_gap(
+    candidate: &Ltl,
+    fa: &Ltl,
+    rtl: &RtlSpec,
+    model: &CoverageModel,
+) -> Result<bool, CoreError> {
+    Ok(closure_witness(candidate, fa, rtl, model)?.is_none())
 }
 
 /// Like [`closes_gap`], but exposes the refuting run when the candidate
@@ -39,20 +50,21 @@ pub fn closes_gap(candidate: &Ltl, fa: &Ltl, rtl: &RtlSpec, model: &CoverageMode
 /// close the gap either, which lets [`find_gap`](crate::find_gap) reject
 /// most candidates with a word evaluation instead of a model check.
 ///
-/// # Panics
+/// # Errors
 ///
-/// As for [`closes_gap`]: requires the explicit backend.
+/// As for [`closes_gap`].
 pub fn closure_witness(
     candidate: &Ltl,
     fa: &Ltl,
     rtl: &RtlSpec,
     model: &CoverageModel,
-) -> Option<dic_ltl::LassoWord> {
-    // `R ∧ ¬fa` is shared by every closure query for `fa`; its sub-product
-    // with `M` is materialized once and memoized in the model.
+) -> Result<Option<dic_ltl::LassoWord>, CoreError> {
+    let backend = model.gap_backend(Backend::Auto)?;
+    // `R ∧ ¬fa` is shared by every closure query for `fa`; its product
+    // with `M` is materialized once and memoized in the serving engine.
     let mut base: Vec<Ltl> = rtl.formulas().to_vec();
     base.push(Ltl::not(fa.clone()));
-    model.satisfiable_factored(&base, std::slice::from_ref(candidate))
+    model.gap_query(backend, &base, std::slice::from_ref(candidate))
 }
 
 #[cfg(test)]
@@ -92,7 +104,10 @@ mod tests {
         // Theorem 2 hole closes it.
         let tm = tm_for_modules(rtl.concrete(), &t, TmStyle::Relational).unwrap();
         let hole = exact_hole(fa, &rtl, &tm);
-        assert!(closes_gap(&hole, fa, &rtl, &model), "RH must close the gap");
+        assert!(
+            closes_gap(&hole, fa, &rtl, &model).expect("runs"),
+            "RH must close the gap"
+        );
     }
 
     #[test]
@@ -100,14 +115,33 @@ mod tests {
         let (mut t, arch, rtl, model) = gapped();
         let fa = arch.properties()[0].formula();
         // `false` closes any gap (vacuously — it excludes all runs).
-        assert!(closes_gap(&Ltl::ff(), fa, &rtl, &model));
+        assert!(closes_gap(&Ltl::ff(), fa, &rtl, &model).expect("runs"));
         // `true` closes nothing here.
-        assert!(!closes_gap(&Ltl::tt(), fa, &rtl, &model));
+        assert!(!closes_gap(&Ltl::tt(), fa, &rtl, &model).expect("runs"));
         // The missing environment fact closes the gap meaningfully.
         let en_always = Ltl::parse("G en", &mut t).unwrap();
-        assert!(closes_gap(&en_always, fa, &rtl, &model));
+        assert!(closes_gap(&en_always, fa, &rtl, &model).expect("runs"));
         // The architectural property itself always closes its own gap.
-        assert!(closes_gap(fa, fa, &rtl, &model));
+        assert!(closes_gap(fa, fa, &rtl, &model).expect("runs"));
+    }
+
+    #[test]
+    fn closure_checks_agree_across_backends() {
+        let (mut t, arch, rtl, _) = gapped();
+        let fa = arch.properties()[0].formula();
+        let sym = CoverageModel::build_with_backend(&arch, &rtl, &t, crate::Backend::Symbolic)
+            .expect("builds");
+        let en_always = Ltl::parse("G en", &mut t).unwrap();
+        assert!(closes_gap(&en_always, fa, &rtl, &sym).expect("runs"));
+        assert!(!closes_gap(&Ltl::tt(), fa, &rtl, &sym).expect("runs"));
+        // The refuting run of a non-closing candidate satisfies R ∧ ¬fa.
+        let run = closure_witness(&Ltl::tt(), fa, &rtl, &sym)
+            .expect("runs")
+            .expect("true closes nothing here");
+        assert!(!fa.holds_on(&run));
+        for p in rtl.properties() {
+            assert!(p.formula().holds_on(&run));
+        }
     }
 
     #[test]

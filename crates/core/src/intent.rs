@@ -12,6 +12,7 @@
 //! several (each step strengthens one variable instance), until the gap is
 //! closed or the budget runs out.
 
+use crate::error::CoreError;
 use crate::hole::closes_gap;
 use crate::model::CoverageModel;
 use crate::spec::{ArchSpec, RtlSpec};
@@ -23,19 +24,32 @@ use std::collections::BTreeSet;
 
 /// Definition 5: the weakest property over `AP_A` (the architectural
 /// alphabet) closing the hole of `fa`, among the structure-preserving
-/// candidates. Returns `None` when the property is covered or no candidate
-/// over `AP_A` closes the gap (the gap then genuinely needs non-`AP_A`
-/// conditions, as in the paper's Example 2 where `hit` is indispensable).
+/// candidates. Returns `Ok(None)` when the property is covered or no
+/// candidate over `AP_A` closes the gap (the gap then genuinely needs
+/// non-`AP_A` conditions, as in the paper's Example 2 where `hit` is
+/// indispensable).
+///
+/// The candidate class ranges over the whole observable alphabet (see
+/// [`find_gap`]) and the `AP_A` restriction is applied to the *verified*
+/// candidates, so on designs with many observables the closing budget
+/// can be consumed before an `AP_A` candidate is reached — raise
+/// [`GapConfig::max_gap_properties`]/[`GapConfig::max_candidates`] when
+/// Definition 5 matters more than wall-clock.
+///
+/// # Errors
+///
+/// Backend resolution and symbolic-engine failures; see
+/// [`CoverageModel::gap_backend`].
 pub fn uncovered_intent(
     fa: &Ltl,
     arch: &ArchSpec,
     rtl: &RtlSpec,
     model: &CoverageModel,
     config: &GapConfig,
-) -> Option<GapProperty> {
-    let terms = uncovered_terms(fa, rtl, model, config);
+) -> Result<Option<GapProperty>, CoreError> {
+    let terms = uncovered_terms(fa, rtl, model, config)?;
     if terms.is_empty() {
-        return None;
+        return Ok(None);
     }
     // Project the terms onto AP_A, then run the same push/weaken pipeline
     // restricted to the architectural alphabet. The projection is
@@ -56,11 +70,11 @@ pub fn uncovered_intent(
         exists_eliminate(&terms, &hidden)
     };
     if projected.is_empty() {
-        return None;
+        return Ok(None);
     }
-    find_gap(fa, &projected, rtl, model, config)
+    Ok(find_gap(fa, &projected, rtl, model, config)?
         .into_iter()
-        .find(|g| g.formula.atoms().is_subset(&ap_a))
+        .find(|g| g.formula.atoms().is_subset(&ap_a)))
 }
 
 /// Iteratively composes single-instance weakenings until the gap closes.
@@ -73,38 +87,44 @@ pub fn uncovered_intent(
 /// properties" reading of the paper, folded into one formula.
 ///
 /// Returns `(property, rounds)` — `(true, 0)` when the intent was already
-/// covered (nothing needs to be added) — or `None` when `max_rounds` is
-/// exhausted. The result is always verified to close the original gap.
+/// covered (nothing needs to be added) — or `Ok(None)` when `max_rounds`
+/// is exhausted. The result is always verified to close the original gap.
+///
+/// # Errors
+///
+/// Backend resolution and symbolic-engine failures; see
+/// [`CoverageModel::gap_backend`].
 pub fn close_gap_iteratively(
     fa: &Ltl,
     rtl: &RtlSpec,
     model: &CoverageModel,
     config: &GapConfig,
     max_rounds: usize,
-) -> Option<(Ltl, usize)> {
-    // Like all of Algorithm 1, the closure loop runs on the explicit
-    // machinery; a symbolic-only model cannot enumerate candidates, so the
-    // search is (gracefully) empty.
-    if !model.has_explicit() {
-        return None;
-    }
+) -> Result<Option<(Ltl, usize)>, CoreError> {
     let mut conj: Vec<Ltl> = rtl.formulas().to_vec();
     conj.push(Ltl::not(fa.clone()));
-    if model.satisfiable(&conj).is_none() {
+    if model.primary_query(&conj)?.is_none() {
         // Covered: the empty addition suffices.
-        return Some((Ltl::tt(), 0));
+        return Ok(Some((Ltl::tt(), 0)));
     }
     let mut current = fa.clone();
     for round in 1..=max_rounds {
-        let terms = uncovered_terms(&current, rtl, model, config);
+        let terms = uncovered_terms(&current, rtl, model, config)?;
         if terms.is_empty() {
             // No scenario found although the gap is open: give up.
-            return None;
+            return Ok(None);
         }
-        let gaps = find_gap(&current, &terms, rtl, model, config);
-        if let Some(best) = gaps.iter().find(|g| closes_gap(&g.formula, fa, rtl, model)) {
+        let gaps = find_gap(&current, &terms, rtl, model, config)?;
+        let mut best_closing = None;
+        for g in &gaps {
+            if closes_gap(&g.formula, fa, rtl, model)? {
+                best_closing = Some(g);
+                break;
+            }
+        }
+        if let Some(best) = best_closing {
             // Closes the gap of `current` *and* of the original intent.
-            return Some((best.formula.clone(), round));
+            return Ok(Some((best.formula.clone(), round)));
         }
         if let Some(best) = gaps.first() {
             current = best.formula.clone();
@@ -113,13 +133,15 @@ pub fn close_gap_iteratively(
         // No closing candidate this round: weaken by the first candidate
         // that at least changes the formula, to make progress.
         let occurrences = current.atom_occurrences();
-        let (occ, (t, lit)) = occurrences.iter().find_map(|occ| {
+        let Some((occ, (t, lit))) = occurrences.iter().find_map(|occ| {
             terms
                 .iter()
                 .flat_map(|c| c.lits())
                 .find(|(t, l)| *t >= occ.x_depth && l.signal() != atom_of(occ))
                 .map(|&tl| (occ, tl))
-        })?;
+        }) else {
+            return Ok(None);
+        };
         let lit_f = Ltl::next_n(Ltl::literal(lit.signal(), lit.polarity()), t - occ.x_depth);
         let replacement = match occ.polarity {
             dic_ltl::Polarity::Negative => Ltl::and([occ.subformula.clone(), lit_f]),
@@ -129,7 +151,7 @@ pub fn close_gap_iteratively(
             .replace_at(&occ.position, replacement)
             .unwrap_or(current);
     }
-    None
+    Ok(None)
 }
 
 fn atom_of(occ: &dic_ltl::position::Occurrence) -> dic_logic::SignalId {
@@ -171,7 +193,7 @@ mod tests {
         let (t, arch, rtl, model) = arch_gap();
         let fa = arch.properties()[0].formula();
         let config = GapConfig::default();
-        let intent = uncovered_intent(fa, &arch, &rtl, &model, &config);
+        let intent = uncovered_intent(fa, &arch, &rtl, &model, &config).expect("runs");
         let Some(g) = intent else {
             panic!("expected an uncovered-intent property over AP_A");
         };
@@ -180,7 +202,7 @@ mod tests {
             "Def 5 result must stay in AP_A: {}",
             g.formula.display(&t)
         );
-        assert!(closes_gap(&g.formula, fa, &rtl, &model));
+        assert!(closes_gap(&g.formula, fa, &rtl, &model).expect("runs"));
     }
 
     #[test]
@@ -197,7 +219,9 @@ mod tests {
         let rtl = RtlSpec::new([("R1", r_prop)], [m]);
         let model = CoverageModel::build(&arch, &rtl, &t).unwrap();
         let fa = arch.properties()[0].formula();
-        assert!(uncovered_intent(fa, &arch, &rtl, &model, &GapConfig::default()).is_none());
+        assert!(uncovered_intent(fa, &arch, &rtl, &model, &GapConfig::default())
+            .expect("runs")
+            .is_none());
     }
 
     #[test]
@@ -205,13 +229,13 @@ mod tests {
         let (_t, arch, rtl, model) = arch_gap();
         let fa = arch.properties()[0].formula();
         let config = GapConfig::default();
-        let result = close_gap_iteratively(fa, &rtl, &model, &config, 3);
+        let result = close_gap_iteratively(fa, &rtl, &model, &config, 3).expect("runs");
         let Some((formula, rounds)) = result else {
             panic!("iterative closure must succeed on the en gap");
         };
         assert!((1..=2).contains(&rounds), "genuine gap needs ≥1 round");
         assert_ne!(&formula, fa, "must return a weakening, not fa itself");
-        assert!(closes_gap(&formula, fa, &rtl, &model));
+        assert!(closes_gap(&formula, fa, &rtl, &model).expect("runs"));
     }
 
     #[test]
@@ -230,6 +254,7 @@ mod tests {
         let fa = arch.properties()[0].formula();
         let (formula, rounds) =
             close_gap_iteratively(fa, &rtl, &model, &GapConfig::default(), 3)
+                .expect("runs")
                 .expect("covered: closes immediately");
         assert_eq!(rounds, 0);
         assert_eq!(formula, Ltl::tt(), "covered intent needs no addition");

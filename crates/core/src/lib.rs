@@ -70,14 +70,14 @@ pub mod weaken;
 
 pub use backend::{Backend, AUTO_SYMBOLIC_BITS};
 pub use error::CoreError;
-pub use hole::{closes_gap, exact_hole};
+pub use hole::{closes_gap, closure_witness, exact_hole};
 pub use intent::{close_gap_iteratively, uncovered_intent};
 pub use model::CoverageModel;
 pub use pipeline::{CoverageRun, PhaseTimings, PropertyReport, SpecMatcher};
 pub use spec::{ArchSpec, Property, RtlSpec};
-pub use terms::uncovered_terms;
+pub use terms::{uncovered_terms, uncovered_terms_with_runs};
 pub use tm::TmStyle;
-pub use weaken::{find_gap, GapConfig, GapProperty};
+pub use weaken::{find_gap, find_gap_with_runs, GapConfig, GapProperty};
 
 /// Theorem 1 (primary coverage question): the RTL specification covers the
 /// architectural property `fa` iff `¬fa ∧ R` is false in the model of the

@@ -3,7 +3,7 @@
 use crate::backend::{Backend, AUTO_SYMBOLIC_BITS};
 use crate::error::CoreError;
 use crate::spec::{ArchSpec, RtlSpec};
-use dic_fsm::{Kripke, KRIPKE_BIT_LIMIT};
+use dic_fsm::Kripke;
 use dic_logic::{SignalId, SignalTable};
 use dic_netlist::Module;
 use dic_symbolic::{SymbolicModel, SymbolicOptions};
@@ -19,17 +19,25 @@ use std::sync::{Arc, Mutex};
 /// "`¬A ∧ R` is true in M".
 ///
 /// A model carries up to two engines for that question, selected by
-/// [`Backend`]: the explicit Kripke structure (always used by the
-/// gap-representation machinery of Algorithm 1) and the symbolic BDD
-/// model. [`CoverageModel::build`] resolves [`Backend::Auto`] by state-bit
-/// count; see [`CoverageModel::primary_backend`] for the outcome.
+/// [`Backend`]: the explicit Kripke structure and the symbolic BDD model.
+/// Both the primary coverage question (Theorem 1) and the gap phase
+/// (Algorithm 1) dispatch per phase: [`CoverageModel::build`] resolves
+/// [`Backend::Auto`] by state-bit count at build time (see
+/// [`CoverageModel::primary_backend`]), and the gap phase re-resolves its
+/// own engine per run via [`CoverageModel::gap_backend`] (the symbolic
+/// engine is built lazily when the gap phase asks for it on a model that
+/// was built explicit).
 #[derive(Debug)]
 pub struct CoverageModel {
     composed: Module,
+    table: SignalTable,
+    free: Vec<SignalId>,
     kripke: Option<Kripke>,
-    symbolic: Option<Mutex<SymbolicModel>>,
+    symbolic: Mutex<Option<SymbolicModel>>,
     /// The engine answering primary queries (`Explicit` or `Symbolic`).
     primary_backend: Backend,
+    /// Auto resolution for the gap phase (`Explicit` or `Symbolic`).
+    auto_gap_backend: Backend,
     /// Nondeterministic inputs: module primary inputs + free spec signals.
     inputs: Vec<SignalId>,
     observable: BTreeSet<SignalId>,
@@ -65,10 +73,11 @@ impl CoverageModel {
     ///
     /// Backend resolution: [`Backend::Explicit`] and [`Backend::Symbolic`]
     /// build only their engine; [`Backend::Auto`] goes explicit below
-    /// [`AUTO_SYMBOLIC_BITS`] state bits and symbolic above, additionally
-    /// keeping the explicit structure when it fits
-    /// ([`dic_fsm::KRIPKE_BIT_LIMIT`]) so Algorithm 1 can still represent
-    /// gaps.
+    /// [`AUTO_SYMBOLIC_BITS`] state bits and symbolic above — for *both*
+    /// phases, since the gap engine (Algorithm 1) now runs symbolically
+    /// too. A model built explicit can still serve symbolic gap queries:
+    /// the symbolic engine is built lazily on first demand
+    /// ([`CoverageModel::gap_backend`]).
     ///
     /// # Errors
     ///
@@ -134,12 +143,12 @@ impl CoverageModel {
             ),
             Backend::Symbolic => (
                 None,
-                Some(Mutex::new(SymbolicModel::from_module(
+                Some(SymbolicModel::from_module(
                     &composed,
                     table,
                     &free,
                     SymbolicOptions::default(),
-                )?)),
+                )?),
                 Backend::Symbolic,
             ),
             Backend::Auto => {
@@ -150,26 +159,29 @@ impl CoverageModel {
                         Backend::Explicit,
                     )
                 } else {
-                    // Symbolic for the primary question; the explicit
-                    // structure rides along when it fits, because the
-                    // gap-representation machinery needs it.
-                    let kripke = if state_bits <= KRIPKE_BIT_LIMIT {
-                        Some(Kripke::from_module(&composed, table, &free)?)
-                    } else {
-                        None
-                    };
+                    // Symbolic for both phases: the gap engine runs on the
+                    // same BDD product caches, so the explicit structure no
+                    // longer needs to ride along for Algorithm 1.
                     (
-                        kripke,
-                        Some(Mutex::new(SymbolicModel::from_module(
+                        None,
+                        Some(SymbolicModel::from_module(
                             &composed,
                             table,
                             &free,
                             SymbolicOptions::default(),
-                        )?)),
+                        )?),
                         Backend::Symbolic,
                     )
                 }
             }
+        };
+        // Per-phase Auto resolution for the gap phase: below the crossover
+        // the explicit factored products win; above it (or whenever no
+        // explicit structure exists) the symbolic gap engine takes over.
+        let auto_gap_backend = if kripke.is_some() && state_bits <= AUTO_SYMBOLIC_BITS {
+            Backend::Explicit
+        } else {
+            Backend::Symbolic
         };
 
         // Observable: the architectural alphabet plus every nondeterministic
@@ -178,10 +190,19 @@ impl CoverageModel {
         // `hit`: it is an input of the concrete L1, not an internal signal.
         let mut observable: BTreeSet<SignalId> = arch.alphabet();
         observable.extend(input_vars.iter().copied());
-        // Terms may mention anything the model constrains or the spec names;
-        // the rest is quantified away.
+        // Terms may mention anything the model constrains or the spec
+        // names — but only signals the (cone-reduced) model actually
+        // carries. A concrete-module signal whose logic fell outside every
+        // property's cone is unconstrained in `M`: the explicit engine
+        // would only ever record it as a pinned-false artifact (and drop
+        // it again during generalization), and the symbolic engine fails
+        // closed on it. The rest is quantified away.
         let mut term_signals: BTreeSet<SignalId> = observable.clone();
-        term_signals.extend(rtl.alphabet());
+        term_signals.extend(
+            rtl.alphabet()
+                .into_iter()
+                .filter(|s| driven.contains(s) || input_vars.contains(s)),
+        );
         let hidden: BTreeSet<SignalId> = term_signals
             .difference(&observable)
             .copied()
@@ -189,9 +210,12 @@ impl CoverageModel {
 
         Ok(CoverageModel {
             composed,
+            table: table.clone(),
+            free,
             kripke,
-            symbolic,
+            symbolic: Mutex::new(symbolic),
             primary_backend,
+            auto_gap_backend,
             inputs: input_vars,
             observable,
             hidden,
@@ -233,13 +257,182 @@ impl CoverageModel {
         &self,
         formulas: &[dic_ltl::Ltl],
     ) -> Result<Option<dic_ltl::LassoWord>, CoreError> {
-        match (&self.symbolic, self.primary_backend) {
-            (Some(sym), Backend::Symbolic) => {
-                let mut sym = sym.lock().expect("symbolic model poisoned");
-                Ok(sym.satisfiable_conj(formulas)?)
-            }
+        match self.primary_backend {
+            Backend::Symbolic => self.with_symbolic(|sym| sym.satisfiable_conj(formulas)),
             _ => Ok(self.satisfiable(formulas)),
         }
+    }
+
+    /// The engine [`CoverageModel::gap_backend`] would resolve `requested`
+    /// to, *without* ensuring the engine is built — for reporting (the
+    /// pipeline labels runs before knowing whether any property even needs
+    /// a gap phase).
+    pub fn gap_backend_choice(&self, requested: Backend) -> Backend {
+        match requested {
+            Backend::Auto => self.auto_gap_backend,
+            forced => forced,
+        }
+    }
+
+    /// Resolves the engine the gap phase (Algorithm 1) runs on and
+    /// ensures it is available: [`Backend::Auto`] follows the build-time
+    /// per-phase resolution (explicit below the crossover, symbolic above
+    /// or when no explicit structure exists); a forced backend is honored
+    /// when its engine is available — the symbolic engine is built lazily
+    /// on first demand, the explicit one must have been built with the
+    /// model.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::BackendUnavailable`] when [`Backend::Explicit`] is
+    /// forced on a model built without the explicit structure;
+    /// [`CoreError::Symbolic`] when the lazy symbolic build exceeds its
+    /// node budget.
+    pub fn gap_backend(&self, requested: Backend) -> Result<Backend, CoreError> {
+        match requested {
+            Backend::Auto => {
+                if self.auto_gap_backend == Backend::Symbolic {
+                    self.ensure_symbolic()?;
+                }
+                Ok(self.auto_gap_backend)
+            }
+            Backend::Explicit => {
+                if !self.has_explicit() {
+                    return Err(CoreError::BackendUnavailable {
+                        phase: "gap",
+                        requested,
+                    });
+                }
+                Ok(Backend::Explicit)
+            }
+            Backend::Symbolic => {
+                self.ensure_symbolic()?;
+                Ok(Backend::Symbolic)
+            }
+        }
+    }
+
+    /// Runs `f` on the symbolic engine, building it on first use (a model
+    /// built explicit can still serve symbolic gap queries).
+    fn with_symbolic<T>(
+        &self,
+        f: impl FnOnce(&mut SymbolicModel) -> Result<T, dic_symbolic::SymbolicError>,
+    ) -> Result<T, CoreError> {
+        self.ensure_symbolic()?;
+        let mut guard = self.symbolic.lock().expect("symbolic model poisoned");
+        let sym = guard.as_mut().expect("ensured above");
+        Ok(f(sym)?)
+    }
+
+    fn ensure_symbolic(&self) -> Result<(), CoreError> {
+        let mut guard = self.symbolic.lock().expect("symbolic model poisoned");
+        if guard.is_none() {
+            *guard = Some(SymbolicModel::from_module(
+                &self.composed,
+                &self.table,
+                &self.free,
+                SymbolicOptions::default(),
+            )?);
+        }
+        Ok(())
+    }
+
+    /// Backend-dispatched factored gap query: is some run of `M`
+    /// satisfying `base` and every formula in `extra`? Both engines
+    /// materialize the `base` product once and reuse it across calls —
+    /// Algorithm 1's closure loop issues hundreds of these against the
+    /// same base, which makes the product reuse the dominant performance
+    /// lever of the whole gap phase.
+    ///
+    /// `backend` must be resolved ([`CoverageModel::gap_backend`]), never
+    /// [`Backend::Auto`].
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Symbolic`] when the symbolic engine exceeds its node
+    /// budget mid-query.
+    pub fn gap_query(
+        &self,
+        backend: Backend,
+        base: &[dic_ltl::Ltl],
+        extra: &[dic_ltl::Ltl],
+    ) -> Result<Option<dic_ltl::LassoWord>, CoreError> {
+        match backend {
+            Backend::Symbolic => self.with_symbolic(|sym| sym.satisfiable_factored(base, extra)),
+            _ => Ok(self.satisfiable_factored(base, extra)),
+        }
+    }
+
+    /// Backend-dispatched bounded-scenario query with witness: is some run
+    /// of `M ⊨ base ∧ anchored` matching `cube` in its first cycles? On
+    /// the symbolic engine the cube is pushed through the cached product's
+    /// frontier BDDs (no automaton is ever built for it); on the explicit
+    /// engine it becomes an extra conjunct of the factored query.
+    ///
+    /// # Errors
+    ///
+    /// As for [`CoverageModel::gap_query`].
+    pub fn gap_scenario_query(
+        &self,
+        backend: Backend,
+        base: &[dic_ltl::Ltl],
+        anchored: Option<&dic_ltl::Ltl>,
+        cube: &dic_ltl::TemporalCube,
+    ) -> Result<Option<dic_ltl::LassoWord>, CoreError> {
+        match backend {
+            Backend::Symbolic => {
+                let full = Self::anchored_base(base, anchored);
+                self.with_symbolic(|sym| sym.satisfiable_factored_cube(&full, cube))
+            }
+            _ => {
+                let extras = Self::anchored_extras(anchored, cube);
+                Ok(self.satisfiable_factored(base, &extras))
+            }
+        }
+    }
+
+    /// Verdict-only variant of [`CoverageModel::gap_scenario_query`]: the
+    /// generalization loop of Algorithm 1 needs thousands of these, and
+    /// skipping witness extraction keeps each to a handful of constrained
+    /// images on the symbolic engine.
+    ///
+    /// # Errors
+    ///
+    /// As for [`CoverageModel::gap_query`].
+    pub fn gap_scenario_sat(
+        &self,
+        backend: Backend,
+        base: &[dic_ltl::Ltl],
+        anchored: Option<&dic_ltl::Ltl>,
+        cube: &dic_ltl::TemporalCube,
+    ) -> Result<bool, CoreError> {
+        match backend {
+            Backend::Symbolic => {
+                self.with_symbolic(|sym| sym.factored_cube_sat(base, anchored, cube))
+            }
+            _ => {
+                let extras = Self::anchored_extras(anchored, cube);
+                Ok(self.satisfiable_factored(base, &extras).is_some())
+            }
+        }
+    }
+
+    fn anchored_base(
+        base: &[dic_ltl::Ltl],
+        anchored: Option<&dic_ltl::Ltl>,
+    ) -> Vec<dic_ltl::Ltl> {
+        base.iter().cloned().chain(anchored.cloned()).collect()
+    }
+
+    fn anchored_extras(
+        anchored: Option<&dic_ltl::Ltl>,
+        cube: &dic_ltl::TemporalCube,
+    ) -> Vec<dic_ltl::Ltl> {
+        anchored
+            .cloned()
+            .into_iter()
+            .chain([cube.to_ltl()])
+            .collect()
     }
 
     /// Existential query against the *explicit* model with memoized

@@ -6,9 +6,9 @@ use crate::error::CoreError;
 use crate::hole::exact_hole;
 use crate::model::CoverageModel;
 use crate::spec::{ArchSpec, RtlSpec};
-use crate::terms::uncovered_terms;
+use crate::terms::uncovered_terms_with_runs;
 use crate::tm::{tm_for_modules, TmStyle};
-use crate::weaken::{find_gap, GapConfig, GapProperty};
+use crate::weaken::{find_gap_with_runs, GapConfig, GapProperty};
 use dic_logic::SignalTable;
 use dic_ltl::{LassoWord, Ltl, TemporalCube};
 use std::fmt::Write as _;
@@ -55,6 +55,8 @@ pub struct PropertyReport {
     pub timings: PhaseTimings,
     /// The engine that answered the primary question for this property.
     pub backend: Backend,
+    /// The engine that ran the gap phase (Algorithm 1) for this property.
+    pub gap_backend: Backend,
 }
 
 impl PropertyReport {
@@ -115,6 +117,9 @@ pub struct CoverageRun {
     /// The engine that answered the primary questions (resolved from the
     /// matcher's requested backend at model-build time).
     pub backend: Backend,
+    /// The engine that ran the gap phases ([`Backend::Auto`] resolves per
+    /// phase, so this can differ from [`CoverageRun::backend`]).
+    pub gap_backend: Backend,
 }
 
 impl CoverageRun {
@@ -131,8 +136,12 @@ impl CoverageRun {
         }
         let _ = writeln!(
             out,
-            "timings ({} backend): primary {:?}, TM build {:?}, gap finding {:?}",
-            self.backend, self.timings.primary, self.timings.tm_build, self.timings.gap_find
+            "timings (primary backend {}, gap backend {}): primary {:?}, TM build {:?}, gap finding {:?}",
+            self.backend,
+            self.gap_backend,
+            self.timings.primary,
+            self.timings.tm_build,
+            self.timings.gap_find
         );
         out
     }
@@ -165,10 +174,14 @@ impl SpecMatcher {
         self
     }
 
-    /// Selects the model-checking backend for the primary coverage
-    /// question (explicit, symbolic, or size-based auto selection).
+    /// Selects the model-checking backend for *both* phases: the primary
+    /// coverage question (resolved at model-build time) and the gap phase
+    /// (this also sets [`GapConfig::backend`], so forcing `explicit` or
+    /// `symbolic` here is honored end to end). For a per-phase split,
+    /// set [`GapConfig::backend`] on the configuration instead.
     pub fn with_backend(mut self, backend: Backend) -> Self {
         self.backend = backend;
+        self.config.backend = backend;
         self
     }
 
@@ -219,6 +232,7 @@ impl SpecMatcher {
         let tm = tm_for_modules(rtl.concrete(), table, self.tm_style)?;
         let tm_build = tm_start.elapsed();
 
+        let gap_backend = model.gap_backend_choice(self.config.backend);
         let mut reports = Vec::with_capacity(arch.len());
         let mut total = PhaseTimings {
             tm_build,
@@ -234,16 +248,17 @@ impl SpecMatcher {
             let primary = t0.elapsed();
             let covered = witness.is_none();
 
-            // Phase: gap finding (Algorithm 1). Gap *representation* runs
-            // on the explicit structure; when the model is symbolic-only
-            // (state space beyond the explicit limit) the report falls back
-            // to the exact hole of Theorem 2, which needs no exploration.
+            // Phase: gap finding (Algorithm 1), on the per-phase gap
+            // backend: the explicit factored products below the crossover,
+            // the symbolic closure engine above it — so models past the
+            // explicit state limit get structured gap reports too. The
+            // enumeration runs seed the closure loop's bad-run pool.
             let t1 = Instant::now();
-            let (terms, gaps) = if covered || !model.has_explicit() {
+            let (terms, gaps) = if covered {
                 (Vec::new(), Vec::new())
             } else {
-                let terms = uncovered_terms(fa, rtl, model, &self.config);
-                let gaps = find_gap(fa, &terms, rtl, model, &self.config);
+                let (terms, runs) = uncovered_terms_with_runs(fa, rtl, model, &self.config)?;
+                let gaps = find_gap_with_runs(fa, &terms, &runs, rtl, model, &self.config)?;
                 (terms, gaps)
             };
             let gap_find = t1.elapsed();
@@ -264,6 +279,7 @@ impl SpecMatcher {
                 exact_hole: exact_hole(fa, rtl, &tm),
                 timings,
                 backend: model.primary_backend(),
+                gap_backend,
             });
         }
 
@@ -273,6 +289,7 @@ impl SpecMatcher {
             timings: total,
             num_rtl_properties: rtl.num_properties(),
             backend: model.primary_backend(),
+            gap_backend,
         })
     }
 }

@@ -44,6 +44,7 @@ impl CoverageRun {
         w.open_object();
         w.field_u64("num_rtl_properties", self.num_rtl_properties as u64);
         w.field_str("backend", &self.backend.to_string());
+        w.field_str("gap_backend", &self.gap_backend.to_string());
         w.key("timings");
         timings_json(&mut w, &self.timings);
         w.field_u64("tm_size", self.tm.size() as u64);
@@ -83,6 +84,9 @@ fn property_json(w: &mut JsonWriter, p: &PropertyReport, table: &SignalTable) {
         w.field_str("position", &g.position.to_string());
         w.field_str("literal", &g.literal.display(table).to_string());
         w.field_u64("offset", g.offset as u64);
+        w.field_str("term", &g.term.display(table).to_string());
+        w.key("witness");
+        witness_json(w, &g.witness, table);
         w.close_object();
     }
     w.close_array();

@@ -10,12 +10,20 @@
 //! observable alphabet are then removed by universal quantification over
 //! positioned variables (sound for bounded formulas), exactly as in the
 //! paper's step 2(b).
+//!
+//! Every scenario query dispatches through the model's gap backend
+//! ([`GapConfig::backend`]): the explicit engine answers it on memoized
+//! factored products, the symbolic engine by pushing the scenario cube
+//! through the cached base product's frontier BDDs — so term enumeration
+//! works (and stays fast) on models far beyond the explicit state limit.
 
+use crate::backend::Backend;
+use crate::error::CoreError;
 use crate::model::CoverageModel;
 use crate::spec::RtlSpec;
 use crate::weaken::GapConfig;
 use dic_ltl::cube::{exists_eliminate, forall_eliminate};
-use dic_ltl::{Ltl, LtlNode, TemporalCube};
+use dic_ltl::{LassoWord, Ltl, LtlNode, TemporalCube};
 
 /// Computes the uncovered terms `UM` for one architectural property.
 ///
@@ -25,19 +33,35 @@ use dic_ltl::{Ltl, LtlNode, TemporalCube};
 /// makes the (window-anchored) violation impossible. Together the cubes
 /// cover every counterexample found within the enumeration budget.
 ///
-/// Scenario enumeration runs on the explicit engine; for a symbolic-only
-/// model (state space beyond the explicit limit) no terms can be
-/// enumerated and the result is empty — callers fall back to Theorem 2's
-/// [`exact_hole`](crate::exact_hole), as the pipeline does.
+/// # Errors
+///
+/// Backend resolution and symbolic-engine failures; see
+/// [`CoverageModel::gap_backend`].
 pub fn uncovered_terms(
     fa: &Ltl,
     rtl: &RtlSpec,
     model: &CoverageModel,
     config: &GapConfig,
-) -> Vec<TemporalCube> {
-    if !model.has_explicit() {
-        return Vec::new();
-    }
+) -> Result<Vec<TemporalCube>, CoreError> {
+    Ok(uncovered_terms_with_runs(fa, rtl, model, config)?.0)
+}
+
+/// Like [`uncovered_terms`], but also returns the counterexample runs the
+/// terms were enumerated from. The runs are genuine runs of
+/// `M ⊨ R ∧ ¬fa`: [`find_gap_with_runs`](crate::weaken::find_gap_with_runs)
+/// seeds its bad-run pool with them, rejecting most non-closing weakening
+/// candidates by word evaluation before any closure model check runs.
+///
+/// # Errors
+///
+/// As for [`uncovered_terms`].
+pub fn uncovered_terms_with_runs(
+    fa: &Ltl,
+    rtl: &RtlSpec,
+    model: &CoverageModel,
+    config: &GapConfig,
+) -> Result<(Vec<TemporalCube>, Vec<LassoWord>), CoreError> {
+    let backend = model.gap_backend(config.backend)?;
     let base: Vec<Ltl> = rtl
         .formulas()
         .iter()
@@ -52,14 +76,15 @@ pub fn uncovered_terms(
     // exponentially worse: each negated cube is a highly nondeterministic
     // automaton and the on-the-fly intersection multiplies them out.)
     let mut terms: Vec<TemporalCube> = Vec::new();
-    let mut probes: Vec<Ltl> = vec![Ltl::tt()];
+    let mut runs: Vec<LassoWord> = Vec::new();
+    let mut probes: Vec<TemporalCube> = vec![TemporalCube::top()];
     let mut probed = 0usize;
     while let Some(probe) = probes.get(probed).cloned() {
         probed += 1;
         if terms.len() >= config.max_terms || probed > 4 * config.max_terms {
             break;
         }
-        let Some(word) = model.satisfiable_factored(&base, &[probe]) else {
+        let Some(word) = model.gap_scenario_query(backend, &base, None, &probe)? else {
             continue;
         };
         // Anchor the violation: for G(body), locate the first window where
@@ -70,19 +95,19 @@ pub fn uncovered_terms(
         let depth = window + config.term_depth;
         let mut cube = TemporalCube::from_word_prefix(&word, depth, &term_signals);
         if config.generalize {
-            cube = generalize(cube, rtl, &anchored, model);
+            cube = generalize(backend, cube, rtl, &anchored, model)?;
         }
         if terms.contains(&cube) {
             continue;
         }
         // Queue opposite-value probes for the literals of the new term.
         for &(t, l) in cube.lits() {
-            probes.push(Ltl::next_n(
-                Ltl::literal(l.signal(), !l.polarity()),
-                t,
-            ));
+            let flipped = TemporalCube::from_lits([(t, l.negated())])
+                .expect("single literal is consistent");
+            probes.push(flipped);
         }
         terms.push(cube);
+        runs.push(word);
     }
 
     if config.quantify {
@@ -93,19 +118,19 @@ pub fn uncovered_terms(
             // pin hidden signals; fall back to the existential projection,
             // which over-approximates but stays informative.
             if !universal.is_empty() {
-                return universal;
+                return Ok((universal, runs));
             }
-            return exists_eliminate(&terms, hidden);
+            return Ok((exists_eliminate(&terms, hidden), runs));
         }
     }
-    terms
+    Ok((terms, runs))
 }
 
 /// For `fa = G(body)`, returns `X^w ¬body` where `w` is the first stored
 /// position of `word` at which `body` fails (such a position exists because
 /// the word refutes `fa`); otherwise `(¬fa, 0)`. The anchored formula
 /// implies `¬fa`, so checks against it stay sound.
-fn anchor_violation(fa: &Ltl, word: &dic_ltl::LassoWord) -> (Ltl, usize) {
+fn anchor_violation(fa: &Ltl, word: &LassoWord) -> (Ltl, usize) {
     if let LtlNode::Globally(body) = fa.node() {
         let vals = body.eval_positions(word);
         if let Some(w) = vals.iter().position(|ok| !ok) {
@@ -130,12 +155,13 @@ fn anchor_violation(fa: &Ltl, word: &dic_ltl::LassoWord) -> (Ltl, usize) {
 /// literal would pin it; dropping causes in favour of effects would strip
 /// `UM` of exactly the literals step 2(d) needs.
 fn generalize(
+    backend: Backend,
     cube: TemporalCube,
     rtl: &RtlSpec,
     anchored: &Ltl,
     model: &CoverageModel,
-) -> TemporalCube {
-    let free = model.kripke().input_vars();
+) -> Result<TemporalCube, CoreError> {
+    let free = model.input_signals();
     let mut current = cube;
     // Iterate literals by decreasing time so late (usually incidental)
     // constraints go first.
@@ -146,12 +172,9 @@ fn generalize(
         let Some(flipped) = without.and_lit(t, l.negated()) else {
             continue;
         };
-        // Both tests share the `R`-product of `M`; the factored query
-        // explores it once and memoizes.
-        if model
-            .satisfiable_factored(rtl.formulas(), &[anchored.clone(), flipped.to_ltl()])
-            .is_some()
-        {
+        // Both tests share the `R`(-and-anchor) product of `M`; either
+        // engine materializes it once and memoizes.
+        if model.gap_scenario_sat(backend, rtl.formulas(), Some(anchored), &flipped)? {
             // Violation survives the flip: the literal is irrelevant.
             current = without;
             continue;
@@ -159,16 +182,13 @@ fn generalize(
         if free.contains(&l.signal()) {
             continue; // causes are kept even when effects pin them
         }
-        if model
-            .satisfiable_factored(rtl.formulas(), &[flipped.to_ltl()])
-            .is_none()
-        {
+        if !model.gap_scenario_sat(backend, rtl.formulas(), None, &flipped)? {
             // The flip is impossible altogether: the literal is implied by
             // the rest of the cube on every R-consistent run of M.
             current = without;
         }
     }
-    current
+    Ok(current)
 }
 
 #[cfg(test)]
@@ -201,7 +221,7 @@ mod tests {
         let (_t, arch, rtl, model) = gapped();
         let fa = arch.properties()[0].formula();
         let config = GapConfig::default();
-        let terms = uncovered_terms(fa, &rtl, &model, &config);
+        let terms = uncovered_terms(fa, &rtl, &model, &config).expect("runs");
         assert!(!terms.is_empty(), "the gap must produce terms");
         // Every term, conjoined with R ∧ ¬FA, is satisfiable in M.
         for term in &terms {
@@ -212,6 +232,23 @@ mod tests {
                 model.satisfiable(&conj).is_some(),
                 "term {term:?} is not a realizable bad scenario"
             );
+        }
+    }
+
+    #[test]
+    fn runs_exhibit_their_terms() {
+        let (_t, arch, rtl, model) = gapped();
+        let fa = arch.properties()[0].formula();
+        let config = GapConfig {
+            quantify: false,
+            ..GapConfig::default()
+        };
+        let (terms, runs) =
+            uncovered_terms_with_runs(fa, &rtl, &model, &config).expect("runs");
+        assert_eq!(terms.len(), runs.len());
+        for (term, run) in terms.iter().zip(&runs) {
+            assert!(term.holds_on(run, 0), "{term:?} must hold on its run");
+            assert!(!fa.holds_on(run), "enumeration runs must refute fa");
         }
     }
 
@@ -231,8 +268,8 @@ mod tests {
             max_terms: 1,
             ..GapConfig::default()
         };
-        let raw = uncovered_terms(fa, &rtl, &model, &full);
-        let small = uncovered_terms(fa, &rtl, &model, &gen);
+        let raw = uncovered_terms(fa, &rtl, &model, &full).expect("runs");
+        let small = uncovered_terms(fa, &rtl, &model, &gen).expect("runs");
         assert!(!raw.is_empty() && !small.is_empty());
         assert!(
             small[0].len() < raw[0].len(),
@@ -260,7 +297,8 @@ mod tests {
             &rtl,
             &model,
             &GapConfig::default(),
-        );
+        )
+        .expect("runs");
         assert!(terms.is_empty());
     }
 
@@ -271,11 +309,30 @@ mod tests {
         // module input, hence observable).
         let (t, arch, rtl, model) = gapped();
         let fa = arch.properties()[0].formula();
-        let terms = uncovered_terms(fa, &rtl, &model, &GapConfig::default());
+        let terms = uncovered_terms(fa, &rtl, &model, &GapConfig::default()).expect("runs");
         let en = t.lookup("en").unwrap();
         assert!(
             terms.iter().any(|c| c.signals().contains(&en)),
             "terms {terms:?} should mention en"
         );
+    }
+
+    #[test]
+    fn symbolic_terms_agree_with_explicit() {
+        // The same fixture, forced through the symbolic gap engine: the
+        // generalized, quantified term set must coincide with the explicit
+        // engine's (the backends share the algorithm, not the oracle).
+        let (t, arch, rtl, _) = gapped();
+        let fa = arch.properties()[0].formula();
+        let explicit = CoverageModel::build_with_backend(&arch, &rtl, &t, Backend::Explicit)
+            .expect("builds");
+        let symbolic = CoverageModel::build_with_backend(&arch, &rtl, &t, Backend::Symbolic)
+            .expect("builds");
+        let config = GapConfig::default();
+        let mut te = uncovered_terms(fa, &rtl, &explicit, &config).expect("explicit runs");
+        let mut ts = uncovered_terms(fa, &rtl, &symbolic, &config).expect("symbolic runs");
+        te.sort();
+        ts.sort();
+        assert_eq!(te, ts, "term sets must agree across backends");
     }
 }

@@ -12,11 +12,21 @@
 //! * a **positive** occurrence `v` (consequent side) becomes `v ∨ X^k ℓ`.
 //!
 //! Every candidate is weaker than `FA` by construction; candidates are kept
-//! only if they *close the gap* (Definition 3, model-checked), and the
-//! survivors are reduced to the weakest ones under the strength order of
-//! Definition 2.
+//! only if they *close the gap* (Definition 3, model-checked through the
+//! gap backend), and the survivors are reduced to the weakest ones under
+//! the strength order of Definition 2.
+//!
+//! Closure checks are the expensive half of Algorithm 1, and two levers
+//! keep their count down:
+//!
+//! * the bad-run pool is **seeded** with the runs term enumeration already
+//!   produced ([`find_gap_with_runs`]), so most non-closing candidates are
+//!   rejected by a word evaluation before any model check;
+//! * on the symbolic backend, every check reuses one cached design product
+//!   (`R ∧ ¬FA`) and re-encodes only the small candidate automaton.
 
-use crate::hole::closure_witness;
+use crate::backend::Backend;
+use crate::error::CoreError;
 use crate::model::CoverageModel;
 use crate::spec::RtlSpec;
 use dic_logic::{Lit, SignalTable};
@@ -43,6 +53,20 @@ pub struct GapConfig {
     /// have been found (gap-closure checks of *closing* candidates explore
     /// the whole product and dominate the runtime on wide models).
     pub max_gap_properties: usize,
+    /// Skip the structured-weakening phase entirely when a variable
+    /// instance of the intent sits deeper than this many `X` operators.
+    /// A candidate for a deep intent pairs an `X`-obligation chain of
+    /// that length with the design registers, which blows up the closure
+    /// product on *either* engine (the `chain-<n>-gap` family past
+    /// roughly a dozen stages) — such intents report their uncovered
+    /// terms and Theorem 2's exact hole instead. The bound is a property
+    /// of the formula alone, so both backends skip identically.
+    pub max_intent_depth: usize,
+    /// The engine the gap phase runs on. [`Backend::Auto`] (the default)
+    /// follows the model's per-phase resolution: explicit below the
+    /// state-bit crossover, symbolic above it or whenever the model has no
+    /// explicit structure. See [`CoverageModel::gap_backend`].
+    pub backend: Backend,
 }
 
 impl Default for GapConfig {
@@ -54,7 +78,9 @@ impl Default for GapConfig {
             quantify: true,
             max_candidates: 128,
             max_offset: 2,
-            max_gap_properties: 16,
+            max_gap_properties: 24,
+            max_intent_depth: 8,
+            backend: Backend::Auto,
         }
     }
 }
@@ -70,10 +96,22 @@ pub struct GapProperty {
     pub literal: Lit,
     /// `X` offset of the literal relative to the variable instance.
     pub offset: usize,
+    /// The uncovered term exhibiting this weakening's literal at its
+    /// position, when the enumeration found one (the empty cube
+    /// otherwise — the candidate class ranges over the whole observable
+    /// alphabet, not only the literals the enumerated terms mention).
+    pub term: TemporalCube,
+    /// A run of `M ⊨ R ∧ ¬FA` demonstrating the uncovered scenario this
+    /// property addresses (matching [`GapProperty::term`] where the term
+    /// is realizable as stated). Like every counterexample either engine
+    /// reports, it replays on the netlist simulator.
+    pub witness: LassoWord,
 }
 
 impl GapProperty {
-    /// Human-readable rendering.
+    /// Human-readable rendering (the motivating term and demonstrating run
+    /// stay in [`GapProperty::term`]/[`GapProperty::witness`] and the JSON
+    /// report; inlining a full term here would drown the formula).
     pub fn describe(&self, table: &SignalTable) -> String {
         format!(
             "{}   [instance at {}, augmented with X^{} {}]",
@@ -86,11 +124,15 @@ impl GapProperty {
 }
 
 /// One weakening candidate before verification.
-#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+#[derive(Clone, Debug)]
 struct Candidate {
     position: Position,
     literal: Lit,
     offset: usize,
+    /// `X`-depth of the weakened instance inside `fa`.
+    x_depth: usize,
+    /// The first term whose literal produced this candidate.
+    term: TemporalCube,
 }
 
 /// Steps 2(c) + 2(d): pushes the uncovered terms into `fa`'s parse tree,
@@ -99,26 +141,94 @@ struct Candidate {
 /// candidate closes the gap — callers then fall back to Theorem 2's
 /// [`exact_hole`](crate::exact_hole)).
 ///
-/// Candidate verification runs on the explicit engine; for a symbolic-only
-/// model the result is empty (same fallback as
-/// [`uncovered_terms`](crate::uncovered_terms)).
+/// Candidate verification dispatches through the gap backend
+/// ([`GapConfig::backend`]); both engines answer it on one memoized base
+/// product per property.
+///
+/// # Errors
+///
+/// Backend resolution and symbolic-engine failures; see
+/// [`CoverageModel::gap_backend`].
 pub fn find_gap(
     fa: &Ltl,
     terms: &[TemporalCube],
     rtl: &RtlSpec,
     model: &CoverageModel,
     config: &GapConfig,
-) -> Vec<GapProperty> {
-    if !model.has_explicit() {
-        return Vec::new();
+) -> Result<Vec<GapProperty>, CoreError> {
+    find_gap_with_runs(fa, terms, &[], rtl, model, config)
+}
+
+/// Like [`find_gap`], additionally seeding the bad-run pool with known
+/// counterexample runs (the ones
+/// [`uncovered_terms_with_runs`](crate::terms::uncovered_terms_with_runs)
+/// enumerated). Every seeded run rejects — by a word evaluation — each
+/// candidate that still holds on it, so the expensive closure model checks
+/// are reached almost exclusively by candidates that actually close the
+/// gap, and the `max_gap_properties` budget is hit with far fewer full
+/// fixpoints.
+///
+/// # Errors
+///
+/// As for [`find_gap`].
+pub fn find_gap_with_runs(
+    fa: &Ltl,
+    terms: &[TemporalCube],
+    seed_runs: &[LassoWord],
+    rtl: &RtlSpec,
+    model: &CoverageModel,
+    config: &GapConfig,
+) -> Result<Vec<GapProperty>, CoreError> {
+    let backend = model.gap_backend(config.backend)?;
+    if terms.is_empty() {
+        // No uncovered scenario was found (covered property, or the
+        // enumeration budget produced nothing): there is no gap for the
+        // candidate class to close.
+        return Ok(Vec::new());
     }
-    let candidates = push_terms(fa, terms, config);
-    // Pool of known *bad* runs — runs of `M` satisfying `R ∧ ¬fa`. Every
-    // failed closure check contributes one. A candidate that holds on any
-    // pooled run cannot close the gap (the run would still slip through),
-    // so it is rejected by a word evaluation instead of a model check.
-    let mut bad_runs: Vec<LassoWord> = Vec::new();
-    let mut closing: Vec<GapProperty> = Vec::new();
+    let occurrences = fa.atom_occurrences();
+    if occurrences.iter().any(|o| o.x_depth > config.max_intent_depth) {
+        // Deep-X intent: every closure product pairs an obligation chain
+        // of that depth with the design registers — a cliff for either
+        // engine. Report the exact hole instead (see
+        // [`GapConfig::max_intent_depth`]).
+        return Ok(Vec::new());
+    }
+    let candidates = push_candidates(fa, terms, model.observable(), config);
+    let base: Vec<Ltl> = rtl
+        .formulas()
+        .iter()
+        .cloned()
+        .chain([Ltl::not(fa.clone())])
+        .collect();
+    // Pool of known *bad* runs — runs of `M` satisfying `R ∧ ¬fa`. Term
+    // enumeration seeds it; every failed closure check contributes one
+    // more. A candidate that holds on any pooled run cannot close the gap
+    // (the run would still slip through), so it is rejected by a word
+    // evaluation instead of a model check.
+    let mut bad_runs: Vec<LassoWord> = seed_runs.to_vec();
+    // Deterministic sample words over the property atoms and the whole
+    // candidate-literal universe, used to refute subsumption by earlier
+    // closing candidates cheaply.
+    let screen_words = {
+        let mut signals: BTreeSet<dic_logic::SignalId> = fa.atoms();
+        signals.extend(model.observable().iter().copied());
+        random_words(&signals)
+    };
+    // Directed refutation probes already answered, per probed (time,
+    // literal) pair — unsatisfiable probes would otherwise repeat across
+    // candidates sharing a literal.
+    let mut probed: BTreeSet<(usize, Lit)> = BTreeSet::new();
+    let mut closing: Vec<Candidate> = Vec::new();
+    let mut formulas: Vec<Ltl> = Vec::new();
+    // Verification is strictly sequential in the canonical candidate
+    // order. This is a *determinism requirement*, not just simplicity:
+    // the closing-budget slots and the subsumption screen below must
+    // depend only on closure verdicts (semantic, backend-independent) —
+    // never on which particular counterexample runs a backend's pool
+    // happens to hold. (A batched variant was measured to be a
+    // performance wash anyway: the union automaton's size multiplies the
+    // per-check cost by what the batching divides.)
     'candidates: for cand in candidates.into_iter().take(config.max_candidates) {
         if closing.len() >= config.max_gap_properties {
             break;
@@ -134,30 +244,125 @@ pub fn find_gap(
                 continue 'candidates; // a known bad run slips through
             }
         }
-        match closure_witness(&weakened, fa, rtl, model) {
+        // Subsumption by an already-confirmed closing candidate: if
+        // `weakened ⇒ g` for a known closing `g`, every run the candidate
+        // admits is admitted by `g`, so the candidate closes too — and
+        // [`weakest_only`] would drop it as (at best) equivalent to the
+        // earlier `g`. Confirming closure by formula implication replaces
+        // a whole-product fixpoint per redundant candidate; a sample-word
+        // screen keeps the automata implication checks off the hot path.
+        for g in &formulas {
+            let refuted = screen_words
+                .iter()
+                .any(|w| weakened.holds_on(w) && !g.holds_on(w));
+            if !refuted && dic_automata::implies(&weakened, g) {
+                continue 'candidates;
+            }
+        }
+        // Directed cheap refutation before the full closure fixpoint: a
+        // bad run exhibiting the *negated* augmentation at the candidate's
+        // position usually satisfies the weakened property outright (the
+        // strengthened antecedent never fires / the weakened consequent is
+        // not exercised), and any bad run satisfying the candidate refutes
+        // closure by word evaluation alone. The probe is one bounded-cube
+        // query against the memoized `R ∧ ¬fa` base product; when the run
+        // it finds does not settle the candidate, the full check below
+        // still decides it — the probe is an early exit, never an oracle.
+        let probe_at = (cand.x_depth + cand.offset, cand.literal.negated());
+        if probed.insert(probe_at) {
+            let probe = TemporalCube::from_lits([probe_at]).expect("single literal");
+            if let Some(run) = model.gap_scenario_query(backend, &base, None, &probe)? {
+                bad_runs.push(run);
+                let run = bad_runs.last().expect("just pushed");
+                if weakened.holds_on(run) {
+                    continue 'candidates;
+                }
+            }
+        }
+        match model.gap_query(backend, &base, std::slice::from_ref(&weakened))? {
             Some(run) => bad_runs.push(run),
-            None => closing.push(GapProperty {
-                formula: weakened,
-                position: cand.position,
-                literal: cand.literal,
-                offset: cand.offset,
-            }),
+            None => {
+                closing.push(cand);
+                formulas.push(weakened);
+            }
         }
     }
-    weakest_only(closing)
+    // Attach the demonstrating run per surviving candidate: a run matching
+    // the motivating term where one exists (quantified terms are not
+    // always realizable verbatim), otherwise a seeded/known bad run.
+    // Candidates sharing a motivating term share the run (one query per
+    // distinct term).
+    let mut term_runs: std::collections::BTreeMap<TemporalCube, Option<LassoWord>> =
+        std::collections::BTreeMap::new();
+    let mut props = Vec::with_capacity(closing.len());
+    for (cand, formula) in closing.into_iter().zip(formulas) {
+        let queried = match term_runs.get(&cand.term) {
+            Some(w) => w.clone(),
+            None => {
+                let w = model.gap_scenario_query(backend, &base, None, &cand.term)?;
+                term_runs.insert(cand.term.clone(), w.clone());
+                w
+            }
+        };
+        let witness = match queried {
+            Some(w) => w,
+            None => match bad_runs.iter().find(|r| cand.term.holds_on(r, 0)) {
+                Some(r) => r.clone(),
+                None => match bad_runs.first().cloned() {
+                    Some(r) => r,
+                    // The pool can be empty on the unseeded path; any bad
+                    // run demonstrates the gap the candidate closes.
+                    None => match model.gap_scenario_query(
+                        backend,
+                        &base,
+                        None,
+                        &TemporalCube::top(),
+                    )? {
+                        Some(r) => r,
+                        // Genuinely no bad run: `R ∧ ¬fa` is unsatisfiable
+                        // (the property is covered), so there is no gap to
+                        // represent.
+                        None => continue,
+                    },
+                },
+            },
+        };
+        props.push(GapProperty {
+            formula,
+            position: cand.position,
+            literal: cand.literal,
+            offset: cand.offset,
+            term: cand.term,
+            witness,
+        });
+    }
+    Ok(weakest_only(props))
 }
 
-/// Step 2(c): align term literals with the variable instances of `fa`.
+/// Step 2(c): pair the variable instances of `fa` with augmentation
+/// literals over the *observable alphabet* — the candidate class of
+/// Definitions 2/3, enumerated canonically.
 ///
-/// A literal `(t, ℓ)` of a term matches an instance at `X`-depth `d` when
-/// `t ≥ d` and `t − d ≤ max_offset`; both the literal and its negation are
-/// proposed (the paper's `ϕ'`/`ϕ''` split). Candidates are ordered the way
-/// the paper's heuristics explore them: instances nested deepest inside
-/// *unbounded* temporal operators first (step 2(c) determines that "the
-/// gaps lie inside the unbounded operator"; Fig. 6 weakens the until),
-/// antecedent (negative) positions before consequent ones, small `X`
-/// offsets before large ones.
-fn push_terms(fa: &Ltl, terms: &[TemporalCube], config: &GapConfig) -> Vec<Candidate> {
+/// After step 2(b)'s quantification, every term literal `(t, ℓ)` matching
+/// an instance at `X`-depth `d` (`t ≥ d`, `t − d ≤ max_offset`) lies in
+/// exactly this class, so the terms *prune nothing*: they attribute.
+/// Enumerating the whole class — rather than only the literals the
+/// enumerated terms happened to mention — makes the candidate pool (and
+/// with it the reported weakest-property set) a function of the model
+/// alone: two engines that agree on closure verdicts report byte-identical
+/// sets, regardless of which counterexample runs their term enumeration
+/// found. Candidates are ordered the way the paper's heuristics explore
+/// them: instances nested deepest inside *unbounded* temporal operators
+/// first (step 2(c) determines that "the gaps lie inside the unbounded
+/// operator"; Fig. 6 weakens the until), antecedent (negative) positions
+/// before consequent ones, small `X` offsets before large ones; the full
+/// sort key (down to the pushed literal) is total, hence canonical.
+fn push_candidates(
+    fa: &Ltl,
+    terms: &[TemporalCube],
+    observable: &BTreeSet<dic_logic::SignalId>,
+    config: &GapConfig,
+) -> Vec<Candidate> {
     let mut seen: BTreeSet<(Vec<usize>, Lit, usize)> = BTreeSet::new();
     let mut out: Vec<(usize, usize, usize, Candidate)> = Vec::new();
     let occurrences = fa.atom_occurrences();
@@ -170,42 +375,53 @@ fn push_terms(fa: &Ltl, terms: &[TemporalCube], config: &GapConfig) -> Vec<Candi
         let LtlNode::Atom(own) = occ.subformula.node() else {
             continue;
         };
-        for term in terms {
-            for &(t, lit) in term.lits() {
-                if t < occ.x_depth {
-                    continue;
-                }
-                let offset = t - occ.x_depth;
-                if offset > config.max_offset {
-                    continue;
-                }
-                if lit.signal() == *own && offset == 0 {
+        for offset in 0..=config.max_offset {
+            for &s in observable {
+                if s == *own && offset == 0 {
                     continue; // augmenting v with v or !v is degenerate
                 }
-                for l in [lit, lit.negated()] {
+                for l in [Lit::pos(s), Lit::neg(s)] {
                     let key = (occ.position.path().to_vec(), l, offset);
-                    if seen.insert(key) {
-                        let unbounded_rank = max_unbounded - occ.unbounded_depth;
-                        let pol_rank = match occ.polarity {
-                            Polarity::Negative => 0,
-                            Polarity::Positive => 1,
-                        };
-                        out.push((
-                            unbounded_rank,
-                            pol_rank,
-                            offset,
-                            Candidate {
-                                position: occ.position.clone(),
-                                literal: l,
-                                offset,
-                            },
-                        ));
+                    if !seen.insert(key) {
+                        continue;
                     }
+                    let unbounded_rank = max_unbounded - occ.unbounded_depth;
+                    let pol_rank = match occ.polarity {
+                        Polarity::Negative => 0,
+                        Polarity::Positive => 1,
+                    };
+                    // Attribution: the first enumerated term exhibiting
+                    // this literal (in either polarity) at the matching
+                    // time, when one exists.
+                    let t = occ.x_depth + offset;
+                    let term = terms
+                        .iter()
+                        .find(|term| {
+                            term.lits()
+                                .iter()
+                                .any(|&(tt, tl)| tt == t && tl.signal() == s)
+                        })
+                        .cloned()
+                        .unwrap_or_default();
+                    out.push((
+                        unbounded_rank,
+                        pol_rank,
+                        offset,
+                        Candidate {
+                            position: occ.position.clone(),
+                            literal: l,
+                            offset,
+                            x_depth: occ.x_depth,
+                            term,
+                        },
+                    ));
                 }
             }
         }
     }
-    out.sort_by_key(|(ur, pol, off, c)| (*ur, *pol, *off, c.position.path().to_vec()));
+    out.sort_by_key(|(ur, pol, off, c)| {
+        (*ur, *pol, *off, c.position.path().to_vec(), c.literal)
+    });
     out.into_iter().map(|(_, _, _, c)| c).collect()
 }
 
@@ -292,8 +508,13 @@ fn sample_words(props: &[GapProperty]) -> Vec<LassoWord> {
     for p in props {
         signals.extend(p.formula.atoms());
     }
+    random_words(&signals)
+}
+
+/// A fixed-seed pseudo-random sample of lasso words over `signals`.
+fn random_words(signals: &BTreeSet<dic_logic::SignalId>) -> Vec<LassoWord> {
     let n = signals.iter().map(|s| s.index() + 1).max().unwrap_or(1);
-    let signals: Vec<_> = signals.into_iter().collect();
+    let signals: Vec<_> = signals.iter().copied().collect();
     let mut state = 0x9e37_79b9_7f4a_7c15u64; // fixed seed: runs are reproducible
     let mut next = move || {
         state ^= state << 13;
@@ -326,7 +547,7 @@ mod tests {
     use crate::hole::closes_gap;
     use crate::model::CoverageModel;
     use crate::spec::{ArchSpec, RtlSpec};
-    use crate::terms::uncovered_terms;
+    use crate::terms::{uncovered_terms, uncovered_terms_with_runs};
     use dic_logic::SignalTable;
     use dic_netlist::ModuleBuilder;
 
@@ -353,13 +574,15 @@ mod tests {
         let (t, arch, rtl, model) = gapped();
         let fa = arch.properties()[0].formula();
         let config = GapConfig::default();
-        let terms = uncovered_terms(fa, &rtl, &model, &config);
-        let gaps = find_gap(fa, &terms, &rtl, &model, &config);
+        let terms = uncovered_terms(fa, &rtl, &model, &config).expect("runs");
+        let gaps = find_gap(fa, &terms, &rtl, &model, &config).expect("runs");
         assert!(!gaps.is_empty(), "expected a structured gap property");
         for g in &gaps {
             // Weaker than FA and closes the gap — re-verify both.
             assert!(dic_automata::implies(fa, &g.formula));
-            assert!(closes_gap(&g.formula, fa, &rtl, &model));
+            assert!(closes_gap(&g.formula, fa, &rtl, &model).expect("runs"));
+            // The demonstrating run is a genuine bad run.
+            assert!(!fa.holds_on(&g.witness));
         }
         // The expected shape mirrors the paper's U: the antecedent is
         // strengthened with the *uncovered scenario* literal (en low is
@@ -381,8 +604,8 @@ mod tests {
         let (_t, arch, rtl, model) = gapped();
         let fa = arch.properties()[0].formula();
         let config = GapConfig::default();
-        let terms = uncovered_terms(fa, &rtl, &model, &config);
-        let gaps = find_gap(fa, &terms, &rtl, &model, &config);
+        let terms = uncovered_terms(fa, &rtl, &model, &config).expect("runs");
+        let gaps = find_gap(fa, &terms, &rtl, &model, &config).expect("runs");
         // No kept candidate is strictly stronger than another kept one.
         for i in 0..gaps.len() {
             for j in 0..gaps.len() {
@@ -394,6 +617,24 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn seeded_pool_does_not_change_the_result() {
+        let (_t, arch, rtl, model) = gapped();
+        let fa = arch.properties()[0].formula();
+        let config = GapConfig::default();
+        let (terms, runs) =
+            uncovered_terms_with_runs(fa, &rtl, &model, &config).expect("runs");
+        let unseeded = find_gap(fa, &terms, &rtl, &model, &config).expect("runs");
+        let seeded =
+            find_gap_with_runs(fa, &terms, &runs, &rtl, &model, &config).expect("runs");
+        let fmt = |gs: &[GapProperty]| {
+            let mut v: Vec<String> = gs.iter().map(|g| format!("{:?}", g.formula)).collect();
+            v.sort();
+            v
+        };
+        assert_eq!(fmt(&unseeded), fmt(&seeded), "seeding is a pure optimization");
     }
 
     #[test]
@@ -411,9 +652,9 @@ mod tests {
         let model = CoverageModel::build(&arch, &rtl, &t).unwrap();
         let fa = arch.properties()[0].formula();
         let config = GapConfig::default();
-        let terms = uncovered_terms(fa, &rtl, &model, &config);
+        let terms = uncovered_terms(fa, &rtl, &model, &config).expect("runs");
         assert!(terms.is_empty());
-        let gaps = find_gap(fa, &terms, &rtl, &model, &config);
+        let gaps = find_gap(fa, &terms, &rtl, &model, &config).expect("runs");
         assert!(gaps.is_empty());
     }
 }

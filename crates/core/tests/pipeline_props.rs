@@ -101,9 +101,11 @@ proptest! {
                         "gap property must be weaker than A"
                     );
                     prop_assert!(
-                        closes_gap(&g.formula, &rep.formula, &rtl, &model),
+                        closes_gap(&g.formula, &rep.formula, &rtl, &model).expect("runs"),
                         "gap property must close the gap"
                     );
+                    // The per-property demonstrating run is a genuine bad run.
+                    prop_assert!(!rep.formula.holds_on(&g.witness));
                 }
             }
         }
@@ -118,7 +120,7 @@ proptest! {
         let model = CoverageModel::build(&arch, &rtl, &t).expect("builds");
         for rep in &run.properties {
             prop_assert!(
-                closes_gap(&rep.exact_hole, &rep.formula, &rtl, &model),
+                closes_gap(&rep.exact_hole, &rep.formula, &rtl, &model).expect("runs"),
                 "Theorem 2 hole failed to close for {}",
                 rep.formula.display(&t)
             );

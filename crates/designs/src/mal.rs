@@ -367,7 +367,7 @@ mod tests {
         assert!(dic_automata::implies(fa, &u));
         assert!(dic_automata::stronger_than(fa, &u));
         assert!(
-            closes_gap(&u, fa, &d.rtl, &model),
+            closes_gap(&u, fa, &d.rtl, &model).expect("runs"),
             "the paper's U must close the Example 2 gap"
         );
     }
@@ -381,7 +381,7 @@ mod tests {
         let model = CoverageModel::build(&d.arch, &d.rtl, &d.table).expect("builds");
         let fa = d.arch.properties()[0].formula();
         assert!(dic_automata::stronger_than(fa, &u));
-        assert!(closes_gap(&u, fa, &d.rtl, &model));
+        assert!(closes_gap(&u, fa, &d.rtl, &model).expect("runs"));
     }
 
     #[test]
@@ -457,7 +457,7 @@ mod tests {
         );
         let model = CoverageModel::build(&d.arch, &d.rtl, &d.table).expect("builds");
         for g in &rep.gap_properties {
-            assert!(closes_gap(&g.formula, &rep.formula, &d.rtl, &model));
+            assert!(closes_gap(&g.formula, &rep.formula, &d.rtl, &model).expect("runs"));
         }
     }
 

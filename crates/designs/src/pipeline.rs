@@ -151,7 +151,7 @@ mod tests {
         let fa = d.arch.properties()[0].formula();
         assert!(dic_automata::implies(fa, &u));
         assert!(
-            closes_gap(&u, fa, &d.rtl, &model),
+            closes_gap(&u, fa, &d.rtl, &model).expect("runs"),
             "the ack-timing strengthening must close the gap"
         );
     }

@@ -91,6 +91,20 @@ pub struct BddManager {
     rename_cache: HashMap<(u32, u32), u32>,
 }
 
+/// A node-store marker created by [`BddManager::checkpoint`] and consumed
+/// by [`BddManager::rollback`].
+#[derive(Clone, Copy, Debug)]
+pub struct BddCheckpoint {
+    nodes: usize,
+}
+
+impl BddCheckpoint {
+    /// Node count at the time of the checkpoint.
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+}
+
 /// A handle to a registered quantification variable set
 /// (see [`BddManager::register_var_set`]).
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
@@ -173,6 +187,43 @@ impl BddManager {
         self.ite_cache.clear();
         self.and_exists_cache.clear();
         self.rename_cache.clear();
+    }
+
+    /// A point-in-time marker of the node store for
+    /// [`BddManager::rollback`].
+    pub fn checkpoint(&self) -> BddCheckpoint {
+        BddCheckpoint {
+            nodes: self.nodes.len(),
+        }
+    }
+
+    /// Frees every node created after `cp` — the node store is
+    /// append-only, so this is a truncate plus dropping the unique-table
+    /// and operation-memo entries that reference the removed nodes
+    /// (entries purely over surviving nodes are kept, so the memo tables
+    /// stay warm for the next computation over the same base).
+    ///
+    /// The manager never garbage-collects on its own; throwaway
+    /// computations whose results are extracted to non-BDD form (witness
+    /// runs, verdicts) use checkpoint/rollback to run in bounded memory.
+    /// Every [`Bdd`] handle obtained *after* the checkpoint is
+    /// invalidated; handles from before stay valid and canonical.
+    /// Variable registrations, variable sets and pairings survive (they
+    /// reference no nodes).
+    pub fn rollback(&mut self, cp: &BddCheckpoint) {
+        if self.nodes.len() == cp.nodes {
+            return; // nothing was created — all tables are already clean
+        }
+        self.nodes.truncate(cp.nodes);
+        let limit = u32::try_from(cp.nodes).expect("checkpoint within u32 store");
+        self.unique.retain(|_, &mut n| n < limit);
+        self.ite_cache
+            .retain(|&(f, g, h), &mut r| f < limit && g < limit && h < limit && r < limit);
+        // `and_exists` keys carry a var-set id first, `rename` keys a
+        // pairing id — both survive rollback; only node operands matter.
+        self.and_exists_cache
+            .retain(|&(_, f, g), &mut r| f < limit && g < limit && r < limit);
+        self.rename_cache.retain(|&(_, f), &mut r| f < limit && r < limit);
     }
 
     /// Registers a set of variables for [`BddManager::and_exists`],
@@ -659,6 +710,51 @@ impl BddManager {
         Cube::from_lits(lits)
     }
 
+    /// Up to `limit` distinct satisfying assignments of `f`, each the cube
+    /// of one BDD path (variables off the path are unconstrained, so the
+    /// cubes are short where `f` is insensitive). The high branch is
+    /// explored first, making `sat_cubes(f, 1)` consistent with
+    /// [`BddManager::any_sat`] whenever the high branch is non-false.
+    ///
+    /// The symbolic gap engine uses this to read scenario catalogues
+    /// directly off region BDDs instead of replaying lassos.
+    pub fn sat_cubes(&self, f: Bdd, limit: usize) -> Vec<Cube> {
+        let mut out = Vec::new();
+        let mut stack: Vec<(Bdd, Vec<Lit>)> = vec![(f, Vec::new())];
+        while let Some((g, lits)) = stack.pop() {
+            if out.len() >= limit {
+                break;
+            }
+            if g.is_false() {
+                continue;
+            }
+            if g.is_true() {
+                out.push(Cube::from_lits(lits).expect("path literals are distinct"));
+                continue;
+            }
+            let n = self.node(g);
+            let sig = self.var_to_signal[n.var as usize];
+            let mut lo_lits = lits.clone();
+            lo_lits.push(Lit::neg(sig));
+            let mut hi_lits = lits;
+            hi_lits.push(Lit::pos(sig));
+            // Last-in-first-out: push low first so the high branch pops
+            // (and is emitted) first.
+            stack.push((Bdd(n.lo), lo_lits));
+            stack.push((Bdd(n.hi), hi_lits));
+        }
+        out
+    }
+
+    /// Universal quantification over raw variable indices (the dual of
+    /// [`BddManager::exists_vars`], for callers whose variables are not
+    /// all backed by table signals).
+    pub fn forall_vars(&mut self, f: Bdd, vars: &[u32]) -> Bdd {
+        let nf = self.not(f);
+        let ex = self.exists_vars(nf, vars);
+        self.not(ex)
+    }
+
     /// Number of satisfying assignments over an `nvars`-variable universe.
     ///
     /// `nvars` must be at least the number of registered variables appearing
@@ -977,6 +1073,45 @@ mod tests {
     }
 
     #[test]
+    fn sat_cubes_enumerates_disjoint_paths() {
+        let (_t, mut m, ids) = setup();
+        let a = m.var_for_signal(ids[0]);
+        let b = m.var_for_signal(ids[1]);
+        let f = m.or(a, b); // paths: a, !a&b
+        let cubes = m.sat_cubes(f, 10);
+        assert_eq!(cubes.len(), 2);
+        // Each cube satisfies f; their disjunction rebuilds f exactly
+        // (paths partition the satisfying space).
+        let mut back = Bdd::FALSE;
+        for c in &cubes {
+            let cb = m.from_cube(c);
+            let implied = m.implies(cb, f);
+            assert!(implied.is_true());
+            back = m.or(back, cb);
+        }
+        assert_eq!(back, f);
+        // The limit truncates; the first cube matches any_sat.
+        let one = m.sat_cubes(f, 1);
+        assert_eq!(one.len(), 1);
+        assert_eq!(one[0], m.any_sat(f).unwrap());
+        assert!(m.sat_cubes(Bdd::FALSE, 4).is_empty());
+        assert_eq!(m.sat_cubes(Bdd::TRUE, 4).len(), 1);
+    }
+
+    #[test]
+    fn forall_vars_matches_forall_all() {
+        let (_t, mut m, ids) = setup();
+        let a = m.var_for_signal(ids[0]);
+        let b = m.var_for_signal(ids[1]);
+        let f = m.or(a, b);
+        let va = m.var_index(ids[0]);
+        assert_eq!(m.forall_vars(f, &[va]), m.forall(f, ids[0]));
+        let g = m.and(a, b);
+        let vb = m.var_index(ids[1]);
+        assert!(m.forall_vars(g, &[va, vb]).is_false());
+    }
+
+    #[test]
     fn exists_vars_matches_exists_all() {
         let (_t, mut m, ids) = setup();
         let a = m.var_for_signal(ids[0]);
@@ -1040,6 +1175,36 @@ mod tests {
         let vd = m.var_index(ids[3]);
         // a -> d and c -> b reverses the order of the targets.
         m.register_pairing(&[(va, vd), (vc, vb)]);
+    }
+
+    #[test]
+    fn rollback_frees_scratch_nodes_and_keeps_survivors() {
+        let (_t, mut m, ids) = setup();
+        let a = m.var_for_signal(ids[0]);
+        let b = m.var_for_signal(ids[1]);
+        let keep = m.and(a, b);
+        let cp = m.checkpoint();
+        let before = m.node_count();
+        // Scratch work: new nodes that will be rolled back.
+        let c = m.var_for_signal(ids[2]);
+        let scratch = m.xor(keep, c);
+        assert!(m.node_count() > before);
+        assert!(!scratch.is_false());
+        m.rollback(&cp);
+        assert_eq!(m.node_count(), before);
+        // Survivors stay valid and canonical: rebuilding reuses them.
+        assert_eq!(m.and(a, b), keep);
+        // The scratch function rebuilds to a *fresh but equal* node.
+        let c2 = m.var_for_signal(ids[2]);
+        let scratch2 = m.xor(keep, c2);
+        let nd = m.not(scratch2);
+        let back = m.not(nd);
+        assert_eq!(back, scratch2);
+        // Rolling back with nothing new keeps the memo tables.
+        let cp2 = m.checkpoint();
+        let warm = m.cache_entries();
+        m.rollback(&cp2);
+        assert_eq!(m.cache_entries(), warm);
     }
 
     #[test]

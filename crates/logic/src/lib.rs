@@ -42,7 +42,7 @@ pub mod parse;
 pub mod signal;
 pub mod valuation;
 
-pub use bdd::{Bdd, BddManager, PairingId, VarSetId};
+pub use bdd::{Bdd, BddCheckpoint, BddManager, PairingId, VarSetId};
 pub use cube::{Cube, Lit};
 pub use expr::BoolExpr;
 pub use parse::ParseBoolExprError;

@@ -23,6 +23,15 @@
 //!    lasso, which is replayed into full signal valuations
 //!    ([`dic_ltl::LassoWord`]) exactly like the explicit engine's
 //!    counterexamples.
+//!
+//! The per-query machinery lives in [`ProductData`], which is **cached per
+//! conjunct list** on the model: repeated queries against the same base
+//! formulas (the gap phase issues hundreds sharing `R ∧ ¬FA`) reuse the
+//! encoded automata, the reachable set, the fair hull and the onion rings
+//! instead of recomputing any of them. Extended products (a cached base
+//! plus a few extra conjuncts, used for gap-closure checks) re-encode only
+//! the extra automata and restrict their reachability by the base's
+//! reachable set — see [`crate::terms`].
 
 use crate::error::SymbolicError;
 use crate::model::SymbolicModel;
@@ -33,7 +42,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 /// One automaton encoded over a slice of the shared bit pool.
-struct AutEnc {
+pub(crate) struct AutEnc {
     /// Transition structure over this automaton's current/next bits only
     /// (literal obligations live in `inv`, not here).
     trans: Bdd,
@@ -46,12 +55,20 @@ struct AutEnc {
     fair: Vec<Bdd>,
 }
 
-/// A per-query product checker: the module plus the encoded automata, with
-/// precomputed quantification schedules for image/preimage.
-struct Check<'a> {
-    m: &'a mut SymbolicModel,
+/// A symbolic product: the module plus encoded automata, with precomputed
+/// quantification schedules for image/preimage and memoized fixpoint
+/// results (reachable set, fair hull, hull-reaching set, onion rings).
+///
+/// Everything inside is a plain handle (BDDs, registered var sets and
+/// pairings), so a product is cheap to keep around; the model caches one
+/// per distinct conjunct list (see [`SymbolicModel::with_product`]).
+#[derive(Debug)]
+pub(crate) struct ProductData {
     /// Transition conjuncts: one per latch, then one per automaton.
     conjuncts: Vec<Bdd>,
+    /// Support variables per conjunct (memoized: extended products reuse
+    /// the base's supports instead of re-walking every conjunct BDD).
+    supports: Vec<Vec<u32>>,
     /// Current-bank variables whose last occurrence is conjunct `i`
     /// (image schedule).
     img_sets: Vec<VarSetId>,
@@ -65,15 +82,46 @@ struct Check<'a> {
     next_to_curr: PairingId,
     curr_to_next: PairingId,
     /// Conjunction of every automaton's `inv`.
-    inv: Bdd,
+    pub(crate) inv: Bdd,
     /// Module reset ∧ automata initial ∧ `inv`.
-    init: Bdd,
+    pub(crate) init: Bdd,
     /// All fairness sets, flattened across automata.
-    fair: Vec<Bdd>,
+    pub(crate) fair: Vec<Bdd>,
     /// Every current-bank variable of the product (module + automaton).
     all_curr: Vec<u32>,
+    /// Every next-bank variable of the product.
+    all_next: Vec<u32>,
     /// Length for product-state valuations (covers synthetic ids).
     val_len: usize,
+    /// Automaton bit-pool cursor after this product's automata; extended
+    /// products allocate their extra automata from here.
+    pub(crate) bits_used: usize,
+    /// Care set intersected into every reachability frontier (`TRUE` for
+    /// base products; the base's reachable set for extended products — a
+    /// sound restriction, since any extended-reachable state projects to a
+    /// base-reachable one).
+    care: Bdd,
+    /// Upper bound seeding the Emerson–Lei fixpoint (`TRUE` for base
+    /// products; the base's fair hull for extended products — every fair
+    /// extended run projects to a fair base run, so the extended hull
+    /// lives inside the lifted base hull and the greatest fixpoint can
+    /// start there instead of at the full reachable set).
+    hull_seed: Bdd,
+    /// Memoized forward-reachable set.
+    reach: Option<Bdd>,
+    /// Memoized fair hull `νZ. ⋀_j EX E[Z U (Z ∧ F_j)]` within `reach`.
+    hull: Option<Bdd>,
+    /// Memoized `E[reach U hull]`: states with some fair continuation.
+    can_fair: Option<Bdd>,
+    /// Memoized onion rings from `can_fair` down to the hull.
+    hull_rings: Option<Vec<Bdd>>,
+    /// Memoized per-fairness-set onion rings within the hull.
+    fair_rings: Option<Vec<Vec<Bdd>>>,
+    /// Whether this product is cached on the model (its memoized
+    /// fixpoints then pin the scratch region — see
+    /// [`SymbolicModel::mark_persistent`]). Extended closure products are
+    /// throwaway scratch and never mark.
+    persistent: bool,
 }
 
 impl SymbolicModel {
@@ -81,6 +129,11 @@ impl SymbolicModel {
     /// formula in `formulas` simultaneously? Returns a replayable witness
     /// lasso if so — the symbolic counterpart of
     /// [`dic_automata::satisfiable_in_conj`].
+    ///
+    /// The product for `formulas` is cached on the model, so repeating the
+    /// query (or issuing factored gap queries against the same base — see
+    /// [`SymbolicModel::satisfiable_factored`](crate::terms)) reuses its
+    /// encoding and fixpoints.
     ///
     /// # Errors
     ///
@@ -91,14 +144,81 @@ impl SymbolicModel {
         &mut self,
         formulas: &[Ltl],
     ) -> Result<Option<LassoWord>, SymbolicError> {
-        let gbas: Vec<Arc<Gba>> = formulas.iter().map(translate_cached).collect();
-        if gbas.iter().any(|g| g.initial().is_empty()) {
+        let Some(gbas) = translate_all(formulas) else {
             // Some conjunct is unsatisfiable on its own (e.g. `p ∧ ¬p`).
             return Ok(None);
-        }
-        let mut check = Check::build(self, &gbas)?;
-        check.run()
+        };
+        self.with_product(formulas, &gbas, |m, pd| pd.decide(m))
     }
+
+    /// Runs `f` with the cached product for `key` (building it on first
+    /// use), returning the product to the cache afterwards — the take/put
+    /// dance keeps the borrow checker happy while `f` mutates both the
+    /// model and the product's memoized fixpoints.
+    pub(crate) fn with_product<T>(
+        &mut self,
+        key: &[Ltl],
+        gbas: &[Arc<Gba>],
+        f: impl FnOnce(&mut SymbolicModel, &mut ProductData) -> Result<T, SymbolicError>,
+    ) -> Result<T, SymbolicError> {
+        let mut pd = match self.products.remove(key) {
+            Some(pd) => pd,
+            None => {
+                let mut pd = ProductData::build(self, gbas, None)?;
+                pd.persistent = true;
+                self.mark_persistent();
+                pd
+            }
+        };
+        let result = f(self, &mut pd);
+        self.products.insert(key.to_vec(), pd);
+        result
+    }
+
+    /// Like [`SymbolicModel::with_product`] for the conjunct list
+    /// `base ++ extra`, but building the product — on first use — as an
+    /// *extension* of the cached `base` product: only the `extra` automata
+    /// are encoded, reachability is restricted by the base's reachable set
+    /// and the fair-hull fixpoint is seeded with the base's hull. The
+    /// extension is cached like any product, so repeated gap queries
+    /// against the same anchored conjunction pay the cheap build once.
+    ///
+    /// `base` and `extra` must each have translated successfully
+    /// (non-empty initial states); callers check via [`translate_all`].
+    pub(crate) fn with_extended_product<T>(
+        &mut self,
+        base: &[Ltl],
+        base_gbas: &[Arc<Gba>],
+        extra: &[Ltl],
+        extra_gbas: &[Arc<Gba>],
+        f: impl FnOnce(&mut SymbolicModel, &mut ProductData) -> Result<T, SymbolicError>,
+    ) -> Result<T, SymbolicError> {
+        let full: Vec<Ltl> = base.iter().cloned().chain(extra.iter().cloned()).collect();
+        if !self.products.contains_key(&full) {
+            let mut ext = self.with_product(base, base_gbas, |m, pd| {
+                let reach = pd.reachable(m)?;
+                let hull = pd.hull(m)?;
+                let mut ext = ProductData::build(m, extra_gbas, Some(pd))?;
+                ext.set_care(reach);
+                ext.set_hull_seed(hull);
+                Ok(ext)
+            })?;
+            ext.persistent = true;
+            self.mark_persistent();
+            self.products.insert(full.clone(), ext);
+        }
+        self.with_product(&full, &[], f)
+    }
+}
+
+/// Translates every conjunct, or `None` when some conjunct has no initial
+/// state (unsatisfiable on its own).
+pub(crate) fn translate_all(formulas: &[Ltl]) -> Option<Vec<Arc<Gba>>> {
+    let gbas: Vec<Arc<Gba>> = formulas.iter().map(translate_cached).collect();
+    if gbas.iter().any(|g| g.initial().is_empty()) {
+        return None;
+    }
+    Some(gbas)
 }
 
 /// Number of binary code bits for an `n`-state automaton.
@@ -110,11 +230,19 @@ fn bits_for(n: usize) -> usize {
     bits
 }
 
-impl<'a> Check<'a> {
-    fn build(m: &'a mut SymbolicModel, gbas: &[Arc<Gba>]) -> Result<Self, SymbolicError> {
+impl ProductData {
+    /// Encodes the automata of `gbas` and assembles the product plan. With
+    /// `base`, builds an *extended* product: the base's conjuncts,
+    /// invariant, initial set and fairness are reused as-is and only the
+    /// new automata are encoded, over bit-pool slices above the base's.
+    pub(crate) fn build(
+        m: &mut SymbolicModel,
+        gbas: &[Arc<Gba>],
+        base: Option<&ProductData>,
+    ) -> Result<ProductData, SymbolicError> {
         // Allocate a stable slice of the bit pool per automaton.
         let mut ranges = Vec::with_capacity(gbas.len());
-        let mut cursor = 0usize;
+        let mut cursor = base.map_or(0, |b| b.bits_used);
         for g in gbas {
             let nbits = bits_for(g.num_states());
             ranges.push((cursor, nbits));
@@ -129,29 +257,49 @@ impl<'a> Check<'a> {
         }
 
         // Assemble the plan: conjuncts, invariant, init, fairness.
-        let mut conjuncts = m.trans_latches.clone();
-        let mut inv = Bdd::TRUE;
-        let mut init = m.init;
-        let mut fair = Vec::new();
+        let (mut conjuncts, mut supports, mut inv, mut init, mut fair, mut all_curr, mut all_next) =
+            match base {
+                None => (
+                    m.trans_latches.clone(),
+                    m.trans_latches
+                        .iter()
+                        .map(|&c| m.man.support_vars(c))
+                        .collect::<Vec<_>>(),
+                    Bdd::TRUE,
+                    m.init,
+                    Vec::new(),
+                    m.curr_var.clone(),
+                    m.next_var.clone(),
+                ),
+                Some(b) => (
+                    b.conjuncts.clone(),
+                    b.supports.clone(),
+                    b.inv,
+                    b.init,
+                    b.fair.clone(),
+                    b.all_curr.clone(),
+                    b.all_next.clone(),
+                ),
+            };
         for e in &encs {
             conjuncts.push(e.trans);
+            supports.push(m.man.support_vars(e.trans));
             inv = m.man.and(inv, e.inv);
             init = m.man.and(init, e.init);
             fair.extend(e.fair.iter().copied());
         }
         init = m.man.and(init, inv);
 
-        let mut all_curr: Vec<u32> = m.curr_var.clone();
-        let mut all_next: Vec<u32> = m.next_var.clone();
-        for &(c, n) in &m.aut_pool[..cursor] {
+        let first_new_bit = base.map_or(0, |b| b.bits_used);
+        for &(c, n) in &m.aut_pool[first_new_bit..cursor] {
             all_curr.push(c);
             all_next.push(n);
         }
 
         // Early-quantification schedules: a variable can be summed out as
         // soon as the last conjunct mentioning it has been conjoined.
-        let img_groups = last_occurrence_groups(m, &conjuncts, &all_curr);
-        let pre_groups = last_occurrence_groups(m, &conjuncts, &all_next);
+        let img_groups = last_occurrence_groups(&supports, &all_curr);
+        let pre_groups = last_occurrence_groups(&supports, &all_next);
         let img_sets: Vec<VarSetId> = img_groups
             .per_conjunct
             .iter()
@@ -174,9 +322,9 @@ impl<'a> Check<'a> {
 
         let val_len = m.table.len() + m.synth_count;
         m.check_limit()?;
-        Ok(Check {
-            m,
+        Ok(ProductData {
             conjuncts,
+            supports,
             img_sets,
             img_tail,
             pre_sets,
@@ -187,73 +335,118 @@ impl<'a> Check<'a> {
             init,
             fair,
             all_curr,
+            all_next,
             val_len,
+            bits_used: cursor,
+            care: Bdd::TRUE,
+            hull_seed: Bdd::TRUE,
+            reach: None,
+            hull: None,
+            can_fair: None,
+            hull_rings: None,
+            fair_rings: None,
+            persistent: false,
         })
     }
 
+    /// Marks a freshly memoized fixpoint as persistent when this product
+    /// is cached on the model; throwaway extended products skip the mark,
+    /// so their nodes stay collectable scratch.
+    fn mark(&self, m: &mut SymbolicModel) {
+        if self.persistent {
+            m.mark_persistent();
+        }
+    }
+
+    /// Restricts reachability to `care` (an extended product passes the
+    /// base product's reachable set). Must be set before the first
+    /// [`ProductData::reachable`] call.
+    pub(crate) fn set_care(&mut self, care: Bdd) {
+        debug_assert!(self.reach.is_none(), "care set after reachability ran");
+        self.care = care;
+    }
+
+    /// Seeds the fair-hull fixpoint with a known upper bound (an extended
+    /// product passes the base product's hull). Must be set before the
+    /// first [`ProductData::hull`] call.
+    pub(crate) fn set_hull_seed(&mut self, seed: Bdd) {
+        debug_assert!(self.hull.is_none(), "seed set after the hull ran");
+        self.hull_seed = seed;
+    }
+
     /// The full decision procedure: reachability, fair states, witness.
-    fn run(&mut self) -> Result<Option<LassoWord>, SymbolicError> {
+    pub(crate) fn decide(
+        &mut self,
+        m: &mut SymbolicModel,
+    ) -> Result<Option<LassoWord>, SymbolicError> {
         if self.init.is_false() {
             return Ok(None);
         }
-        let reach = self.reachable()?;
-        let z = self.fair_states(reach)?;
-        let start = self.m.man.and(self.init, z);
+        let z = self.hull(m)?;
+        let start = m.man.and(self.init, z);
         if start.is_false() {
             return Ok(None);
         }
-        let product_lasso = self.extract_lasso(start, z)?;
-        Ok(Some(self.to_word(&product_lasso.0, product_lasso.1)))
+        let product_lasso = self.extract_lasso(m, start, z)?;
+        Ok(Some(self.to_word(m, &product_lasso.0, product_lasso.1)))
     }
 
     /// Successor image of `s` (a set over the current bank), restricted to
     /// the invariant.
-    fn image(&mut self, s: Bdd) -> Result<Bdd, SymbolicError> {
-        let mut acc = self.m.man.and_exists(s, Bdd::TRUE, self.img_tail);
+    pub(crate) fn image(&self, m: &mut SymbolicModel, s: Bdd) -> Result<Bdd, SymbolicError> {
+        let mut acc = m.man.and_exists(s, Bdd::TRUE, self.img_tail);
         for i in 0..self.conjuncts.len() {
-            acc = self.m.man.and_exists(acc, self.conjuncts[i], self.img_sets[i]);
+            acc = m.man.and_exists(acc, self.conjuncts[i], self.img_sets[i]);
         }
-        let renamed = self.m.man.rename(acc, self.next_to_curr);
-        let out = self.m.man.and(renamed, self.inv);
-        self.m.check_limit()?;
+        let renamed = m.man.rename(acc, self.next_to_curr);
+        let out = m.man.and(renamed, self.inv);
+        m.check_limit()?;
         Ok(out)
     }
 
     /// Predecessor image of `s`, restricted to the invariant.
-    fn preimage(&mut self, s: Bdd) -> Result<Bdd, SymbolicError> {
-        let shifted = self.m.man.rename(s, self.curr_to_next);
-        let mut acc = self.m.man.and_exists(shifted, Bdd::TRUE, self.pre_tail);
+    pub(crate) fn preimage(&self, m: &mut SymbolicModel, s: Bdd) -> Result<Bdd, SymbolicError> {
+        let shifted = m.man.rename(s, self.curr_to_next);
+        let mut acc = m.man.and_exists(shifted, Bdd::TRUE, self.pre_tail);
         for i in 0..self.conjuncts.len() {
-            acc = self.m.man.and_exists(acc, self.conjuncts[i], self.pre_sets[i]);
+            acc = m.man.and_exists(acc, self.conjuncts[i], self.pre_sets[i]);
         }
-        let out = self.m.man.and(acc, self.inv);
-        self.m.check_limit()?;
+        let out = m.man.and(acc, self.inv);
+        m.check_limit()?;
         Ok(out)
     }
 
-    /// Forward reachability from the initial states (frontier-based).
-    fn reachable(&mut self) -> Result<Bdd, SymbolicError> {
-        let mut reach = self.init;
-        let mut frontier = self.init;
+    /// Forward reachability from the initial states (frontier-based,
+    /// memoized, restricted to the care set).
+    pub(crate) fn reachable(&mut self, m: &mut SymbolicModel) -> Result<Bdd, SymbolicError> {
+        if let Some(r) = self.reach {
+            return Ok(r);
+        }
+        let init = m.man.and(self.init, self.care);
+        let mut reach = init;
+        let mut frontier = init;
         loop {
-            let img = self.image(frontier)?;
-            let fresh = diff(self.m, img, reach);
+            let img = self.image(m, frontier)?;
+            let img = m.man.and(img, self.care);
+            let fresh = diff(m, img, reach);
             if fresh.is_false() {
+                self.reach = Some(reach);
+                self.mark(m);
                 return Ok(reach);
             }
-            reach = self.m.man.or(reach, fresh);
+            reach = m.man.or(reach, fresh);
             frontier = fresh;
         }
     }
 
     /// `E[inside U target]` (both already restricted to the product
     /// invariant): least fixpoint of backward steps within `inside`.
-    fn until(&mut self, inside: Bdd, target: Bdd) -> Result<Bdd, SymbolicError> {
+    fn until(&self, m: &mut SymbolicModel, inside: Bdd, target: Bdd) -> Result<Bdd, SymbolicError> {
         let mut y = target;
         loop {
-            let pre = self.preimage(y)?;
-            let step = self.m.man.and(inside, pre);
-            let next = self.m.man.or(y, step);
+            let pre = self.preimage(m, y)?;
+            let step = m.man.and(inside, pre);
+            let next = m.man.or(y, step);
             if next == y {
                 return Ok(y);
             }
@@ -261,55 +454,127 @@ impl<'a> Check<'a> {
         }
     }
 
-    /// The Emerson–Lei greatest fixpoint: states with a fair path, i.e.
+    /// The Emerson–Lei greatest fixpoint within the reachable states:
     /// `νZ. ⋀_j EX E[Z U (Z ∧ F_j)]` — or `νZ. EX Z` when no fairness
-    /// sets exist (all conjuncts are safety; any cycle will do).
-    fn fair_states(&mut self, reach: Bdd) -> Result<Bdd, SymbolicError> {
-        let mut z = reach;
+    /// sets exist (all conjuncts are safety; any cycle will do). Memoized.
+    pub(crate) fn hull(&mut self, m: &mut SymbolicModel) -> Result<Bdd, SymbolicError> {
+        if let Some(z) = self.hull {
+            return Ok(z);
+        }
+        let reach = self.reachable(m)?;
+        let mut z = m.man.and(reach, self.hull_seed);
         loop {
             let z_old = z;
             if self.fair.is_empty() {
-                let pre = self.preimage(z)?;
-                z = self.m.man.and(z, pre);
+                let pre = self.preimage(m, z)?;
+                z = m.man.and(z, pre);
             } else {
                 for j in 0..self.fair.len() {
-                    let target = self.m.man.and(z, self.fair[j]);
-                    let eu = self.until(z, target)?;
-                    let pre = self.preimage(eu)?;
-                    z = self.m.man.and(z, pre);
+                    let target = m.man.and(z, self.fair[j]);
+                    let eu = self.until(m, z, target)?;
+                    let pre = self.preimage(m, eu)?;
+                    z = m.man.and(z, pre);
                 }
             }
             if z == z_old {
+                self.hull = Some(z);
+                self.mark(m);
                 return Ok(z);
             }
         }
     }
 
+    /// States with *some* fair continuation: `E[reach U hull]`. Every
+    /// bounded-prefix query ends here — a prefix matters only if it can be
+    /// continued into a fair lasso. Memoized.
+    pub(crate) fn can_fair(&mut self, m: &mut SymbolicModel) -> Result<Bdd, SymbolicError> {
+        if let Some(cf) = self.can_fair {
+            return Ok(cf);
+        }
+        let reach = self.reachable(m)?;
+        let z = self.hull(m)?;
+        let cf = self.until(m, reach, z)?;
+        self.can_fair = Some(cf);
+        self.mark(m);
+        Ok(cf)
+    }
+
     /// Backward BFS "onion rings" from `target` within `z`: `rings[0]` is
     /// the target, `rings[d]` the states first reaching it in `d` steps.
     /// Every state of `z` with a path to the target lands in some ring.
-    fn rings_to(&mut self, z: Bdd, target: Bdd) -> Result<Vec<Bdd>, SymbolicError> {
-        let t0 = self.m.man.and(z, target);
+    fn rings_to(
+        &self,
+        m: &mut SymbolicModel,
+        z: Bdd,
+        target: Bdd,
+    ) -> Result<Vec<Bdd>, SymbolicError> {
+        let t0 = m.man.and(z, target);
         let mut rings = vec![t0];
         let mut covered = t0;
         loop {
             let last = *rings.last().expect("non-empty");
-            let pre = self.preimage(last)?;
-            let in_z = self.m.man.and(pre, z);
-            let fresh = diff(self.m, in_z, covered);
+            let pre = self.preimage(m, last)?;
+            let in_z = m.man.and(pre, z);
+            let fresh = diff(m, in_z, covered);
             if fresh.is_false() {
                 return Ok(rings);
             }
-            covered = self.m.man.or(covered, fresh);
+            covered = m.man.or(covered, fresh);
             rings.push(fresh);
         }
+    }
+
+    /// Onion rings from the hull-reaching set down to the hull, memoized —
+    /// the guide a bounded-prefix witness follows to complete its fair
+    /// suffix (see [`ProductData::walk_to_hull`]).
+    fn hull_rings(&mut self, m: &mut SymbolicModel) -> Result<&[Bdd], SymbolicError> {
+        if self.hull_rings.is_none() {
+            let cf = self.can_fair(m)?;
+            let z = self.hull(m)?;
+            self.hull_rings = Some(self.rings_to(m, cf, z)?);
+            self.mark(m);
+        }
+        Ok(self.hull_rings.as_deref().expect("just computed"))
+    }
+
+    /// Onion rings to each fairness set within the hull, memoized — the
+    /// guide [`ProductData::extract_lasso`] walks.
+    fn ensure_fair_rings(&mut self, m: &mut SymbolicModel) -> Result<(), SymbolicError> {
+        if self.fair_rings.is_none() && !self.fair.is_empty() {
+            let z = self.hull(m)?;
+            let fairs = self.fair.clone();
+            let mut rings = Vec::with_capacity(fairs.len());
+            for &f in &fairs {
+                rings.push(self.rings_to(m, z, f)?);
+            }
+            self.fair_rings = Some(rings);
+            self.mark(m);
+        }
+        Ok(())
+    }
+
+    /// Forces every memoized fixpoint this product's queries depend on
+    /// (reachable set, fair hull, hull-reaching set; with `rings`, also
+    /// the witness-guidance onion rings), so that a subsequent
+    /// checkpointed scratch region creates no nodes that must persist.
+    pub(crate) fn ensure_fixpoints(
+        &mut self,
+        m: &mut SymbolicModel,
+        rings: bool,
+    ) -> Result<(), SymbolicError> {
+        self.can_fair(m)?; // forces reach and hull too
+        if rings {
+            self.hull_rings(m)?;
+            self.ensure_fair_rings(m)?;
+        }
+        Ok(())
     }
 
     /// Picks one concrete product state out of a non-empty set
     /// (deterministically; unconstrained variables default to 0, which is
     /// a valid completion of the satisfying cube).
-    fn pick(&mut self, set: Bdd) -> Valuation {
-        let cube = self.m.man.any_sat(set).expect("picked from a non-empty set");
+    pub(crate) fn pick(&self, m: &SymbolicModel, set: Bdd) -> Valuation {
+        let cube = m.man.any_sat(set).expect("picked from a non-empty set");
         let mut v = Valuation::all_false(self.val_len);
         for l in cube.lits() {
             v.set(l.signal(), l.polarity());
@@ -318,20 +583,46 @@ impl<'a> Check<'a> {
     }
 
     /// The characteristic cube of one concrete product state.
-    fn state_cube(&mut self, s: &Valuation) -> Bdd {
+    pub(crate) fn state_cube(&self, m: &mut SymbolicModel, s: &Valuation) -> Bdd {
         let mut acc = Bdd::TRUE;
         for i in 0..self.all_curr.len() {
             let var = self.all_curr[i];
-            let sig = self.m.man.signal_of_var(var);
-            let v = self.m.var_bdd(var);
-            let lit = if s.get(sig) { v } else { self.m.man.not(v) };
-            acc = self.m.man.and(acc, lit);
+            let sig = m.man.signal_of_var(var);
+            let v = m.var_bdd(var);
+            let lit = if s.get(sig) { v } else { m.man.not(v) };
+            acc = m.man.and(acc, lit);
         }
         acc
     }
 
-    fn holds(&self, set: Bdd, s: &Valuation) -> bool {
-        self.m.man.eval(set, s)
+    fn holds(&self, m: &SymbolicModel, set: Bdd, s: &Valuation) -> bool {
+        m.man.eval(set, s)
+    }
+
+    /// Extends a concrete walk ending at a hull-reaching state with steps
+    /// down the memoized onion rings until the hull is entered; `seq`'s
+    /// last state must lie in [`ProductData::can_fair`].
+    pub(crate) fn walk_to_hull(
+        &mut self,
+        m: &mut SymbolicModel,
+        seq: &mut Vec<Valuation>,
+    ) -> Result<(), SymbolicError> {
+        loop {
+            let cur = seq.last().expect("non-empty").clone();
+            let d = {
+                let rings = self.hull_rings(m)?;
+                rings.iter().position(|&r| m.man.eval(r, &cur))
+            }
+            .expect("walk_to_hull state must reach the hull");
+            if d == 0 {
+                return Ok(());
+            }
+            let cube = self.state_cube(m, &cur);
+            let img = self.image(m, cube)?;
+            let ring = self.hull_rings(m)?[d - 1];
+            let succ = m.man.and(img, ring);
+            seq.push(self.pick(m, succ));
+        }
     }
 
     /// Extracts a concrete lasso inside the fair hull `z`, starting from a
@@ -343,22 +634,23 @@ impl<'a> Check<'a> {
     /// two occurrences contains every fairness set and closes the loop.
     /// The walk is deterministic in (state, pending set), so a boundary
     /// must eventually repeat.
-    fn extract_lasso(
+    pub(crate) fn extract_lasso(
         &mut self,
+        m: &mut SymbolicModel,
         start: Bdd,
         z: Bdd,
     ) -> Result<(Vec<Valuation>, usize), SymbolicError> {
-        let first = self.pick(start);
+        let first = self.pick(m, start);
         if self.fair.is_empty() {
             // Any cycle within z: walk arbitrary successors until a state
             // repeats (z is closed under "has a successor in z").
             let mut seq = vec![first.clone()];
             let mut index: HashMap<Valuation, usize> = HashMap::from([(first, 0)]);
             loop {
-                let cube = self.state_cube(seq.last().expect("non-empty"));
-                let img = self.image(cube)?;
-                let succ = self.m.man.and(img, z);
-                let next = self.pick(succ);
+                let cube = self.state_cube(m, seq.last().expect("non-empty"));
+                let img = self.image(m, cube)?;
+                let succ = m.man.and(img, z);
+                let next = self.pick(m, succ);
                 if let Some(&i) = index.get(&next) {
                     return Ok((seq, i));
                 }
@@ -367,12 +659,9 @@ impl<'a> Check<'a> {
             }
         }
 
-        let fairs = self.fair.clone();
-        let mut rings = Vec::with_capacity(fairs.len());
-        for &f in &fairs {
-            rings.push(self.rings_to(z, f)?);
-        }
-        let k = fairs.len();
+        self.ensure_fair_rings(m)?;
+        let rings = self.fair_rings.clone().expect("just computed");
+        let k = self.fair.len();
         let mut seq = vec![first];
         let mut boundary: HashMap<Valuation, usize> = HashMap::new();
         let mut j = 0usize;
@@ -382,7 +671,7 @@ impl<'a> Check<'a> {
             // (at most one sweep over all k, to avoid spinning when one
             // state satisfies every set).
             let mut retired = 0;
-            while retired < k && self.holds(rings[j][0], &cur) {
+            while retired < k && self.holds(m, rings[j][0], &cur) {
                 if j == k - 1 {
                     // A full round just completed here.
                     let idx = seq.len() - 1;
@@ -399,15 +688,15 @@ impl<'a> Check<'a> {
             }
             // One step: toward the pending set if it is elsewhere, or
             // anywhere within z if the current state already provides it.
-            let cube = self.state_cube(&cur);
-            let img = self.image(cube)?;
+            let cube = self.state_cube(m, &cur);
+            let img = self.image(m, cube)?;
             let d = rings[j]
                 .iter()
-                .position(|&r| self.holds(r, &cur))
+                .position(|&r| self.holds(m, r, &cur))
                 .expect("every fair-hull state reaches every fairness set");
             let goal = if d == 0 { z } else { rings[j][d - 1] };
-            let succ = self.m.man.and(img, goal);
-            let next = self.pick(succ);
+            let succ = m.man.and(img, goal);
+            let next = self.pick(m, succ);
             seq.push(next);
         }
     }
@@ -416,15 +705,20 @@ impl<'a> Check<'a> {
     /// are copied from the product state, wires are settled through the
     /// module logic — the exact label construction of the explicit Kripke
     /// structure, so witnesses replay on the simulator identically.
-    fn to_word(&self, seq: &[Valuation], loop_start: usize) -> LassoWord {
+    pub(crate) fn to_word(
+        &self,
+        m: &SymbolicModel,
+        seq: &[Valuation],
+        loop_start: usize,
+    ) -> LassoWord {
         let words: Vec<Valuation> = seq
             .iter()
             .map(|s| {
-                let mut v = Valuation::all_false(self.m.table.len());
-                for &sig in &self.m.state_signals {
+                let mut v = Valuation::all_false(m.table.len());
+                for &sig in &m.state_signals {
                     v.set(sig, s.get(sig));
                 }
-                self.m.module.eval_wires(&mut v);
+                m.module.eval_wires(&mut v);
                 v
             })
             .collect();
@@ -443,20 +737,16 @@ struct OccurrenceGroups {
     unmentioned: Vec<u32>,
 }
 
-fn last_occurrence_groups(
-    m: &SymbolicModel,
-    conjuncts: &[Bdd],
-    bank: &[u32],
-) -> OccurrenceGroups {
+fn last_occurrence_groups(supports: &[Vec<u32>], bank: &[u32]) -> OccurrenceGroups {
     let mut last: HashMap<u32, usize> = HashMap::new();
-    for (i, &c) in conjuncts.iter().enumerate() {
-        for v in m.man.support_vars(c) {
+    for (i, support) in supports.iter().enumerate() {
+        for &v in support {
             if bank.contains(&v) {
                 last.insert(v, i);
             }
         }
     }
-    let mut per_conjunct = vec![Vec::new(); conjuncts.len()];
+    let mut per_conjunct = vec![Vec::new(); supports.len()];
     let mut unmentioned = Vec::new();
     for &v in bank {
         match last.get(&v) {

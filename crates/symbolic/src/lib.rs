@@ -51,6 +51,7 @@
 pub mod check;
 pub mod error;
 pub mod model;
+pub mod terms;
 
 pub use error::SymbolicError;
 pub use model::{SymbolicModel, SymbolicOptions, DEFAULT_NODE_LIMIT};

@@ -17,19 +17,24 @@
 //! through the combined and-exists operator instead of ever building the
 //! monolithic relation.
 
+use crate::check::ProductData;
 use crate::error::SymbolicError;
 use dic_logic::{Bdd, BddManager, BoolExpr, SignalId, SignalTable};
+use dic_ltl::Ltl;
 use dic_netlist::Module;
 use std::collections::HashMap;
 
 /// Default budget for live BDD nodes (see [`SymbolicOptions::node_limit`]).
 ///
 /// At roughly 60 bytes per node (node store + unique table entry) this
-/// bounds the manager around 360 MB before the engine refuses — sized so
-/// every packaged design fits with headroom (mal-26's primary question
-/// peaks near 2.5 M nodes) while still failing closed long before a
-/// development container OOMs.
-pub const DEFAULT_NODE_LIMIT: usize = 6_000_000;
+/// bounds the manager around 1.5 GB before the engine refuses — sized so
+/// every packaged design fits the full pipeline with headroom (mal-26's
+/// primary question peaks near 2.5 M nodes; its *gap phase* retains about
+/// 5 M nodes of memoized product fixpoints and peaks near 8 M during a
+/// closure check, with scratch nodes reclaimed between checks via
+/// [`dic_logic::BddManager::rollback`]) while still failing closed long
+/// before a development container OOMs.
+pub const DEFAULT_NODE_LIMIT: usize = 24_000_000;
 
 /// Automaton state bits pre-allocated *above* the module variable banks.
 ///
@@ -102,6 +107,18 @@ pub struct SymbolicModel {
     /// Pool of automaton state bits, `(curr var, next var)` per bit,
     /// reused across queries (bit `i` always maps to the same variables).
     pub(crate) aut_pool: Vec<(u32, u32)>,
+    /// Symbolic products cached per conjunct list: encoded automata,
+    /// quantification schedules and memoized fixpoints (reachable set,
+    /// fair hull, onion rings). The gap phase issues hundreds of queries
+    /// against the same base (`R ∧ ¬FA`), so this cache is the symbolic
+    /// counterpart of the explicit engine's materialized sub-products.
+    pub(crate) products: HashMap<Vec<Ltl>, ProductData>,
+    /// Start of the current reusable-scratch region: nodes above this mark
+    /// belong to queries whose results were extracted to non-BDD form and
+    /// can be reclaimed wholesale once the region outgrows its budget.
+    /// `None` whenever persistent state (a memoized product fixpoint) was
+    /// created since the last mark — see [`SymbolicModel::scratch`].
+    pub(crate) scratch_base: Option<dic_logic::BddCheckpoint>,
     pub(crate) options: SymbolicOptions,
 }
 
@@ -134,6 +151,8 @@ impl SymbolicModel {
             init: Bdd::TRUE,
             synth_count: 0,
             aut_pool: Vec::new(),
+            products: HashMap::new(),
+            scratch_base: None,
             options,
         };
 
@@ -209,8 +228,51 @@ impl SymbolicModel {
         self.options.node_limit
     }
 
+    /// Marks that persistent BDD state (a memoized product fixpoint) was
+    /// just created: the current scratch region, if any, must not be
+    /// rolled back past it.
+    pub(crate) fn mark_persistent(&mut self) {
+        self.scratch_base = None;
+    }
+
+    /// Runs `f` as a *reusable-scratch* computation: its result is
+    /// extracted to non-BDD form (a verdict, a witness valuation
+    /// sequence), so the nodes it creates are garbage — but warm operation
+    /// memos make consecutive queries much faster, so collection is
+    /// batched: the nodes of many queries accumulate in one scratch
+    /// region, and the whole region is rolled back once it outgrows a
+    /// quarter of the node budget (rollback keeps memo entries over
+    /// surviving nodes, so frequent collection stays cheap while keeping
+    /// the node store — and with it every operation — small). Any persistent fixpoint computed mid-query
+    /// re-bases the region (see [`SymbolicModel::mark_persistent`]).
+    pub(crate) fn scratch<T>(
+        &mut self,
+        f: impl FnOnce(&mut SymbolicModel) -> Result<T, SymbolicError>,
+    ) -> Result<T, SymbolicError> {
+        if self.scratch_base.is_none() {
+            self.scratch_base = Some(self.man.checkpoint());
+        }
+        let result = f(self);
+        if let Some(base) = self.scratch_base {
+            if self.man.node_count() - base.nodes() > self.options.node_limit / 4 {
+                self.man.rollback(&base);
+                // Rollback keeps memo entries over surviving nodes warm;
+                // if even those outgrow the node budget's order of
+                // magnitude, trade the warmth for the memory.
+                if self.man.cache_entries() > self.options.node_limit {
+                    self.man.clear_op_caches();
+                }
+            }
+        }
+        result
+    }
+
     /// Fails closed once the manager outgrows its budget; called between
     /// fixpoint steps so the error surfaces before memory pressure does.
+    /// (Operation memos are not part of the refusal: they are trimmed at
+    /// scratch-rollback boundaries — see [`SymbolicModel::scratch`] — and
+    /// a single query's cache growth is collateral of its node growth,
+    /// which this limit bounds.)
     pub(crate) fn check_limit(&self) -> Result<(), SymbolicError> {
         let nodes = self.man.node_count();
         if nodes > self.options.node_limit {

@@ -56,7 +56,7 @@ fn main() {
 
     // Phase 2 — uncovered terms UM (steps 2(a)/(b)).
     let t1 = Instant::now();
-    let terms = uncovered_terms(fa, &d.rtl, &model, &config);
+    let terms = uncovered_terms(fa, &d.rtl, &model, &config).expect("within backend limits");
     println!("\n== Uncovered terms UM ({} terms, {:?}):", terms.len(), t1.elapsed());
     for term in &terms {
         println!("  {}", term.display(&d.table));
@@ -80,7 +80,7 @@ fn main() {
 
     // Phase 4 — weakening and verification (step 2(d)).
     let t2 = Instant::now();
-    let gaps = find_gap(fa, &terms, &d.rtl, &model, &config);
+    let gaps = find_gap(fa, &terms, &d.rtl, &model, &config).expect("within backend limits");
     println!(
         "\n== Gap properties ({} closing candidates, {:?}; weakest first):",
         gaps.len(),
@@ -93,7 +93,7 @@ fn main() {
     // Every reported property is re-verified here, end to end.
     for g in &gaps {
         assert!(dic_automata::stronger_than(fa, &g.formula));
-        assert!(closes_gap(&g.formula, fa, &d.rtl, &model));
+        assert!(closes_gap(&g.formula, fa, &d.rtl, &model).expect("within backend limits"));
     }
     println!("\nall {} gap properties re-verified: weaker than A and gap-closing", gaps.len());
 }

@@ -49,7 +49,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "A stronger than U (Def. 2): {}",
         specmatcher::automata::stronger_than(fa, &u)
     );
-    let closed = closes_gap(&u, fa, &ex2.rtl, &model);
+    let closed = closes_gap(&u, fa, &ex2.rtl, &model)?;
     println!("U closes the coverage gap (Def. 3): {closed}");
     assert!(closed);
     Ok(())

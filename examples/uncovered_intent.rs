@@ -47,8 +47,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("RTL spec covers it? — no: R1 is silent when busy is high.\n");
 
     // Algorithm 1's gap properties: free to mention any observable signal.
-    let terms = uncovered_terms(&a1, &rtl, &model, &config);
-    let gaps = find_gap(&a1, &terms, &rtl, &model, &config);
+    let terms = uncovered_terms(&a1, &rtl, &model, &config)?;
+    let gaps = find_gap(&a1, &terms, &rtl, &model, &config)?;
     println!("== Algorithm 1 gap properties (over all observables):");
     for g in &gaps {
         println!("  {}", g.describe(&t));
@@ -56,7 +56,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Definition 5: restricted to AP_A = {req, busy, rsp}.
     println!("\n== Uncovered architectural intent (Definition 5, over AP_A):");
-    match uncovered_intent(&a1, &arch, &rtl, &model, &config) {
+    match uncovered_intent(&a1, &arch, &rtl, &model, &config)? {
         Some(g) => {
             println!("  {}", g.formula.display(&t));
             let ap_a = arch.alphabet();
@@ -68,7 +68,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Iterative closure: strengthen instance by instance until closed.
     println!("\n== Iterative closure:");
-    match close_gap_iteratively(&a1, &rtl, &model, &config, 4) {
+    match close_gap_iteratively(&a1, &rtl, &model, &config, 4)? {
         Some((formula, rounds)) => {
             println!("  closed after {rounds} round(s): {}", formula.display(&t));
         }

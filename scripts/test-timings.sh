@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Per-suite wall-clock summary for the workspace's integration suites —
+# a stable-toolchain stand-in for `cargo test -- --report-time`.
+# Usage: scripts/test-timings.sh [extra cargo-test args, e.g. -- --ignored]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+printf '%10s  %s\n' "wall" "suite"
+total_start=$(date +%s.%N)
+for t in tests/*.rs; do
+  name=$(basename "$t" .rs)
+  start=$(date +%s.%N)
+  if cargo test -q --test "$name" "$@" > /dev/null 2>&1; then
+    status=ok
+  else
+    status=FAILED
+  fi
+  end=$(date +%s.%N)
+  printf '%9.1fs  %s (%s)\n' "$(awk -v a="$start" -v b="$end" 'BEGIN{print b-a}')" "$name" "$status"
+done
+total_end=$(date +%s.%N)
+printf '%9.1fs  total\n' "$(awk -v a="$total_start" -v b="$total_end" 'BEGIN{print b-a}')"

@@ -194,16 +194,17 @@ fn cmd_table1(args: &[String]) -> Result<ExitCode, String> {
         .with_tm_style(TmStyle::Enumerated)
         .with_backend(backend);
     println!(
-        "{:<14} {:>9} {:>9} {:>12} {:>12} {:>12}",
-        "Circuit", "RTL props", "backend", "Primary (s)", "TM (s)", "Gap (s)"
+        "{:<14} {:>9} {:>9} {:>9} {:>12} {:>12} {:>12}",
+        "Circuit", "RTL props", "primary", "gap", "Primary (s)", "TM (s)", "Gap (s)"
     );
     for design in table1_designs() {
         let run = design.check(&matcher).map_err(|e| e.to_string())?;
         println!(
-            "{:<14} {:>9} {:>9} {:>12.4} {:>12.4} {:>12.4}",
+            "{:<14} {:>9} {:>9} {:>9} {:>12.4} {:>12.4} {:>12.4}",
             design.name,
             run.num_rtl_properties,
             run.backend.to_string(),
+            run.gap_backend.to_string(),
             run.timings.primary.as_secs_f64(),
             run.timings.tm_build.as_secs_f64(),
             run.timings.gap_find.as_secs_f64(),
@@ -212,12 +213,14 @@ fn cmd_table1(args: &[String]) -> Result<ExitCode, String> {
     Ok(ExitCode::SUCCESS)
 }
 
-/// `table1 --quick`: the primary coverage question only (no gap finding,
-/// no enumerated `T_M`), over the Table 1 designs *plus* a scaling row the
-/// explicit engine cannot handle — with every verdict pinned. This is the
-/// CI smoke test: a backend-selection regression (wrong engine, wrong
-/// verdict) or a reintroduced state-explosion cliff fails the run instead
-/// of silently slowing it.
+/// `table1 --quick`: the primary coverage question over the Table 1
+/// designs *plus* a scaling row the explicit engine cannot handle — with
+/// every verdict pinned — followed by a gap-phase smoke on the small
+/// designs whose structured gap content is known (the paper's Example 4
+/// properties must be among the reported weakest gap properties, per
+/// backend). This is the CI smoke test: a backend-selection regression
+/// (wrong engine, wrong verdict, lost gap property) or a reintroduced
+/// state-explosion cliff fails the run instead of silently slowing it.
 fn cmd_table1_quick(backend: Backend) -> Result<ExitCode, String> {
     use dic_core::CoverageModel;
     use std::time::Instant;
@@ -258,11 +261,54 @@ fn cmd_table1_quick(backend: Backend) -> Result<ExitCode, String> {
             if verdict_ok { "" } else { "  << UNEXPECTED" },
         );
     }
-    if ok {
-        Ok(ExitCode::SUCCESS)
-    } else {
-        Err("quick table1 verdicts diverged from the pinned expectations".into())
+    if !ok {
+        return Err("quick table1 verdicts diverged from the pinned expectations".into());
     }
+
+    // Gap-phase smoke: the full Algorithm 1 pipeline on mal-ex2, with the
+    // two paper-shaped weakest properties pinned, plus — whenever the gap
+    // engine is symbolic — a chain design past the explicit limit, whose
+    // gap report must fall back to the Theorem 2 hole with non-empty
+    // uncovered terms.
+    let mut ex2 = mal::ex2();
+    let run = ex2
+        .check(&SpecMatcher::new(GapConfig::default()).with_backend(backend))
+        .map_err(|e| format!("mal-ex2: {e}"))?;
+    let rep = &run.properties[0];
+    let u_hit = mal::paper_gap_property(&mut ex2);
+    let u_g2 = mal::adapted_gap_property(&mut ex2);
+    let has = |u: &Ltl| {
+        rep.gap_properties
+            .iter()
+            .any(|g| dic_automata::equivalent(&g.formula, u))
+    };
+    println!(
+        "mal-ex2 gap smoke ({} backend): {} weakest properties, paper U {}, adapted U {}",
+        run.gap_backend,
+        rep.gap_properties.len(),
+        if has(&u_hit) { "found" } else { "MISSING" },
+        if has(&u_g2) { "found" } else { "MISSING" },
+    );
+    if rep.covered || !has(&u_hit) || !has(&u_g2) {
+        return Err("mal-ex2 gap smoke lost a pinned paper gap property".into());
+    }
+    if backend != Backend::Explicit {
+        let chain = scaling::chain_design(22, true);
+        let run = chain
+            .check(&SpecMatcher::new(GapConfig::default()).with_backend(backend))
+            .map_err(|e| format!("chain-22-gap: {e}"))?;
+        let rep = &run.properties[0];
+        println!(
+            "chain-22-gap gap smoke ({} backend): {} uncovered terms, exact-hole fallback {}",
+            run.gap_backend,
+            rep.uncovered_terms.len(),
+            if rep.gap_properties.is_empty() { "active" } else { "inactive" },
+        );
+        if rep.covered || rep.uncovered_terms.is_empty() {
+            return Err("chain-22-gap gap smoke produced no uncovered terms".into());
+        }
+    }
+    Ok(ExitCode::SUCCESS)
 }
 
 fn cmd_fsm(args: &[String]) -> Result<ExitCode, String> {

@@ -9,7 +9,9 @@
 //! strong evidence both implement the same semantics.
 
 use proptest::prelude::*;
-use specmatcher::core::{primary_coverage, ArchSpec, Backend, CoverageModel, RtlSpec};
+use specmatcher::core::{
+    primary_coverage, ArchSpec, Backend, CoverageModel, GapConfig, RtlSpec, SpecMatcher,
+};
 use specmatcher::logic::{BoolExpr, SignalId, SignalTable};
 use specmatcher::ltl::random::{random_formula, XorShift64};
 use specmatcher::ltl::Ltl;
@@ -149,6 +151,61 @@ proptest! {
             }
             // …and is a real run of the concrete modules.
             replay(&symbolic, &t, &w);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Full-pipeline agreement: on random *gapped* coverage problems, the
+    /// explicit and symbolic engines must report the same set of weakest
+    /// gap properties — not just the same verdict. The engines share
+    /// Algorithm 1's control flow but none of the model-checking oracle,
+    /// so agreement here exercises scenario probing, generalization,
+    /// quantification and closure checking end to end on both.
+    #[test]
+    fn gap_property_sets_agree_on_random_gapped_problems(seed in 1u64..100_000) {
+        let (t, arch, rtl) = random_problem(seed);
+        let config = GapConfig {
+            term_depth: 2,
+            max_terms: 3,
+            max_candidates: 24,
+            max_gap_properties: 4,
+            ..GapConfig::default()
+        };
+
+        let run_e = SpecMatcher::new(config.clone())
+            .with_backend(Backend::Explicit)
+            .check(&arch, &rtl, &t)
+            .expect("explicit pipeline runs");
+        let run_s = SpecMatcher::new(config)
+            .with_backend(Backend::Symbolic)
+            .check(&arch, &rtl, &t)
+            .expect("symbolic pipeline runs");
+
+        prop_assert_eq!(run_e.all_covered(), run_s.all_covered(), "verdicts (seed {})", seed);
+        for (re, rs) in run_e.properties.iter().zip(&run_s.properties) {
+            let normalize = |rep: &specmatcher::core::PropertyReport| {
+                let mut v: Vec<String> = rep
+                    .gap_properties
+                    .iter()
+                    .map(|g| g.formula.display(&t).to_string())
+                    .collect();
+                v.sort();
+                v
+            };
+            prop_assert_eq!(
+                normalize(re),
+                normalize(rs),
+                "gap property sets diverge on seed {}: A = {}",
+                seed,
+                re.formula.display(&t)
+            );
+            // Both engines' gap-property witnesses replay on the modules.
+            for g in re.gap_properties.iter().chain(&rs.gap_properties) {
+                prop_assert!(!re.formula.holds_on(&g.witness));
+            }
         }
     }
 }

@@ -91,13 +91,22 @@ fn scaling_design_needs_the_symbolic_backend() {
         assert!(stdout.contains("symbolic"), "report must name the backend");
     }
 
-    // The gapped variant exits 1 with a witness even past the explicit
+    // The gapped variant exits 1 with a witness — and, since the gap
+    // phase itself runs symbolically now, a gap report (uncovered terms;
+    // the chain's off-by-one gap has no structure-preserving property, so
+    // Theorem 2's exact hole is the fallback) even past the explicit
     // limit.
     let out = specmatcher(&["check", "--design", "chain-22-gap"]);
     assert_eq!(out.status.code(), Some(1));
     let stdout = String::from_utf8(out.stdout).expect("utf8");
     assert!(stdout.contains("NOT covered"));
     assert!(stdout.contains("witness run"));
+    assert!(
+        stdout.contains("uncovered terms"),
+        "symbolic gap phase must enumerate terms: {stdout}"
+    );
+    assert!(stdout.contains("exact hole"));
+    assert!(stdout.contains("gap backend symbolic"));
 }
 
 #[test]

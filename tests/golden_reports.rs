@@ -1,0 +1,84 @@
+//! Golden rendered `check` reports: formatting regressions in the
+//! human-facing coverage report (witness layout, term rendering, gap
+//! property lines, backend labels) are caught by comparing against
+//! checked-in expectations with a normalizing diff (wall-clock timing
+//! lines are stripped; everything else is deterministic).
+//!
+//! To regenerate after an intentional format change:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test --test golden_reports
+//! ```
+
+use specmatcher::core::{GapConfig, SpecMatcher};
+use specmatcher::designs::{mal, scaling, Design};
+use std::path::PathBuf;
+
+/// Renders the full coverage report for `design` with the default
+/// configuration and strips the lines that vary run to run.
+fn normalized_report(design: &Design) -> String {
+    let run = design
+        .check(&SpecMatcher::new(GapConfig::default()))
+        .expect("packaged design runs");
+    let text = run.render(&design.table);
+    let mut normalized: String = text
+        .lines()
+        .filter(|l| !l.starts_with("timings"))
+        .collect::<Vec<_>>()
+        .join("\n");
+    normalized.push('\n');
+    normalized
+}
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name)
+}
+
+fn assert_golden(name: &str, actual: &str) {
+    let path = golden_path(name);
+    if std::env::var("UPDATE_GOLDEN").is_ok() {
+        std::fs::write(&path, actual).expect("golden file writes");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!("golden file {path:?} unreadable ({e}); create it with UPDATE_GOLDEN=1")
+    });
+    if expected == actual {
+        return;
+    }
+    for (i, (e, a)) in expected.lines().zip(actual.lines()).enumerate() {
+        assert_eq!(
+            e,
+            a,
+            "golden report {name} diverges at line {} (regenerate with UPDATE_GOLDEN=1 \
+             if the change is intentional)",
+            i + 1,
+        );
+    }
+    panic!(
+        "golden report {name} diverges in length: expected {} lines, rendered {}",
+        expected.lines().count(),
+        actual.lines().count()
+    );
+}
+
+#[test]
+fn mal_ex1_report_matches_golden() {
+    // Covered design: the report is the COVERED verdict per property.
+    assert_golden("mal_ex1.txt", &normalized_report(&mal::ex1()));
+}
+
+#[test]
+fn mal_ex2_report_matches_golden() {
+    // Gapped design: witness run, uncovered terms and gap properties.
+    assert_golden("mal_ex2.txt", &normalized_report(&mal::ex2()));
+}
+
+#[test]
+fn chain_gap_report_matches_golden() {
+    // Gapped scaling fixture: exercises the Theorem 2 exact-hole fallback
+    // (no structure-preserving property closes the off-by-one chain gap).
+    assert_golden("chain_6_gap.txt", &normalized_report(&scaling::chain_design(6, true)));
+}

@@ -39,7 +39,7 @@ fn ex2_gap_exists_and_is_represented() {
     let model = CoverageModel::build(&d.arch, &d.rtl, &d.table).expect("builds");
     for g in &rep.gap_properties {
         assert!(implies(&rep.formula, &g.formula));
-        assert!(closes_gap(&g.formula, &rep.formula, &d.rtl, &model));
+        assert!(closes_gap(&g.formula, &rep.formula, &d.rtl, &model).expect("runs"));
     }
 }
 
@@ -50,7 +50,7 @@ fn ex4_paper_gap_property_closes() {
     let model = CoverageModel::build(&d.arch, &d.rtl, &d.table).expect("builds");
     let fa = d.arch.properties()[0].formula();
     assert!(stronger_than(fa, &u), "A is strictly stronger than U");
-    assert!(closes_gap(&u, fa, &d.rtl, &model), "U closes the gap");
+    assert!(closes_gap(&u, fa, &d.rtl, &model).expect("runs"), "U closes the gap");
 }
 
 #[test]

@@ -1,36 +1,61 @@
 //! Integration smoke tests over the Table 1 designs: every packaged design
 //! builds, runs the full pipeline, and matches its documented verdict.
+//!
+//! The wide designs (mal-26, amba-ahb) take tens of seconds each even with
+//! the reduced gap budget, so their full-pipeline runs live behind
+//! `#[ignore]` and execute in the nightly lane (`cargo test -q --
+//! --ignored`); the default lane keeps the fast rows plus the structural
+//! assertions, so tier-1 wall time stays low without losing the coverage.
 
 use specmatcher::core::{GapConfig, SpecMatcher};
-use specmatcher::designs::{pipeline, table1_designs};
+use specmatcher::designs::{mal, pipeline, table1_designs, Design};
 
-#[test]
-fn all_table1_designs_run() {
-    // Cheap configuration: the full Table 1 run happens in the bench
-    // harness; here we only assert the pipeline completes and verdicts hold.
-    let config = GapConfig {
+/// Cheap configuration: the full Table 1 run happens in the bench
+/// harness; here we only assert the pipeline completes and verdicts hold.
+fn smoke_config() -> GapConfig {
+    GapConfig {
         max_terms: 2,
         max_candidates: 24,
         max_gap_properties: 2,
         ..GapConfig::default()
-    };
-    let matcher = SpecMatcher::new(config);
-    for design in table1_designs() {
-        let run = design.check(&matcher).unwrap_or_else(|e| {
-            panic!("design {} failed to run: {e}", design.name)
-        });
-        assert_eq!(run.properties.len(), 1, "{}", design.name);
-        assert!(
-            !run.all_covered(),
-            "{}: Table 1 designs are tuned to exercise gap finding",
-            design.name
-        );
-        assert!(
-            run.num_rtl_properties >= 2,
-            "{}: property suite missing",
-            design.name
-        );
     }
+}
+
+/// Full-pipeline assertions shared by the fast and nightly lanes.
+fn assert_design_runs(design: &Design) {
+    let matcher = SpecMatcher::new(smoke_config());
+    let run = design
+        .check(&matcher)
+        .unwrap_or_else(|e| panic!("design {} failed to run: {e}", design.name));
+    assert_eq!(run.properties.len(), 1, "{}", design.name);
+    assert!(
+        !run.all_covered(),
+        "{}: Table 1 designs are tuned to exercise gap finding",
+        design.name
+    );
+    assert!(
+        run.num_rtl_properties >= 2,
+        "{}: property suite missing",
+        design.name
+    );
+}
+
+#[test]
+fn fast_table1_designs_run() {
+    assert_design_runs(&pipeline::pipeline12());
+    assert_design_runs(&mal::ex2());
+}
+
+#[test]
+#[ignore = "tens of seconds even with the reduced gap budget; nightly lane"]
+fn mal26_full_pipeline_runs() {
+    assert_design_runs(&mal::mal26());
+}
+
+#[test]
+#[ignore = "tens of seconds even with the reduced gap budget; nightly lane"]
+fn amba_ahb_full_pipeline_runs() {
+    assert_design_runs(&specmatcher::designs::amba::ahb29());
 }
 
 #[test]

@@ -10,7 +10,7 @@
 //! witness's input projection has to reproduce the witness's values on
 //! every module-driven signal.
 
-use specmatcher::core::{primary_coverage, Backend, CoverageModel};
+use specmatcher::core::{primary_coverage, Backend, CoverageModel, GapConfig, SpecMatcher};
 use specmatcher::designs::{mal, scaling, table1_designs};
 use specmatcher::logic::SignalId;
 use specmatcher::netlist::Simulator;
@@ -113,8 +113,63 @@ fn gapped_table1_symbolic_witnesses_replay() {
 }
 
 #[test]
+#[ignore = "explicit mal-26 primary is minutes-scale; nightly lane"]
+fn mal26_explicit_witness_replays() {
+    assert_replays(&mal::mal26(), Backend::Explicit);
+}
+
+#[test]
 fn scaling_witness_beyond_explicit_limit_replays() {
     // 22 latches + 1 input: only the symbolic engine can even pose the
     // question; its witness must still replay on the simulator.
     assert_replays(&scaling::chain_design(22, true), Backend::Symbolic);
+}
+
+/// Every reported gap property carries a run demonstrating the uncovered
+/// scenario it addresses; like the primary witnesses, those runs must
+/// replay on the simulator — for both gap engines.
+fn assert_gap_witnesses_replay(design: &specmatcher::designs::Design, backend: Backend) {
+    let model =
+        CoverageModel::build_with_backend(&design.arch, &design.rtl, &design.table, backend)
+            .expect("builds");
+    let matcher = SpecMatcher::new(GapConfig::default()).with_backend(backend);
+    let run = matcher
+        .check_with_model(&design.arch, &design.rtl, &design.table, &model)
+        .expect("pipeline runs");
+    let mut seen = 0usize;
+    for rep in &run.properties {
+        for g in &rep.gap_properties {
+            // The witness is a genuine bad run (refutes the intent)…
+            assert!(
+                !rep.formula.holds_on(&g.witness),
+                "{}: gap witness fails to refute A",
+                design.name
+            );
+            // …and replays on the concrete modules.
+            assert_word_replays(design, &model, &g.witness);
+            seen += 1;
+        }
+    }
+    assert!(
+        seen > 0,
+        "{}: fixture must actually report gap properties",
+        design.name
+    );
+}
+
+#[test]
+fn mal_ex2_gap_property_witnesses_replay_explicit() {
+    assert_gap_witnesses_replay(&mal::ex2(), Backend::Explicit);
+}
+
+#[test]
+fn mal_ex2_gap_property_witnesses_replay_symbolic() {
+    assert_gap_witnesses_replay(&mal::ex2(), Backend::Symbolic);
+}
+
+#[test]
+fn pipeline_gap_property_witnesses_replay_both_backends() {
+    let d = specmatcher::designs::pipeline::pipeline12();
+    assert_gap_witnesses_replay(&d, Backend::Explicit);
+    assert_gap_witnesses_replay(&d, Backend::Symbolic);
 }
