@@ -1,0 +1,75 @@
+//! Group-sifting reorder costs and payoff at the `dic_logic` level.
+//!
+//! Two measurements: the cost of one sifting pass over a banked
+//! conjunction (the classic order-sensitive function — all `x` variables
+//! registered before all `y` variables, so the static order is
+//! exponentially bad and sifting must interleave the pairs), and the
+//! operation-level payoff of running on the sifted order vs the banked
+//! one. The symbolic-engine-level effect (amba-ahb fitting the default
+//! node budget) is covered by the nightly CI lane, not a bench.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dic_logic::{Bdd, BddManager, ReorderGroup, SignalTable};
+use std::hint::black_box;
+
+/// Builds `⋁_i x_i ∧ y_i` with the banks-apart registration order.
+fn banked(n: usize) -> (BddManager, Bdd) {
+    let mut t = SignalTable::new();
+    let xs: Vec<_> = (0..n).map(|i| t.intern(&format!("x{i}"))).collect();
+    let ys: Vec<_> = (0..n).map(|i| t.intern(&format!("y{i}"))).collect();
+    let mut m = BddManager::new();
+    let xv: Vec<_> = xs.iter().map(|&s| m.var_for_signal(s)).collect();
+    let yv: Vec<_> = ys.iter().map(|&s| m.var_for_signal(s)).collect();
+    let mut f = Bdd::FALSE;
+    for i in 0..n {
+        let pair = m.and(xv[i], yv[i]);
+        f = m.or(f, pair);
+    }
+    (m, f)
+}
+
+fn singleton_groups(n: u32) -> Vec<ReorderGroup> {
+    (0..n)
+        .map(|v| ReorderGroup {
+            vars: vec![v],
+            top: false,
+        })
+        .collect()
+}
+
+fn bench_sifting_pass(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reorder/sift_banked");
+    group.sample_size(10);
+    // The banked function has 2^(n+1)-2 nodes before sifting and 3n after
+    // — every extra bank bit doubles the work a sifting pass must undo.
+    for n in [8usize, 12, 16] {
+        group.bench_with_input(BenchmarkId::new("pairs", n), &n, |b, &n| {
+            b.iter(|| {
+                let (mut m, f) = banked(n);
+                let outcome = m.reorder_groups(&singleton_groups(2 * n as u32), &[f]);
+                black_box(outcome.live_after)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_compaction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reorder/compact");
+    group.sample_size(10);
+    // Compaction is the garbage-collection half of a reorder: O(live),
+    // independent of how much garbage the append-only store carries.
+    for n in [12usize, 16] {
+        group.bench_with_input(BenchmarkId::new("pairs", n), &n, |b, &n| {
+            b.iter(|| {
+                let (mut m, f) = banked(n);
+                let outcome = m.compact(&[f]);
+                black_box(outcome.live_after)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sifting_pass, bench_compaction);
+criterion_main!(benches);

@@ -73,6 +73,8 @@ pub struct TableRow {
     pub backend: Backend,
     /// The backend that ran the gap phase (per-phase `Auto` resolution).
     pub gap_backend: Backend,
+    /// Dynamic-reordering statistics of the symbolic engine, if one ran.
+    pub reorder: Option<dic_core::ReorderStats>,
 }
 
 /// The gap budget used for the Table 1 rows: enough to find the
@@ -101,6 +103,7 @@ pub fn measure_design(design: &Design, backend: Backend) -> TableRow {
         gap_find: run.timings.gap_find,
         backend: run.backend,
         gap_backend: run.gap_backend,
+        reorder: run.reorder,
     }
 }
 

@@ -1,5 +1,6 @@
 //! Backend selection: explicit-state vs symbolic model checking.
 
+use crate::spec::{ArchSpec, RtlSpec};
 use std::fmt;
 
 /// Number of state bits (latches + nondeterministic inputs) above which
@@ -14,6 +15,45 @@ use std::fmt;
 /// drops from ~45 s explicit to well under a second symbolically, while
 /// the small fixtures (≤ 10 bits) stay fastest explicit.
 pub const AUTO_SYMBOLIC_BITS: usize = 14;
+
+/// Predicted product cost (total automaton code bits × conjunct count,
+/// see [`predicted_product_cost`]) above which [`Backend::Auto`] prefers
+/// the symbolic engine even for a *small* state space.
+///
+/// State bits are only one axis of the real cost: the explicit engine
+/// explores the on-the-fly product of the design with *every* property
+/// automaton, so a wide conjunction over a small design (amba-ahb: 7
+/// state bits but 29 conjunct automata, cost ≈ 2190) runs its primary
+/// and gap phases against a 30-automaton product, while the symbolic
+/// product — with dynamic reordering and compaction keeping the manager
+/// inside the default node budget — answers every phase from one cached
+/// set of fixpoints. The narrow designs (mal-ex1/ex2 ≈ 105, pipeline
+/// ≈ 364) stay explicit; mal-26 (≈ 1460) is already symbolic on the
+/// state-bit axis.
+pub const AUTO_SYMBOLIC_PRODUCT_COST: usize = 800;
+
+/// The product-size axis of the [`Backend::Auto`] crossover: total
+/// automaton code bits × conjunct count, maximized over the architectural
+/// properties (each property's primary/gap queries run against
+/// `R ∧ ¬fa`). Translations are memoized process-wide, so the engines
+/// reuse them when they encode the very same automata later.
+pub fn predicted_product_cost(arch: &ArchSpec, rtl: &RtlSpec) -> usize {
+    let code_bits = |f: &dic_ltl::Ltl| -> usize {
+        let gba = dic_automata::translate_cached(f);
+        let mut bits = 1usize;
+        while (1usize << bits) < gba.num_states() {
+            bits += 1;
+        }
+        bits
+    };
+    let rtl_bits: usize = rtl.formulas().iter().map(code_bits).sum();
+    let conjuncts = rtl.formulas().len() + 1;
+    arch.properties()
+        .iter()
+        .map(|p| (rtl_bits + code_bits(&dic_ltl::Ltl::not(p.formula().clone()))) * conjuncts)
+        .max()
+        .unwrap_or(0)
+}
 
 /// Which model-checking engine answers the primary coverage question
 /// (Theorem 1) and related existential queries.

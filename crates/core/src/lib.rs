@@ -68,7 +68,10 @@ pub mod terms;
 pub mod tm;
 pub mod weaken;
 
-pub use backend::{Backend, AUTO_SYMBOLIC_BITS};
+pub use backend::{
+    predicted_product_cost, Backend, AUTO_SYMBOLIC_BITS, AUTO_SYMBOLIC_PRODUCT_COST,
+};
+pub use dic_symbolic::{ReorderMode, ReorderStats, SymbolicOptions};
 pub use error::CoreError;
 pub use hole::{closes_gap, closure_witness, exact_hole};
 pub use intent::{close_gap_iteratively, uncovered_intent};

@@ -1,12 +1,14 @@
 //! The coverage model: composed concrete modules + free spec signals.
 
-use crate::backend::{Backend, AUTO_SYMBOLIC_BITS};
+use crate::backend::{
+    predicted_product_cost, Backend, AUTO_SYMBOLIC_BITS, AUTO_SYMBOLIC_PRODUCT_COST,
+};
 use crate::error::CoreError;
 use crate::spec::{ArchSpec, RtlSpec};
 use dic_fsm::Kripke;
 use dic_logic::{SignalId, SignalTable};
 use dic_netlist::Module;
-use dic_symbolic::{SymbolicModel, SymbolicOptions};
+use dic_symbolic::{ReorderStats, SymbolicModel, SymbolicOptions};
 use std::collections::{BTreeSet, HashMap};
 use std::sync::{Arc, Mutex};
 
@@ -34,6 +36,8 @@ pub struct CoverageModel {
     free: Vec<SignalId>,
     kripke: Option<Kripke>,
     symbolic: Mutex<Option<SymbolicModel>>,
+    /// Options any lazily built symbolic engine is constructed with.
+    sym_options: SymbolicOptions,
     /// The engine answering primary queries (`Explicit` or `Symbolic`).
     primary_backend: Backend,
     /// Auto resolution for the gap phase (`Explicit` or `Symbolic`).
@@ -72,12 +76,18 @@ impl CoverageModel {
     /// complement of this set among term signals).
     ///
     /// Backend resolution: [`Backend::Explicit`] and [`Backend::Symbolic`]
-    /// build only their engine; [`Backend::Auto`] goes explicit below
-    /// [`AUTO_SYMBOLIC_BITS`] state bits and symbolic above — for *both*
-    /// phases, since the gap engine (Algorithm 1) now runs symbolically
-    /// too. A model built explicit can still serve symbolic gap queries:
-    /// the symbolic engine is built lazily on first demand
-    /// ([`CoverageModel::gap_backend`]).
+    /// build only their engine; [`Backend::Auto`] goes symbolic past
+    /// [`AUTO_SYMBOLIC_BITS`] state bits **or**
+    /// [`AUTO_SYMBOLIC_PRODUCT_COST`] predicted product cost (a wide
+    /// conjunction over a small design is just as explicit-hostile as a
+    /// large state space) — for *both* phases, since the gap engine
+    /// (Algorithm 1) runs symbolically too. A model built explicit can
+    /// still serve symbolic gap queries: the symbolic engine is built
+    /// lazily on first demand ([`CoverageModel::gap_backend`]).
+    ///
+    /// Symbolic-engine options come from [`SymbolicOptions::from_env`]
+    /// (with defaults: the stock node budget, dynamic reordering on); use
+    /// [`CoverageModel::build_with_symbolic_options`] to override them.
     ///
     /// # Errors
     ///
@@ -85,7 +95,7 @@ impl CoverageModel {
     /// * [`CoreError::Fsm`] if the explicit backend was requested and the
     ///   state space exceeds the explicit limit,
     /// * [`CoreError::Symbolic`] if the symbolic encoding exceeds its node
-    ///   budget,
+    ///   budget — or if `SPECMATCHER_BDD_NODE_LIMIT` is set to garbage,
     /// * [`CoreError::UnknownArchSignal`] if an architectural signal appears
     ///   nowhere in the RTL spec (Assumption 1).
     pub fn build_with_backend(
@@ -93,6 +103,24 @@ impl CoverageModel {
         rtl: &RtlSpec,
         table: &SignalTable,
         backend: Backend,
+    ) -> Result<Self, CoreError> {
+        let options = SymbolicOptions::from_env().map_err(CoreError::Symbolic)?;
+        Self::build_with_symbolic_options(arch, rtl, table, backend, options)
+    }
+
+    /// Like [`CoverageModel::build_with_backend`] with explicit symbolic
+    /// engine options (node budget, reorder mode/trigger) instead of the
+    /// environment defaults.
+    ///
+    /// # Errors
+    ///
+    /// As for [`CoverageModel::build_with_backend`].
+    pub fn build_with_symbolic_options(
+        arch: &ArchSpec,
+        rtl: &RtlSpec,
+        table: &SignalTable,
+        backend: Backend,
+        options: SymbolicOptions,
     ) -> Result<Self, CoreError> {
         // Assumption 1: AP_A ⊆ AP_R.
         let ap_r = rtl.alphabet();
@@ -134,6 +162,12 @@ impl CoverageModel {
         // State-bit count, by the same accounting both engines use.
         let input_vars = composed.nondet_inputs(&free);
         let state_bits = composed.state_signals().len() + input_vars.len();
+        // The Auto crossover reflects both cost axes: the state space the
+        // explicit engine must enumerate, and the width of the property
+        // product it must explore on the fly (see
+        // [`AUTO_SYMBOLIC_PRODUCT_COST`]).
+        let explicit_hostile = state_bits > AUTO_SYMBOLIC_BITS
+            || predicted_product_cost(arch, rtl) > AUTO_SYMBOLIC_PRODUCT_COST;
 
         let (kripke, symbolic, primary_backend) = match backend {
             Backend::Explicit => (
@@ -143,16 +177,11 @@ impl CoverageModel {
             ),
             Backend::Symbolic => (
                 None,
-                Some(SymbolicModel::from_module(
-                    &composed,
-                    table,
-                    &free,
-                    SymbolicOptions::default(),
-                )?),
+                Some(SymbolicModel::from_module(&composed, table, &free, options)?),
                 Backend::Symbolic,
             ),
             Backend::Auto => {
-                if state_bits <= AUTO_SYMBOLIC_BITS {
+                if !explicit_hostile {
                     (
                         Some(Kripke::from_module(&composed, table, &free)?),
                         None,
@@ -164,12 +193,7 @@ impl CoverageModel {
                     // longer needs to ride along for Algorithm 1.
                     (
                         None,
-                        Some(SymbolicModel::from_module(
-                            &composed,
-                            table,
-                            &free,
-                            SymbolicOptions::default(),
-                        )?),
+                        Some(SymbolicModel::from_module(&composed, table, &free, options)?),
                         Backend::Symbolic,
                     )
                 }
@@ -178,7 +202,7 @@ impl CoverageModel {
         // Per-phase Auto resolution for the gap phase: below the crossover
         // the explicit factored products win; above it (or whenever no
         // explicit structure exists) the symbolic gap engine takes over.
-        let auto_gap_backend = if kripke.is_some() && state_bits <= AUTO_SYMBOLIC_BITS {
+        let auto_gap_backend = if kripke.is_some() && !explicit_hostile {
             Backend::Explicit
         } else {
             Backend::Symbolic
@@ -214,6 +238,7 @@ impl CoverageModel {
             free,
             kripke,
             symbolic: Mutex::new(symbolic),
+            sym_options: options,
             primary_backend,
             auto_gap_backend,
             inputs: input_vars,
@@ -331,10 +356,21 @@ impl CoverageModel {
                 &self.composed,
                 &self.table,
                 &self.free,
-                SymbolicOptions::default(),
+                self.sym_options,
             )?);
         }
         Ok(())
+    }
+
+    /// Cumulative dynamic-reordering statistics of the symbolic engine:
+    /// `None` when no symbolic engine was ever built, `Some(zeroed)` when
+    /// it was but never reordered.
+    pub fn reorder_stats(&self) -> Option<ReorderStats> {
+        self.symbolic
+            .lock()
+            .expect("symbolic model poisoned")
+            .as_ref()
+            .map(|sym| sym.reorder_stats())
     }
 
     /// Backend-dispatched factored gap query: is some run of `M`

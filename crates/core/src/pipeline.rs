@@ -11,6 +11,7 @@ use crate::tm::{tm_for_modules, TmStyle};
 use crate::weaken::{find_gap_with_runs, GapConfig, GapProperty};
 use dic_logic::SignalTable;
 use dic_ltl::{LassoWord, Ltl, TemporalCube};
+use dic_symbolic::{ReorderMode, ReorderStats, SymbolicOptions};
 use std::fmt::Write as _;
 use std::time::{Duration, Instant};
 
@@ -120,6 +121,9 @@ pub struct CoverageRun {
     /// The engine that ran the gap phases ([`Backend::Auto`] resolves per
     /// phase, so this can differ from [`CoverageRun::backend`]).
     pub gap_backend: Backend,
+    /// Dynamic-reordering statistics of the symbolic engine (`None` when
+    /// no symbolic engine was built for this run).
+    pub reorder: Option<ReorderStats>,
 }
 
 impl CoverageRun {
@@ -143,6 +147,15 @@ impl CoverageRun {
             self.timings.tm_build,
             self.timings.gap_find
         );
+        if let Some(r) = &self.reorder {
+            if r.count > 0 || r.compactions > 0 {
+                let _ = writeln!(
+                    out,
+                    "reordering: {} sifting reorders ({} -> {} live nodes summed across sifts), {} compactions",
+                    r.count, r.nodes_before, r.nodes_after, r.compactions
+                );
+            }
+        }
         out
     }
 }
@@ -155,16 +168,18 @@ pub struct SpecMatcher {
     config: GapConfig,
     tm_style: TmStyle,
     backend: Backend,
+    reorder: ReorderMode,
 }
 
 impl SpecMatcher {
     /// Creates a checker with the given gap-finding configuration (and the
-    /// default [`Backend::Auto`] engine selection).
+    /// default [`Backend::Auto`] engine selection with dynamic reordering).
     pub fn new(config: GapConfig) -> Self {
         SpecMatcher {
             config,
             tm_style: TmStyle::default(),
             backend: Backend::default(),
+            reorder: ReorderMode::default(),
         }
     }
 
@@ -195,6 +210,19 @@ impl SpecMatcher {
         self.backend
     }
 
+    /// Selects the symbolic engine's dynamic-reordering mode
+    /// ([`ReorderMode::Auto`] by default; `Off` pins the static
+    /// registration order — mostly an A/B and debugging lever).
+    pub fn with_reorder(mut self, reorder: ReorderMode) -> Self {
+        self.reorder = reorder;
+        self
+    }
+
+    /// The requested reorder mode.
+    pub fn reorder(&self) -> ReorderMode {
+        self.reorder
+    }
+
     /// Runs the full analysis: primary coverage for every architectural
     /// property (Theorem 1), `T_M` construction (Definition 4), and — for
     /// every uncovered property — gap extraction and representation
@@ -209,7 +237,11 @@ impl SpecMatcher {
         rtl: &RtlSpec,
         table: &SignalTable,
     ) -> Result<CoverageRun, CoreError> {
-        let model = CoverageModel::build_with_backend(arch, rtl, table, self.backend)?;
+        let options = SymbolicOptions::from_env()
+            .map_err(CoreError::Symbolic)?
+            .with_reorder(self.reorder);
+        let model =
+            CoverageModel::build_with_symbolic_options(arch, rtl, table, self.backend, options)?;
         self.check_with_model(arch, rtl, table, &model)
     }
 
@@ -290,6 +322,7 @@ impl SpecMatcher {
             num_rtl_properties: rtl.num_properties(),
             backend: model.primary_backend(),
             gap_backend,
+            reorder: model.reorder_stats(),
         })
     }
 }

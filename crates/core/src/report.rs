@@ -45,6 +45,19 @@ impl CoverageRun {
         w.field_u64("num_rtl_properties", self.num_rtl_properties as u64);
         w.field_str("backend", &self.backend.to_string());
         w.field_str("gap_backend", &self.gap_backend.to_string());
+        w.key("reorder");
+        match &self.reorder {
+            None => w.null(),
+            Some(r) => {
+                w.open_object();
+                w.field_u64("count", r.count as u64);
+                w.field_u64("compactions", r.compactions as u64);
+                // Summed across all sifting reorders (not a single pass).
+                w.field_u64("nodes_before_total", r.nodes_before as u64);
+                w.field_u64("nodes_after_total", r.nodes_after as u64);
+                w.close_object();
+            }
+        }
         w.key("timings");
         timings_json(&mut w, &self.timings);
         w.field_u64("tm_size", self.tm.size() as u64);

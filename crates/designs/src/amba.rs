@@ -165,8 +165,13 @@ mod tests {
 
     #[test]
     fn model_builds_within_limits() {
+        // Auto resolves amba-ahb symbolic these days (29 conjunct
+        // automata push it over the product-width axis); force the
+        // explicit build to inspect the Kripke structure.
         let d = ahb29();
-        let model = CoverageModel::build(&d.arch, &d.rtl, &d.table).expect("builds");
+        let model =
+            CoverageModel::build_with_backend(&d.arch, &d.rtl, &d.table, dic_core::Backend::Explicit)
+                .expect("builds");
         // The cone-of-influence reduction drops `hmaster` (no property
         // mentions it), leaving the two grant registers; 5 free signals.
         assert_eq!(model.kripke().state_vars().len(), 2);
@@ -176,9 +181,12 @@ mod tests {
     #[test]
     fn spec_is_consistent() {
         // The 29 properties must admit at least one run of the model —
-        // otherwise coverage would hold vacuously.
+        // otherwise coverage would hold vacuously. (Forced explicit: the
+        // consistency check drives the explicit product directly.)
         let d = ahb29();
-        let model = CoverageModel::build(&d.arch, &d.rtl, &d.table).expect("builds");
+        let model =
+            CoverageModel::build_with_backend(&d.arch, &d.rtl, &d.table, dic_core::Backend::Explicit)
+                .expect("builds");
         let w = dic_automata::satisfiable_in_conj(d.rtl.formulas(), model.kripke());
         assert!(w.is_some(), "the AHB property suite is contradictory");
     }

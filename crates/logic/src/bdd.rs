@@ -8,9 +8,12 @@
 //! (used to present gap terms as readable cubes).
 //!
 //! Variables are registered per [`SignalId`] on first use; the variable
-//! order is the registration order. All operations are memoized in the
-//! manager, so [`Bdd`] handles are plain indices that are cheap to copy and
-//! compare — two handles are equal iff they denote the same function.
+//! *order* starts as the registration order but is decoupled from variable
+//! identity through a level map, so [`BddManager::reorder_groups`] can
+//! change it without re-keying anything a client holds. All operations are
+//! memoized in the manager, so [`Bdd`] handles are plain indices that are
+//! cheap to copy and compare — two handles are equal iff they denote the
+//! same function.
 
 use crate::cube::{Cube, Lit};
 use crate::expr::BoolExpr;
@@ -45,15 +48,26 @@ impl Bdd {
     fn idx(self) -> usize {
         self.0 as usize
     }
+
+    pub(crate) fn raw(self) -> u32 {
+        self.0
+    }
+
+    pub(crate) fn from_raw(n: u32) -> Bdd {
+        Bdd(n)
+    }
 }
 
-const TERMINAL_VAR: u32 = u32::MAX;
+pub(crate) const TERMINAL_VAR: u32 = u32::MAX;
+
+/// Level of the terminal pseudo-variable: below every real level.
+pub(crate) const TERMINAL_LEVEL: u32 = u32::MAX;
 
 #[derive(Clone, Copy, Debug)]
-struct Node {
-    var: u32,
-    lo: u32,
-    hi: u32,
+pub(crate) struct Node {
+    pub(crate) var: u32,
+    pub(crate) lo: u32,
+    pub(crate) hi: u32,
 }
 
 /// The BDD manager: node store, unique table and operation caches.
@@ -76,15 +90,22 @@ struct Node {
 /// ```
 #[derive(Debug, Default)]
 pub struct BddManager {
-    nodes: Vec<Node>,
-    unique: HashMap<(u32, u32, u32), u32>,
+    pub(crate) nodes: Vec<Node>,
+    pub(crate) unique: HashMap<(u32, u32, u32), u32>,
     ite_cache: HashMap<(u32, u32, u32), u32>,
     var_to_signal: Vec<SignalId>,
     signal_to_var: HashMap<SignalId, u32>,
-    /// Interned sorted variable sets for [`BddManager::and_exists`].
-    var_sets: Vec<Vec<u32>>,
-    /// Interned variable pairings for [`BddManager::rename`].
-    pairings: Vec<Vec<(u32, u32)>>,
+    /// Variable id → level in the current order (level 0 is the top).
+    /// Identity at registration time; permuted by reordering.
+    pub(crate) var_to_level: Vec<u32>,
+    /// Level → variable id (the inverse of `var_to_level`).
+    pub(crate) level_to_var: Vec<u32>,
+    /// Interned variable sets for [`BddManager::and_exists`], each sorted
+    /// by current level (re-sorted after every reorder).
+    pub(crate) var_sets: Vec<Vec<u32>>,
+    /// Interned variable pairings for [`BddManager::rename`], sorted by
+    /// source variable id (level-independent).
+    pub(crate) pairings: Vec<Vec<(u32, u32)>>,
     /// Memo for `and_exists`, keyed by `(set, f, g)` with `f <= g`.
     and_exists_cache: HashMap<(u32, u32, u32), u32>,
     /// Memo for `rename`, keyed by `(pairing, f)`.
@@ -124,6 +145,8 @@ impl BddManager {
             ite_cache: HashMap::new(),
             var_to_signal: Vec::new(),
             signal_to_var: HashMap::new(),
+            var_to_level: Vec::new(),
+            level_to_var: Vec::new(),
             var_sets: Vec::new(),
             pairings: Vec::new(),
             and_exists_cache: HashMap::new(),
@@ -150,7 +173,27 @@ impl BddManager {
         let v = u32::try_from(self.var_to_signal.len()).expect("too many BDD variables");
         self.var_to_signal.push(signal);
         self.signal_to_var.insert(signal, v);
+        // New variables enter at the bottom of the current order.
+        self.var_to_level.push(v);
+        self.level_to_var.push(v);
+        debug_assert_eq!(self.var_to_level.len(), self.var_to_signal.len());
         v
+    }
+
+    /// The level (position in the current variable order, 0 = top) of a
+    /// registered variable. Levels change under
+    /// [`BddManager::reorder_groups`]; variable ids never do.
+    pub fn level_of(&self, var: u32) -> u32 {
+        if var == TERMINAL_VAR {
+            TERMINAL_LEVEL
+        } else {
+            self.var_to_level[var as usize]
+        }
+    }
+
+    /// The current variable order, top level first.
+    pub fn var_order(&self) -> &[u32] {
+        &self.level_to_var
     }
 
     /// The signal behind a variable index.
@@ -230,9 +273,13 @@ impl BddManager {
     /// returning its handle. Registering the same set again returns the
     /// existing handle.
     pub fn register_var_set(&mut self, vars: &[u32]) -> VarSetId {
+        // Sets are kept sorted by *current level* (the traversal order
+        // `and_exists` needs); equal sets sort identically under any one
+        // order, so interning still dedups. Reordering re-sorts every set.
         let mut sorted: Vec<u32> = vars.to_vec();
         sorted.sort_unstable();
         sorted.dedup();
+        sorted.sort_by_key(|&v| self.var_to_level[v as usize]);
         if let Some(i) = self.var_sets.iter().position(|s| *s == sorted) {
             return VarSetId(i as u32);
         }
@@ -267,10 +314,13 @@ impl BddManager {
         if let Some(&r) = self.and_exists_cache.get(&key) {
             return Bdd(r);
         }
-        let v = self.top_var(f).min(self.top_var(g));
-        // Quantified variables above the current level cannot occur below.
+        let (fv, gv) = (self.top_var(f), self.top_var(g));
+        let v = if self.level_of(fv) <= self.level_of(gv) { fv } else { gv };
+        let v_level = self.level_of(v);
+        // Quantified variables above the current level cannot occur below
+        // (`vars` is sorted by level).
         let mut from = from;
-        while from < vars.len() && vars[from] < v {
+        while from < vars.len() && self.level_of(vars[from]) < v_level {
             from += 1;
         }
         let (f0, f1) = self.cofactors(f, v);
@@ -298,11 +348,14 @@ impl BddManager {
     ///
     /// # Panics
     ///
-    /// Panics unless the pairing is *order-preserving*: sorting by source
-    /// variable must also sort the targets, and no target may collide with a
-    /// source of a different pair. (Current/next state variables allocated
-    /// interleaved satisfy this by construction; the restriction is what
-    /// keeps renaming a single linear rebuild instead of a general compose.)
+    /// Panics unless the pairing is *order-preserving* under the current
+    /// variable order: sorting sources by level must also sort the targets
+    /// by level, and no target may collide with a source of a different
+    /// pair. (Current/next state variables allocated interleaved satisfy
+    /// this by construction; reordering preserves it as long as each
+    /// current/next pair moves as one block — exactly the group constraint
+    /// of [`BddManager::reorder_groups`]. The restriction is what keeps
+    /// renaming a single linear rebuild instead of a general compose.)
     pub fn register_pairing(&mut self, pairs: &[(u32, u32)]) -> PairingId {
         let mut sorted: Vec<(u32, u32)> = pairs.to_vec();
         sorted.sort_unstable();
@@ -313,15 +366,8 @@ impl BddManager {
                 "pairing maps variable {} twice",
                 w[0].0
             );
-            assert!(
-                w[0].1 < w[1].1,
-                "pairing is not order-preserving: {} -> {} but {} -> {}",
-                w[0].0,
-                w[0].1,
-                w[1].0,
-                w[1].1
-            );
         }
+        self.assert_pairing_monotone(&sorted);
         for &(from, to) in &sorted {
             assert!(
                 from == to || sorted.binary_search_by_key(&to, |&(f, _)| f).is_err(),
@@ -333,6 +379,24 @@ impl BddManager {
         }
         self.pairings.push(sorted);
         PairingId((self.pairings.len() - 1) as u32)
+    }
+
+    /// Checks that a pairing is order-preserving under the *current* levels:
+    /// walking the pairs by source level, the target levels must increase.
+    /// Called at registration and re-checked (debug) after every reorder.
+    pub(crate) fn assert_pairing_monotone(&self, pairs: &[(u32, u32)]) {
+        let mut by_level: Vec<(u32, u32)> = pairs.to_vec();
+        by_level.sort_by_key(|&(from, _)| self.level_of(from));
+        for w in by_level.windows(2) {
+            assert!(
+                self.level_of(w[0].1) < self.level_of(w[1].1),
+                "pairing is not order-preserving: {} -> {} but {} -> {}",
+                w[0].0,
+                w[0].1,
+                w[1].0,
+                w[1].1
+            );
+        }
     }
 
     /// Renames variables of `f` according to a registered pairing
@@ -363,7 +427,8 @@ impl BddManager {
             Err(_) => n.var,
         };
         debug_assert!(
-            self.top_var(lo) > var && self.top_var(hi) > var,
+            self.level_of(self.top_var(lo)) > self.level_of(var)
+                && self.level_of(self.top_var(hi)) > self.level_of(var),
             "pairing broke the variable order at {var}"
         );
         let r = self.mk(var, lo, hi);
@@ -396,8 +461,23 @@ impl BddManager {
         self.nodes[f.idx()]
     }
 
-    fn top_var(&self, f: Bdd) -> u32 {
+    pub(crate) fn top_var(&self, f: Bdd) -> u32 {
         self.nodes[f.idx()].var
+    }
+
+    /// The topmost (smallest-level) variable among the roots of `f`, `g`,
+    /// `h` — the branch variable of the `ite` recursion.
+    fn top_of_three(&self, f: Bdd, g: Bdd, h: Bdd) -> u32 {
+        let mut v = self.top_var(f);
+        let mut lv = self.level_of(v);
+        for cand in [self.top_var(g), self.top_var(h)] {
+            let cl = self.level_of(cand);
+            if cl < lv {
+                v = cand;
+                lv = cl;
+            }
+        }
+        v
     }
 
     /// Low/high cofactors of `f` with respect to variable `var`, assuming
@@ -431,10 +511,7 @@ impl BddManager {
         if let Some(&r) = self.ite_cache.get(&key) {
             return Bdd(r);
         }
-        let v = self
-            .top_var(f)
-            .min(self.top_var(g))
-            .min(self.top_var(h));
+        let v = self.top_of_three(f, g, h);
         let (f0, f1) = self.cofactors(f, v);
         let (g0, g1) = self.cofactors(g, v);
         let (h0, h1) = self.cofactors(h, v);
@@ -509,7 +586,7 @@ impl BddManager {
 
     fn restrict_var(&mut self, f: Bdd, var: u32, value: bool) -> Bdd {
         let n = self.node(f);
-        if n.var > var {
+        if self.level_of(n.var) > self.level_of(var) {
             // f does not depend on var (or is terminal).
             return f;
         }
@@ -629,7 +706,8 @@ impl BddManager {
         }
     }
 
-    /// The signals `f` actually depends on, in variable order.
+    /// The signals `f` actually depends on, in registration (variable-id)
+    /// order — stable across reorders.
     pub fn support(&self, f: Bdd) -> Vec<SignalId> {
         let mut vars = Vec::new();
         let mut seen = std::collections::HashSet::new();
@@ -650,7 +728,8 @@ impl BddManager {
         vars
     }
 
-    /// The variable indices `f` actually depends on, in variable order.
+    /// The variable indices `f` actually depends on, in registration
+    /// (variable-id) order — stable across reorders.
     ///
     /// Like [`BddManager::support`] but in terms of raw variables, for
     /// callers (the symbolic engine) whose variables are not all backed by
@@ -792,8 +871,12 @@ impl BddManager {
 
     fn level_gap(&self, var: u32, child: Bdd, nvars: u32) -> u32 {
         let child_var = self.top_var(child);
-        let child_level = if child_var == TERMINAL_VAR { nvars } else { child_var };
-        child_level - var - 1
+        let child_level = if child_var == TERMINAL_VAR {
+            nvars
+        } else {
+            self.level_of(child_var)
+        };
+        child_level - self.level_of(var) - 1
     }
 
     fn level_gap_root(&self, f: Bdd, nvars: u32) -> u32 {
@@ -801,7 +884,7 @@ impl BddManager {
         if v == TERMINAL_VAR {
             nvars
         } else {
-            v
+            self.level_of(v)
         }
     }
 
@@ -825,7 +908,8 @@ impl BddManager {
         if u.is_true() {
             return (vec![Cube::top()], Bdd::TRUE);
         }
-        let v = self.top_var(l).min(self.top_var(u));
+        let (lv, uv) = (self.top_var(l), self.top_var(u));
+        let v = if self.level_of(lv) <= self.level_of(uv) { lv } else { uv };
         let sig = self.var_to_signal[v as usize];
         let (l0, l1) = self.cofactors(l, v);
         let (u0, u1) = self.cofactors(u, v);

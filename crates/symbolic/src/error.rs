@@ -26,6 +26,13 @@ pub enum SymbolicError {
         /// The configured limit on `nodes`.
         limit: usize,
     },
+    /// The `SPECMATCHER_BDD_NODE_LIMIT` environment variable is set to
+    /// something that is not a node count. Refusing beats silently falling
+    /// back to the default the user was trying to replace.
+    InvalidNodeLimit {
+        /// The offending value, verbatim.
+        value: String,
+    },
     /// A formula mentions a signal the model neither drives nor declares
     /// free, so the engine cannot assign it a meaning.
     ///
@@ -49,6 +56,11 @@ impl fmt::Display for SymbolicError {
                 f,
                 "symbolic state space too large: {nodes} BDD nodes \
                  (+{cache_entries} cache entries) exceeds the node limit of {limit}"
+            ),
+            SymbolicError::InvalidNodeLimit { value } => write!(
+                f,
+                "invalid SPECMATCHER_BDD_NODE_LIMIT value {value:?}: expected a \
+                 positive node count, optionally with a K or M suffix (e.g. 96M)"
             ),
             SymbolicError::UnknownSignal { name } => write!(
                 f,

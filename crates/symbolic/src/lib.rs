@@ -54,4 +54,7 @@ pub mod model;
 pub mod terms;
 
 pub use error::SymbolicError;
-pub use model::{SymbolicModel, SymbolicOptions, DEFAULT_NODE_LIMIT};
+pub use model::{
+    ReorderMode, ReorderStats, SymbolicModel, SymbolicOptions, DEFAULT_NODE_LIMIT,
+    REORDER_FIRST_TRIGGER,
+};

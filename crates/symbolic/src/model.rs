@@ -19,10 +19,11 @@
 
 use crate::check::ProductData;
 use crate::error::SymbolicError;
-use dic_logic::{Bdd, BddManager, BoolExpr, SignalId, SignalTable};
+use dic_logic::{Bdd, BddManager, BoolExpr, ReorderGroup, SignalId, SignalTable};
 use dic_ltl::Ltl;
 use dic_netlist::Module;
 use std::collections::HashMap;
+use std::fmt;
 
 /// Default budget for live BDD nodes (see [`SymbolicOptions::node_limit`]).
 ///
@@ -48,26 +49,135 @@ pub const DEFAULT_NODE_LIMIT: usize = 24_000_000;
 /// below the banks — they just lose the good ordering.
 pub const AUT_BITS_ON_TOP: usize = 160;
 
+/// Node-count threshold arming the first automatic reorder (and the
+/// minimum growth between consecutive reorders): collecting a manager
+/// this size costs a fraction of a second, while everything below it is
+/// too small for ordering (or garbage) to matter.
+pub const REORDER_FIRST_TRIGGER: usize = 1 << 20;
+
+/// Minimum *live* node count before a triggered reorder runs the sifting
+/// search instead of a plain compaction. Below this, ordering cannot cost
+/// enough to repay a sifting pass; above it, sifting runs once per
+/// doubling of the live size.
+const REORDER_SIFT_MIN: usize = 1 << 16;
+
+/// When the symbolic engine runs dynamic variable reordering
+/// (constrained group sifting — see [`dic_logic::BddManager::reorder_groups`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum ReorderMode {
+    /// Never reorder: the static registration order (automaton bits on
+    /// top, interleaved current/next banks) is used throughout.
+    Off,
+    /// Reorder automatically on node-growth thresholds between fixpoint
+    /// steps, outside scratch scopes.
+    #[default]
+    Auto,
+}
+
+impl ReorderMode {
+    /// Parses a CLI-style mode name.
+    pub fn parse(s: &str) -> Option<ReorderMode> {
+        match s {
+            "off" => Some(ReorderMode::Off),
+            "auto" => Some(ReorderMode::Auto),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for ReorderMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ReorderMode::Off => "off",
+            ReorderMode::Auto => "auto",
+        })
+    }
+}
+
+/// Cumulative dynamic-reordering statistics for one symbolic model.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ReorderStats {
+    /// Number of sifting reorders performed.
+    pub count: usize,
+    /// Number of plain compactions (garbage-collecting rebuilds without a
+    /// sifting search — triggered growth that was garbage, not ordering).
+    pub compactions: usize,
+    /// Total live nodes across sifting reorders, before sifting.
+    pub nodes_before: usize,
+    /// Total live nodes across sifting reorders, after sifting.
+    pub nodes_after: usize,
+}
+
 /// Tuning knobs for the symbolic engine.
 #[derive(Clone, Copy, Debug)]
 pub struct SymbolicOptions {
     /// Fail-closed budget for live BDD nodes, checked between fixpoint
     /// steps (the symbolic analogue of `dic_fsm::KRIPKE_BIT_LIMIT`).
     pub node_limit: usize,
+    /// Dynamic variable reordering policy.
+    pub reorder: ReorderMode,
+    /// Node count arming the first automatic reorder (tests lower it to
+    /// exercise reordering on small models).
+    pub reorder_trigger: usize,
 }
 
 impl Default for SymbolicOptions {
-    /// The default budget, overridable through the
-    /// `SPECMATCHER_BDD_NODE_LIMIT` environment variable (an escape hatch
-    /// for models just past [`DEFAULT_NODE_LIMIT`] on machines with memory
-    /// to spare — the limit exists to fail closed, not to cap capability).
+    /// The baked-in defaults: [`DEFAULT_NODE_LIMIT`], automatic
+    /// reordering. Environment overrides (which can be *invalid* and must
+    /// error, not silently fall back) live in
+    /// [`SymbolicOptions::from_env`].
     fn default() -> Self {
-        let node_limit = std::env::var("SPECMATCHER_BDD_NODE_LIMIT")
-            .ok()
-            .and_then(|v| v.parse().ok())
-            .unwrap_or(DEFAULT_NODE_LIMIT);
-        SymbolicOptions { node_limit }
+        SymbolicOptions {
+            node_limit: DEFAULT_NODE_LIMIT,
+            reorder: ReorderMode::default(),
+            reorder_trigger: REORDER_FIRST_TRIGGER,
+        }
     }
+}
+
+impl SymbolicOptions {
+    /// The default options with the `SPECMATCHER_BDD_NODE_LIMIT`
+    /// environment override applied (an escape hatch for models just past
+    /// [`DEFAULT_NODE_LIMIT`] on machines with memory to spare — the limit
+    /// exists to fail closed, not to cap capability). The value is a node
+    /// count, optionally with a `K`/`M` suffix (`24M`, `96m`, `500K`).
+    ///
+    /// # Errors
+    ///
+    /// [`SymbolicError::InvalidNodeLimit`] when the variable is set but
+    /// does not parse — a typo'd limit must not silently become the
+    /// default it was meant to replace.
+    pub fn from_env() -> Result<Self, SymbolicError> {
+        let mut opts = SymbolicOptions::default();
+        if let Ok(v) = std::env::var("SPECMATCHER_BDD_NODE_LIMIT") {
+            opts.node_limit = parse_node_limit(&v)?;
+        }
+        Ok(opts)
+    }
+
+    /// Returns the options with the given reorder mode.
+    pub fn with_reorder(mut self, mode: ReorderMode) -> Self {
+        self.reorder = mode;
+        self
+    }
+}
+
+/// Parses a node-limit value: a positive integer with an optional `K`/`M`
+/// (×10³/×10⁶) suffix, case-insensitive.
+fn parse_node_limit(v: &str) -> Result<usize, SymbolicError> {
+    let invalid = || SymbolicError::InvalidNodeLimit { value: v.to_owned() };
+    let s = v.trim();
+    let (digits, scale) = match s.as_bytes().last() {
+        Some(b'k' | b'K') => (&s[..s.len() - 1], 1_000usize),
+        Some(b'm' | b'M') => (&s[..s.len() - 1], 1_000_000usize),
+        _ => (s, 1),
+    };
+    let n: usize = digits.trim().parse().map_err(|_| invalid())?;
+    let limit = n.checked_mul(scale).ok_or_else(invalid)?;
+    if limit == 0 {
+        return Err(invalid());
+    }
+    Ok(limit)
 }
 
 /// A netlist encoded as BDDs: variable banks, partitioned transition
@@ -119,6 +229,17 @@ pub struct SymbolicModel {
     /// `None` whenever persistent state (a memoized product fixpoint) was
     /// created since the last mark — see [`SymbolicModel::scratch`].
     pub(crate) scratch_base: Option<dic_logic::BddCheckpoint>,
+    /// Nesting depth of active [`SymbolicModel::scratch`] closures. While
+    /// positive, reordering is disabled: a reorder invalidates the scratch
+    /// checkpoint *and* every intermediate handle the running query holds.
+    pub(crate) scratch_depth: usize,
+    /// Persistent-base node count arming the next automatic reorder
+    /// (grows after each).
+    reorder_next: usize,
+    /// Live node count at which a triggered reorder sifts instead of just
+    /// compacting (doubles after every sift).
+    sift_next: usize,
+    reorder_stats: ReorderStats,
     pub(crate) options: SymbolicOptions,
 }
 
@@ -153,6 +274,10 @@ impl SymbolicModel {
             aut_pool: Vec::new(),
             products: HashMap::new(),
             scratch_base: None,
+            scratch_depth: 0,
+            reorder_next: options.reorder_trigger,
+            sift_next: REORDER_SIFT_MIN.min(options.reorder_trigger),
+            reorder_stats: ReorderStats::default(),
             options,
         };
 
@@ -252,7 +377,9 @@ impl SymbolicModel {
         if self.scratch_base.is_none() {
             self.scratch_base = Some(self.man.checkpoint());
         }
+        self.scratch_depth += 1;
         let result = f(self);
+        self.scratch_depth -= 1;
         if let Some(base) = self.scratch_base {
             if self.man.node_count() - base.nodes() > self.options.node_limit / 4 {
                 self.man.rollback(&base);
@@ -283,6 +410,187 @@ impl SymbolicModel {
             });
         }
         Ok(())
+    }
+
+    /// Cumulative dynamic-reordering statistics (zero under
+    /// [`ReorderMode::Off`]).
+    pub fn reorder_stats(&self) -> ReorderStats {
+        self.reorder_stats
+    }
+
+    /// Asserts the variable-order invariants the engine's correctness and
+    /// performance rest on, for tests and debugging:
+    ///
+    /// * every pre-allocated automaton bit pair sits inside the reserved
+    ///   top block of the order (aut-bits-on-top), and
+    /// * every current/next pair — automaton and module state alike — is
+    ///   level-adjacent in current-above-next order (what keeps bank
+    ///   renaming a linear rebuild).
+    ///
+    /// # Panics
+    ///
+    /// Panics when an invariant is violated.
+    pub fn assert_order_invariants(&self) {
+        let top_pairs = self.aut_pool.len().min(AUT_BITS_ON_TOP);
+        let top_levels = 2 * top_pairs as u32;
+        for (i, &(c, n)) in self.aut_pool.iter().enumerate() {
+            let (lc, ln) = (self.man.level_of(c), self.man.level_of(n));
+            assert_eq!(ln, lc + 1, "aut pair {i} lost curr/next adjacency");
+            if i < AUT_BITS_ON_TOP {
+                assert!(
+                    ln < top_levels,
+                    "aut pair {i} left the top block (levels {lc}/{ln} >= {top_levels})"
+                );
+            }
+        }
+        for i in 0..self.state_signals.len() {
+            let (lc, ln) = (
+                self.man.level_of(self.curr_var[i]),
+                self.man.level_of(self.next_var[i]),
+            );
+            assert_eq!(ln, lc + 1, "state pair {i} lost curr/next adjacency");
+            assert!(
+                lc >= top_levels,
+                "state pair {i} intruded into the automaton top block"
+            );
+        }
+    }
+
+    /// Reorders the BDD variables by constrained group sifting when the
+    /// manager has outgrown the current trigger — the hook every symbolic
+    /// fixpoint loop calls between steps.
+    ///
+    /// Safety contract (see the module docs of [`crate::check`]): this may
+    /// only run where the complete set of live handles is known — the
+    /// model's encodings, every cached product, the product currently
+    /// taken out of the cache (`pd`), and the running fixpoint's local
+    /// handles (`live`), which are remapped in place. It therefore never
+    /// fires inside a scratch scope (the running query holds untracked
+    /// intermediates, and a reorder would invalidate the scratch
+    /// checkpoint). A reorder drops every handle outside the root set —
+    /// the only garbage collection the append-only manager has — and
+    /// re-bases the scratch region.
+    pub(crate) fn maybe_reorder(
+        &mut self,
+        pd: &mut ProductData,
+        live: &mut [Bdd],
+    ) -> Result<(), SymbolicError> {
+        if self.options.reorder == ReorderMode::Off || self.scratch_depth > 0 {
+            return Ok(());
+        }
+        // Trigger on the *persistent base*: the prefix of the store below
+        // any open scratch region. Growth inside the region is batched
+        // scratch the rollback machinery will reclaim with its memos kept
+        // warm — collecting it here would defeat that batching and pay a
+        // rebuild for it. But the batch budget is `node_limit / 4`
+        // (see [`SymbolicModel::scratch`]): anything past that is not
+        // healthy batching — it is a persistent fixpoint ballooning above
+        // a stale checkpoint (a lazily-forced `hull_rings`, say) — so the
+        // effective base tracks it and reordering re-arms.
+        let base_nodes = match self.scratch_base {
+            None => self.man.node_count(),
+            Some(cp) => cp.nodes().max(
+                self.man
+                    .node_count()
+                    .saturating_sub(self.options.node_limit / 4),
+            ),
+        };
+        if base_nodes < self.reorder_next {
+            return Ok(());
+        }
+
+        let t0 = std::time::Instant::now();
+        // One extract-and-rebuild pass: it always collects garbage (the
+        // only collection this manager has), and runs the sifting search
+        // only when the *live* size has at least doubled since the last
+        // sift — ordering cost grows with live nodes, garbage does not.
+        let outcome = self.run_rebuild(pd, live);
+        if outcome.sifted {
+            self.sift_next = outcome.live_after.saturating_mul(2).max(REORDER_SIFT_MIN);
+            self.reorder_stats.count += 1;
+            self.reorder_stats.nodes_before += outcome.live_before;
+            self.reorder_stats.nodes_after += outcome.live_after;
+        } else {
+            self.reorder_stats.compactions += 1;
+        }
+        // Diagnostics for order-sensitivity investigations; off by default.
+        if std::env::var_os("SPECMATCHER_REORDER_LOG").is_some() {
+            eprintln!(
+                "reorder: store {} -> live {} -> {}{} in {:.2?}",
+                outcome.store_before,
+                outcome.live_before,
+                outcome.live_after,
+                if outcome.sifted { " (sifted)" } else { "" },
+                t0.elapsed(),
+            );
+        }
+
+        // Checkpoints into the old node store are meaningless now; the
+        // rebuild already collected everything outside the root set.
+        self.scratch_base = None;
+        self.reorder_next = outcome
+            .live_after
+            .saturating_mul(2)
+            .max(outcome.live_after + self.options.reorder_trigger);
+        self.check_limit()
+    }
+
+    /// One rebuild pass over the full root set — every handle the model,
+    /// the cached products, the taken-out product `pd` and the running
+    /// fixpoint (`live`) hold — sifting when the live size warrants it
+    /// (`sift_next`), remapping every root in place.
+    fn run_rebuild(&mut self, pd: &mut ProductData, live: &mut [Bdd]) -> dic_logic::ReorderOutcome {
+        let mut roots: Vec<Bdd> = Vec::new();
+        self.visit_model_roots(&mut |b| roots.push(*b));
+        for cached in self.products.values_mut() {
+            cached.visit_roots(&mut |b| roots.push(*b));
+        }
+        pd.visit_roots(&mut |b| roots.push(*b));
+        roots.extend_from_slice(live);
+
+        // Sifting groups: every current/next pair moves as one adjacent
+        // block; the pre-allocated automaton pairs only sift within their
+        // reserved top block (the aut-bits-on-top invariant the
+        // Emerson–Lei fixpoints depend on). Overflow automaton bits (past
+        // the pool) live below the banks and sift freely.
+        let mut groups = Vec::with_capacity(self.aut_pool.len() + self.state_signals.len());
+        for (i, &(c, n)) in self.aut_pool.iter().enumerate() {
+            groups.push(ReorderGroup {
+                vars: vec![c, n],
+                top: i < AUT_BITS_ON_TOP,
+            });
+        }
+        for i in 0..self.state_signals.len() {
+            groups.push(ReorderGroup {
+                vars: vec![self.curr_var[i], self.next_var[i]],
+                top: false,
+            });
+        }
+        let outcome = self
+            .man
+            .reorder_groups_min_live(&groups, &roots, self.sift_next);
+
+        self.visit_model_roots(&mut |b| outcome.remap(b));
+        for cached in self.products.values_mut() {
+            cached.visit_roots(&mut |b| outcome.remap(b));
+        }
+        pd.visit_roots(&mut |b| outcome.remap(b));
+        for b in live.iter_mut() {
+            outcome.remap(b);
+        }
+        outcome
+    }
+
+    /// Visits every BDD handle the model itself keeps (product handles are
+    /// visited via [`ProductData::visit_roots`]).
+    fn visit_model_roots(&mut self, f: &mut dyn FnMut(&mut Bdd)) {
+        f(&mut self.init);
+        for c in &mut self.trans_latches {
+            f(c);
+        }
+        for b in self.sig_bdd.values_mut() {
+            f(b);
+        }
     }
 
     /// Allocates a fresh manager variable backed by a synthetic signal id
@@ -445,7 +753,7 @@ mod tests {
     #[test]
     fn tiny_node_limit_fails_closed() {
         let (t, m) = simple();
-        let err = SymbolicModel::from_module(&m, &t, &[], SymbolicOptions { node_limit: 2 })
+        let err = SymbolicModel::from_module(&m, &t, &[], SymbolicOptions { node_limit: 2, ..SymbolicOptions::default() })
             .expect_err("limit of 2 nodes cannot hold the relation");
         assert!(matches!(err, SymbolicError::NodeLimit { limit: 2, .. }));
     }

@@ -1,9 +1,9 @@
 //! The `specmatcher` command-line tool.
 //!
 //! ```text
-//! specmatcher check --design <name> [--backend B] [--json]   run a packaged design
-//! specmatcher check --snl <file> --spec <file> [--backend B] run user RTL + spec
-//! specmatcher table1 [--backend B] [--quick]   regenerate the paper's Table 1
+//! specmatcher check --design <name> [--backend B] [--reorder M] [--json]
+//! specmatcher check --snl <file> --spec <file> [--backend B] [--reorder M]
+//! specmatcher table1 [--backend B] [--reorder M] [--quick]
 //! specmatcher fsm --design <name>              dump concrete-module FSMs (DOT)
 //! specmatcher list                             list packaged designs
 //! ```
@@ -11,7 +11,15 @@
 //! `--backend` selects the model-checking engine for the primary coverage
 //! question: `explicit` (state enumeration, refuses large models),
 //! `symbolic` (BDD reachability + fair cycles) or `auto` (the default:
-//! explicit for small state spaces, symbolic past the threshold).
+//! explicit for small state spaces and narrow products, symbolic past
+//! either threshold). `--reorder` controls the symbolic engine's dynamic
+//! variable reordering (`auto`, the default, or `off`).
+//!
+//! Exit codes: `0` — every architectural property is covered; `1` — a
+//! coverage gap was found and reported; `2` — usage or specification
+//! error (bad flags, unparsable input, Assumption 1 violations);
+//! `3` — a model-checking engine refused the model for resource reasons
+//! (explicit state-space limit, BDD node budget).
 //!
 //! Spec files contain one property per line:
 //!
@@ -23,26 +31,75 @@
 //! rtl FAIR = G F hit
 //! ```
 
-use dic_core::{ArchSpec, Backend, GapConfig, RtlSpec, SpecMatcher, TmStyle};
+use dic_core::{
+    ArchSpec, Backend, CoreError, GapConfig, ReorderMode, RtlSpec, SpecMatcher, TmStyle,
+};
 use dic_designs::{mal, scaling, table1_designs, Design};
 use dic_fsm::extract_fsm;
 use dic_logic::SignalTable;
 use dic_ltl::Ltl;
 use dic_netlist::parse_snl;
+use dic_symbolic::SymbolicError;
 use std::process::ExitCode;
+
+/// A CLI failure, carrying its exit-code class: usage/spec errors exit 2,
+/// engine resource refusals exit 3 (so scripts can retry with a bigger
+/// budget or another backend instead of fixing their invocation).
+enum CliError {
+    Usage(String),
+    Resource(String),
+}
+
+impl From<String> for CliError {
+    fn from(msg: String) -> Self {
+        CliError::Usage(msg)
+    }
+}
+
+impl From<&str> for CliError {
+    fn from(msg: &str) -> Self {
+        CliError::Usage(msg.to_owned())
+    }
+}
+
+/// Classifies a pipeline error: state-space/node-budget refusals are
+/// resource errors, everything else is the caller's problem.
+/// [`core_err`] with a design-name prefix for batch runs.
+fn ctx_err(name: &str, e: CoreError) -> CliError {
+    match core_err(e) {
+        CliError::Usage(m) => CliError::Usage(format!("{name}: {m}")),
+        CliError::Resource(m) => CliError::Resource(format!("{name}: {m}")),
+    }
+}
+
+fn core_err(e: CoreError) -> CliError {
+    let resource = matches!(
+        e,
+        CoreError::Fsm(_) | CoreError::Symbolic(SymbolicError::NodeLimit { .. })
+    );
+    if resource {
+        CliError::Resource(e.to_string())
+    } else {
+        CliError::Usage(e.to_string())
+    }
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run(&args) {
         Ok(code) => code,
-        Err(msg) => {
+        Err(CliError::Usage(msg)) => {
             eprintln!("specmatcher: {msg}");
             ExitCode::from(2)
+        }
+        Err(CliError::Resource(msg)) => {
+            eprintln!("specmatcher: {msg}");
+            ExitCode::from(3)
         }
     }
 }
 
-fn run(args: &[String]) -> Result<ExitCode, String> {
+fn run(args: &[String]) -> Result<ExitCode, CliError> {
     let Some(cmd) = args.first() else {
         print_usage();
         return Ok(ExitCode::from(2));
@@ -64,13 +121,13 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
             print_usage();
             Ok(ExitCode::SUCCESS)
         }
-        other => Err(format!("unknown command {other:?}; try --help")),
+        other => Err(format!("unknown command {other:?}; try --help").into()),
     }
 }
 
 fn print_usage() {
     eprintln!(
-        "usage:\n  specmatcher check --design <name> [--backend explicit|symbolic|auto] [--json]\n  specmatcher check --snl <file> --spec <file> [--backend ...] [--json]\n  specmatcher table1 [--backend ...] [--quick]\n  specmatcher fsm --design <name>\n  specmatcher list\n\nbackends: explicit = state enumeration (paper-faithful, limited size),\n          symbolic = BDD reachability + fair cycles (scales further),\n          auto     = pick by state-space size (default)"
+        "usage:\n  specmatcher check --design <name> [--backend explicit|symbolic|auto] [--reorder off|auto] [--json]\n  specmatcher check --snl <file> --spec <file> [--backend ...] [--reorder ...] [--json]\n  specmatcher table1 [--backend ...] [--reorder ...] [--quick]\n  specmatcher fsm --design <name>\n  specmatcher list\n\nbackends: explicit = state enumeration (paper-faithful, limited size),\n          symbolic = BDD reachability + fair cycles (scales further),\n          auto     = pick by state-space size and product width (default)\nreorder:  auto = dynamic BDD variable reordering (group sifting; default),\n          off  = keep the static variable order\n\nexit codes: 0 = covered, 1 = coverage gap reported,\n            2 = usage/specification error,\n            3 = engine resource refusal (state-space or BDD node budget)"
     );
 }
 
@@ -89,6 +146,18 @@ fn backend_option(args: &[String]) -> Result<Backend, String> {
         None => Ok(Backend::Auto),
         Some(s) => Backend::parse(s)
             .ok_or_else(|| format!("unknown backend {s:?}; use explicit, symbolic or auto")),
+    }
+}
+
+fn reorder_option(args: &[String]) -> Result<ReorderMode, String> {
+    match option(args, "--reorder") {
+        None if args.iter().any(|a| a == "--reorder") => {
+            Err("--reorder needs a value: off or auto".into())
+        }
+        None => Ok(ReorderMode::Auto),
+        Some(s) => {
+            ReorderMode::parse(s).ok_or_else(|| format!("unknown reorder mode {s:?}; use off or auto"))
+        }
     }
 }
 
@@ -113,13 +182,16 @@ fn find_design(name: &str) -> Result<Design, String> {
         .ok_or_else(|| format!("unknown design {name:?}; see `specmatcher list`"))
 }
 
-fn cmd_check(args: &[String]) -> Result<ExitCode, String> {
+fn cmd_check(args: &[String]) -> Result<ExitCode, CliError> {
     let json = args.iter().any(|a| a == "--json");
     let backend = backend_option(args)?;
-    let matcher = SpecMatcher::new(GapConfig::default()).with_backend(backend);
+    let reorder = reorder_option(args)?;
+    let matcher = SpecMatcher::new(GapConfig::default())
+        .with_backend(backend)
+        .with_reorder(reorder);
     let (design, run) = if let Some(name) = option(args, "--design") {
         let design = find_design(name)?;
-        let run = design.check(&matcher).map_err(|e| e.to_string())?;
+        let run = design.check(&matcher).map_err(core_err)?;
         (design, run)
     } else {
         let snl_path = option(args, "--snl").ok_or("check needs --design or --snl/--spec")?;
@@ -140,7 +212,7 @@ fn cmd_check(args: &[String]) -> Result<ExitCode, String> {
             arch,
             rtl,
         };
-        let run = design.check(&matcher).map_err(|e| e.to_string())?;
+        let run = design.check(&matcher).map_err(core_err)?;
         (design, run)
     };
     if json {
@@ -185,20 +257,22 @@ fn parse_spec(src: &str, table: &mut SignalTable) -> Result<(NamedProps, NamedPr
     Ok((arch, rtl))
 }
 
-fn cmd_table1(args: &[String]) -> Result<ExitCode, String> {
+fn cmd_table1(args: &[String]) -> Result<ExitCode, CliError> {
     let backend = backend_option(args)?;
+    let reorder = reorder_option(args)?;
     if args.iter().any(|a| a == "--quick") {
-        return cmd_table1_quick(backend);
+        return cmd_table1_quick(backend, reorder);
     }
     let matcher = SpecMatcher::new(GapConfig::default())
         .with_tm_style(TmStyle::Enumerated)
-        .with_backend(backend);
+        .with_backend(backend)
+        .with_reorder(reorder);
     println!(
         "{:<14} {:>9} {:>9} {:>9} {:>12} {:>12} {:>12}",
         "Circuit", "RTL props", "primary", "gap", "Primary (s)", "TM (s)", "Gap (s)"
     );
     for design in table1_designs() {
-        let run = design.check(&matcher).map_err(|e| e.to_string())?;
+        let run = design.check(&matcher).map_err(core_err)?;
         println!(
             "{:<14} {:>9} {:>9} {:>9} {:>12.4} {:>12.4} {:>12.4}",
             design.name,
@@ -221,9 +295,13 @@ fn cmd_table1(args: &[String]) -> Result<ExitCode, String> {
 /// backend). This is the CI smoke test: a backend-selection regression
 /// (wrong engine, wrong verdict, lost gap property) or a reintroduced
 /// state-explosion cliff fails the run instead of silently slowing it.
-fn cmd_table1_quick(backend: Backend) -> Result<ExitCode, String> {
-    use dic_core::CoverageModel;
+fn cmd_table1_quick(backend: Backend, reorder: ReorderMode) -> Result<ExitCode, CliError> {
+    use dic_core::{CoverageModel, SymbolicOptions};
     use std::time::Instant;
+
+    let options = SymbolicOptions::from_env()
+        .map_err(|e| core_err(CoreError::Symbolic(e)))?
+        .with_reorder(reorder);
 
     // (design, primary coverage holds?)
     let rows: Vec<(Design, bool)> = vec![
@@ -242,12 +320,17 @@ fn cmd_table1_quick(backend: Backend) -> Result<ExitCode, String> {
     let mut ok = true;
     for (design, expect_covered) in rows {
         let t0 = Instant::now();
-        let model =
-            CoverageModel::build_with_backend(&design.arch, &design.rtl, &design.table, backend)
-                .map_err(|e| format!("{}: {e}", design.name))?;
+        let model = CoverageModel::build_with_symbolic_options(
+            &design.arch,
+            &design.rtl,
+            &design.table,
+            backend,
+            options,
+        )
+        .map_err(|e| ctx_err(design.name, e))?;
         let fa = design.arch.properties()[0].formula();
         let witness = dic_core::primary_coverage(fa, &design.rtl, &model)
-            .map_err(|e| format!("{}: {e}", design.name))?;
+            .map_err(|e| ctx_err(design.name, e))?;
         let covered = witness.is_none();
         let verdict_ok = covered == expect_covered;
         ok &= verdict_ok;
@@ -272,8 +355,12 @@ fn cmd_table1_quick(backend: Backend) -> Result<ExitCode, String> {
     // uncovered terms.
     let mut ex2 = mal::ex2();
     let run = ex2
-        .check(&SpecMatcher::new(GapConfig::default()).with_backend(backend))
-        .map_err(|e| format!("mal-ex2: {e}"))?;
+        .check(
+            &SpecMatcher::new(GapConfig::default())
+                .with_backend(backend)
+                .with_reorder(reorder),
+        )
+        .map_err(|e| ctx_err("mal-ex2", e))?;
     let rep = &run.properties[0];
     let u_hit = mal::paper_gap_property(&mut ex2);
     let u_g2 = mal::adapted_gap_property(&mut ex2);
@@ -295,8 +382,12 @@ fn cmd_table1_quick(backend: Backend) -> Result<ExitCode, String> {
     if backend != Backend::Explicit {
         let chain = scaling::chain_design(22, true);
         let run = chain
-            .check(&SpecMatcher::new(GapConfig::default()).with_backend(backend))
-            .map_err(|e| format!("chain-22-gap: {e}"))?;
+            .check(
+                &SpecMatcher::new(GapConfig::default())
+                    .with_backend(backend)
+                    .with_reorder(reorder),
+            )
+            .map_err(|e| ctx_err("chain-22-gap", e))?;
         let rep = &run.properties[0];
         println!(
             "chain-22-gap gap smoke ({} backend): {} uncovered terms, exact-hole fallback {}",
@@ -311,7 +402,7 @@ fn cmd_table1_quick(backend: Backend) -> Result<ExitCode, String> {
     Ok(ExitCode::SUCCESS)
 }
 
-fn cmd_fsm(args: &[String]) -> Result<ExitCode, String> {
+fn cmd_fsm(args: &[String]) -> Result<ExitCode, CliError> {
     let name = option(args, "--design").ok_or("fsm needs --design <name>")?;
     let design = find_design(name)?;
     for module in design.rtl.concrete() {

@@ -54,7 +54,8 @@ fn json_output_is_structured() {
 
 #[test]
 fn both_backends_honor_the_exit_code_contract() {
-    // 0 = covered, 1 = gap, 2 = usage/model error — for every backend.
+    // 0 = covered, 1 = gap, 2 = usage/spec error, 3 = resource refusal —
+    // for every backend.
     for backend in ["explicit", "symbolic", "auto"] {
         let out = specmatcher(&["check", "--design", "mal-ex1", "--backend", backend]);
         assert_eq!(
@@ -72,14 +73,69 @@ fn both_backends_honor_the_exit_code_contract() {
     assert_eq!(out.status.code(), Some(2));
     let stderr = String::from_utf8(out.stderr).expect("utf8");
     assert!(stderr.contains("unknown backend"));
+    // So is an unknown reorder mode.
+    let out = specmatcher(&["check", "--design", "mal-ex1", "--reorder", "sometimes"]);
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8(out.stderr).expect("utf8");
+    assert!(stderr.contains("unknown reorder mode"));
+    // `--reorder off` still honors the verdict codes.
+    let out = specmatcher(&["check", "--design", "mal-ex1", "--reorder", "off"]);
+    assert_eq!(out.status.code(), Some(0));
+}
+
+#[test]
+fn resource_refusals_exit_three() {
+    // The explicit engine refusing a too-large state space is a resource
+    // refusal (3), not a usage error (2): the invocation was fine, the
+    // model just does not fit that engine.
+    let out = specmatcher(&["check", "--design", "chain-24", "--backend", "explicit"]);
+    assert_eq!(out.status.code(), Some(3), "explicit refusal => exit 3");
+    let stderr = String::from_utf8(out.stderr).expect("utf8");
+    assert!(stderr.contains("state space too large"));
+
+    // Likewise the symbolic engine's node budget.
+    let out = Command::new(env!("CARGO_BIN_EXE_specmatcher"))
+        .args(["check", "--design", "mal-ex2", "--backend", "symbolic"])
+        .env("SPECMATCHER_BDD_NODE_LIMIT", "1K")
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(3), "node-budget refusal => exit 3");
+    let stderr = String::from_utf8(out.stderr).expect("utf8");
+    assert!(stderr.contains("node limit"), "stderr: {stderr}");
+}
+
+#[test]
+fn invalid_node_limit_is_rejected_loudly() {
+    // A typo'd SPECMATCHER_BDD_NODE_LIMIT must not silently fall back to
+    // the default — that is a usage error (2) with a clear message.
+    for bad in ["24Q", "", "-5", "twelve", "0", "18446744073709551615M"] {
+        let out = Command::new(env!("CARGO_BIN_EXE_specmatcher"))
+            .args(["check", "--design", "mal-ex1", "--backend", "symbolic"])
+            .env("SPECMATCHER_BDD_NODE_LIMIT", bad)
+            .output()
+            .expect("binary runs");
+        assert_eq!(out.status.code(), Some(2), "value {bad:?} must be rejected");
+        let stderr = String::from_utf8(out.stderr).expect("utf8");
+        assert!(
+            stderr.contains("invalid SPECMATCHER_BDD_NODE_LIMIT"),
+            "value {bad:?}: {stderr}"
+        );
+    }
+    // Suffixed values are accepted (24M is exactly the default).
+    let out = Command::new(env!("CARGO_BIN_EXE_specmatcher"))
+        .args(["check", "--design", "mal-ex1", "--backend", "symbolic"])
+        .env("SPECMATCHER_BDD_NODE_LIMIT", "24M")
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(0));
 }
 
 #[test]
 fn scaling_design_needs_the_symbolic_backend() {
-    // Beyond the explicit bit limit: explicit errors (2), symbolic and
-    // auto prove coverage (0).
+    // Beyond the explicit bit limit: explicit refuses for resource
+    // reasons (3), symbolic and auto prove coverage (0).
     let out = specmatcher(&["check", "--design", "chain-24", "--backend", "explicit"]);
-    assert_eq!(out.status.code(), Some(2), "explicit must refuse chain-24");
+    assert_eq!(out.status.code(), Some(3), "explicit must refuse chain-24");
     let stderr = String::from_utf8(out.stderr).expect("utf8");
     assert!(stderr.contains("state space too large"));
 

@@ -23,7 +23,8 @@ fn normalized_report(design: &Design) -> String {
     let text = run.render(&design.table);
     let mut normalized: String = text
         .lines()
-        .filter(|l| !l.starts_with("timings"))
+        // Wall-clock and reorder statistics are machine/run dependent.
+        .filter(|l| !l.starts_with("timings") && !l.starts_with("reordering"))
         .collect::<Vec<_>>()
         .join("\n");
     normalized.push('\n');

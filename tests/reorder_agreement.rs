@@ -1,0 +1,225 @@
+//! Dynamic variable reordering must be *invisible* in every answer: on
+//! random coverage problems, the full pipeline with `--reorder off` and
+//! with reordering forced at a tiny trigger must produce identical
+//! verdicts, byte-identical gap-property sets, and witnesses that replay
+//! on the concrete modules. (The witnesses themselves may differ — the
+//! deterministic BDD walks follow the variable order — but everything
+//! semantic must not.)
+//!
+//! Also pins the per-phase `Backend::Auto` choices the two-axis crossover
+//! (state bits × predicted product width) makes for the packaged designs:
+//! amba-ahb — 7 state bits but 29 conjunct automata — now resolves
+//! symbolic for both phases, while the narrower pipeline stays explicit.
+
+use proptest::prelude::*;
+use specmatcher::core::{
+    Backend, CoverageModel, GapConfig, ReorderMode, SpecMatcher, SymbolicOptions,
+};
+use specmatcher::logic::{BoolExpr, SignalId, SignalTable};
+use specmatcher::ltl::random::{random_formula, XorShift64};
+use specmatcher::ltl::Ltl;
+use specmatcher::netlist::{Module, ModuleBuilder, Simulator};
+use specmatcher::core::{ArchSpec, RtlSpec};
+
+/// Deterministically generates a small random module (same shape as the
+/// backend-agreement suite).
+fn random_module(rng: &mut XorShift64) -> (SignalTable, Module) {
+    let mut t = SignalTable::new();
+    let mut b = ModuleBuilder::new("rand", &mut t);
+    let n_inputs = 1 + rng.below(3);
+    let mut pool: Vec<SignalId> = (0..n_inputs)
+        .map(|i| b.input(&format!("i{i}")))
+        .collect();
+
+    let leaf = |pool: &[SignalId], rng: &mut XorShift64| -> BoolExpr {
+        let v = BoolExpr::var(pool[rng.below(pool.len())]);
+        if rng.flip() {
+            v.not()
+        } else {
+            v
+        }
+    };
+
+    for i in 0..1 + rng.below(2) {
+        let a = leaf(&pool, rng);
+        let c = leaf(&pool, rng);
+        let func = match rng.below(3) {
+            0 => BoolExpr::and([a, c]),
+            1 => BoolExpr::or([a, c]),
+            _ => BoolExpr::xor(a, c),
+        };
+        pool.push(b.wire(&format!("w{i}"), func));
+    }
+    for i in 0..1 + rng.below(3) {
+        let next = leaf(&pool, rng);
+        let q = b.latch(&format!("q{i}"), next, rng.flip());
+        pool.push(q);
+    }
+    let out = *pool.last().expect("non-empty");
+    b.mark_output(out);
+    let m = b.finish().expect("generated netlist is valid");
+    (t, m)
+}
+
+fn random_problem(seed: u64) -> (SignalTable, ArchSpec, RtlSpec) {
+    let mut rng = XorShift64::new(seed.wrapping_mul(0x9E37_79B9).wrapping_add(1));
+    let (mut t, m) = random_module(&mut rng);
+    let mod_atoms: Vec<SignalId> = m.signals().into_iter().collect();
+    let mut atoms = mod_atoms.clone();
+    atoms.push(t.intern("env"));
+    let fa_budget = 4 + rng.below(4);
+    let fa = random_formula(&mut rng, &mod_atoms, fa_budget);
+    let n_props = rng.below(3);
+    let props: Vec<(String, Ltl)> = (0..n_props)
+        .map(|i| {
+            let budget = 3 + rng.below(3);
+            (format!("R{i}"), random_formula(&mut rng, &atoms, budget))
+        })
+        .collect();
+    (
+        t,
+        ArchSpec::new([("A", fa)]),
+        RtlSpec::new(props.iter().map(|(n, f)| (n.as_str(), f.clone())), [m]),
+    )
+}
+
+/// Replays a witness word against the composed module on the simulator.
+fn replay(model: &CoverageModel, table: &SignalTable, witness: &specmatcher::ltl::LassoWord) {
+    let composed = model.composed();
+    let mut sim = Simulator::new(composed, table).expect("simulates");
+    let driven: Vec<SignalId> = composed.driven_signals().into_iter().collect();
+    let inputs: Vec<SignalId> = model
+        .input_signals()
+        .iter()
+        .copied()
+        .filter(|s| !driven.contains(s))
+        .collect();
+    for (pos, expected) in witness.states().iter().enumerate() {
+        let stimulus: Vec<(SignalId, bool)> =
+            inputs.iter().map(|&i| (i, expected.get(i))).collect();
+        let settled = sim.settle(&stimulus).clone();
+        for &s in &driven {
+            assert_eq!(
+                settled.get(s),
+                expected.get(s),
+                "driven signal {} diverges at position {pos}",
+                table.name(s)
+            );
+        }
+        sim.step(&stimulus);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Full-pipeline equivalence of `--reorder off` vs reorders forced at
+    /// every fixpoint step.
+    #[test]
+    fn reorder_is_invisible_on_random_coverage_problems(seed in 1u64..100_000) {
+        let (t, arch, rtl) = random_problem(seed);
+        let config = GapConfig {
+            term_depth: 2,
+            max_terms: 3,
+            max_candidates: 24,
+            max_gap_properties: 4,
+            backend: Backend::Symbolic,
+            ..GapConfig::default()
+        };
+        let matcher = SpecMatcher::new(config).with_backend(Backend::Symbolic);
+
+        let build = |opts: SymbolicOptions| {
+            CoverageModel::build_with_symbolic_options(&arch, &rtl, &t, Backend::Symbolic, opts)
+                .expect("symbolic model builds")
+        };
+        let plain = build(SymbolicOptions::default().with_reorder(ReorderMode::Off));
+        let run_off = matcher
+            .check_with_model(&arch, &rtl, &t, &plain)
+            .expect("reorder-off pipeline runs");
+
+        let stressed = build(SymbolicOptions {
+            reorder_trigger: 1,
+            ..SymbolicOptions::default()
+        });
+        let run_auto = matcher
+            .check_with_model(&arch, &rtl, &t, &stressed)
+            .expect("reorder-auto pipeline runs");
+
+        prop_assert_eq!(
+            run_off.all_covered(),
+            run_auto.all_covered(),
+            "verdicts (seed {})",
+            seed
+        );
+        for (ro, ra) in run_off.properties.iter().zip(&run_auto.properties) {
+            prop_assert_eq!(ro.covered, ra.covered, "per-property verdict (seed {})", seed);
+            // Byte-identical gap-property sets, *in order* — the canonical
+            // candidate enumeration plus semantic closure verdicts must
+            // make the report a function of the model, not of the
+            // variable order the engine happened to settle on.
+            let render = |rep: &specmatcher::core::PropertyReport| {
+                rep.gap_properties
+                    .iter()
+                    .map(|g| {
+                        format!(
+                            "{} @{} +{} {}",
+                            g.formula.display(&t),
+                            g.position,
+                            g.offset,
+                            g.literal.display(&t)
+                        )
+                    })
+                    .collect::<Vec<_>>()
+            };
+            prop_assert_eq!(
+                render(ro),
+                render(ra),
+                "gap property sets diverge under reordering (seed {})",
+                seed
+            );
+            // Witnesses may differ but must replay on the modules.
+            if let Some(w) = &ra.witness {
+                replay(&stressed, &t, w);
+            }
+            for g in &ra.gap_properties {
+                prop_assert!(!ra.formula.holds_on(&g.witness));
+                replay(&stressed, &t, &g.witness);
+            }
+        }
+    }
+}
+
+#[test]
+fn auto_crossover_reflects_product_width() {
+    // amba-ahb: 7 state bits — comfortably explicit on the bit axis — but
+    // 29 conjunct automata (predicted cost ≈ 2200): Auto must now resolve
+    // symbolic for *both* phases, which is what makes its gap phase run
+    // on the cached BDD product instead of minutes of explicit factored
+    // products.
+    let amba = specmatcher::designs::amba::ahb29();
+    let model = CoverageModel::build(&amba.arch, &amba.rtl, &amba.table).expect("builds");
+    assert_eq!(model.primary_backend(), Backend::Symbolic, "amba primary");
+    assert_eq!(
+        model.gap_backend_choice(Backend::Auto),
+        Backend::Symbolic,
+        "amba gap"
+    );
+    assert!(!model.has_explicit(), "no explicit structure rides along");
+
+    // The narrower pipeline design (12 properties, cost ≈ 360) stays
+    // explicit on both axes — its explicit gap phase is 20x faster than
+    // the symbolic one.
+    let pipe = specmatcher::designs::pipeline::pipeline12();
+    let model = CoverageModel::build(&pipe.arch, &pipe.rtl, &pipe.table).expect("builds");
+    assert_eq!(model.primary_backend(), Backend::Explicit, "pipeline primary");
+    assert_eq!(
+        model.gap_backend_choice(Backend::Auto),
+        Backend::Explicit,
+        "pipeline gap"
+    );
+
+    // mal-ex2 (6 properties) likewise.
+    let ex2 = specmatcher::designs::mal::ex2();
+    let model = CoverageModel::build(&ex2.arch, &ex2.rtl, &ex2.table).expect("builds");
+    assert_eq!(model.primary_backend(), Backend::Explicit, "mal-ex2 primary");
+}
