@@ -209,6 +209,18 @@ impl Gba {
     }
 }
 
+/// Number of binary code bits a symbolic encoding allocates for an
+/// `n`-state automaton (⌈log₂ n⌉, minimum 1) — the single source of
+/// truth shared by the symbolic encoder, the `Backend::Auto` cost
+/// predictor and the benchmark accounting.
+pub fn code_bits(states: usize) -> usize {
+    let mut bits = 1;
+    while (1usize << bits) < states {
+        bits += 1;
+    }
+    bits
+}
+
 /// Size summary of a [`Gba`]; produced by [`Gba::stats`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct GbaStats {
@@ -222,12 +234,23 @@ pub struct GbaStats {
     pub initial: usize,
 }
 
-/// Translates an LTL formula into a [`Gba`].
+/// Translates an LTL formula into a [`Gba`], with the on-the-fly tableau
+/// prunes (cover-equivalent node merging, subsumed-branch and
+/// literal-contradiction skipping) active.
 ///
 /// The formula is first brought into U/R-core NNF, so any [`Ltl`] is
 /// accepted. See the [crate-level example](crate).
 pub fn translate(formula: &Ltl) -> Gba {
-    Translator::new().run(&formula.core_nnf())
+    Translator::new(true).run(&formula.core_nnf())
+}
+
+/// The legacy GPVW translation: tableau nodes keyed by their full
+/// `(Old, Next)` sets, no branch subsumption. This is the pre-reduction
+/// baseline — what the engines consumed before the automaton reduction
+/// pipeline existed, restored by `SPECMATCHER_NO_REDUCE=1` and used as
+/// the `pre` side of the benchmark accounting.
+pub fn translate_unreduced(formula: &Ltl) -> Gba {
+    Translator::new(false).run(&formula.core_nnf())
 }
 
 /// A tableau node during construction.
@@ -245,21 +268,34 @@ const INIT: usize = usize::MAX;
 struct Translator {
     formulas: Vec<FKind>,
     ids: HashMap<Ltl, Fid>,
-    /// Finished tableau nodes keyed by (old, next).
-    done: HashMap<(Vec<Fid>, Vec<Fid>), usize>,
+    /// Finished tableau nodes keyed by their *cover*: the literal
+    /// constraints, acceptance bits and next-obligations that determine
+    /// the emitted state. Two nodes whose `Old` sets differ only in
+    /// discharged Boolean structure (`And`/`Or`/`True` entries, or
+    /// `Until`s whose acceptance status coincides) are cover-equivalent
+    /// and merge here — the original GPVW `(Old, Next)` key keeps them
+    /// apart and emits duplicate states.
+    done: HashMap<(Vec<Lit>, u32, Vec<Fid>), usize>,
+    /// Legacy `(Old, Next)` node key, used when pruning is off.
+    done_legacy: HashMap<(Vec<Fid>, Vec<Fid>), usize>,
     nodes: Vec<Node>,
     /// Until subformulas (fid of the Until, fid of its right operand).
     untils: Vec<(Fid, Fid)>,
+    /// Whether the on-the-fly prunes (cover merging, branch subsumption,
+    /// early contradiction drops) are active.
+    prune: bool,
 }
 
 impl Translator {
-    fn new() -> Self {
+    fn new(prune: bool) -> Self {
         Translator {
             formulas: Vec::new(),
             ids: HashMap::new(),
             done: HashMap::new(),
+            done_legacy: HashMap::new(),
             nodes: Vec::new(),
             untils: Vec::new(),
+            prune,
         }
     }
 
@@ -318,28 +354,82 @@ impl Translator {
         self.finish()
     }
 
-    /// One GPVW expansion step; pushes follow-up nodes on `work`.
-    fn expand_step(&mut self, mut node: Node, work: &mut Vec<Node>) {
-        let Some(&eta) = node.new.iter().next() else {
-            // Fully expanded: merge with an existing (old, next) node or add.
+    /// The literal constraints a finished node's `Old` set induces.
+    fn literals_of(&self, old: &BTreeSet<Fid>) -> Vec<Lit> {
+        let mut literals: Vec<Lit> = old
+            .iter()
+            .filter_map(|&f| match self.formulas[f as usize] {
+                FKind::Lit(s, p) => Some(Lit::new(s, p)),
+                _ => None,
+            })
+            .collect();
+        literals.sort();
+        literals
+    }
+
+    /// The acceptance bits a finished node's `Old` set induces: for Until
+    /// θ = aUb with index j, the state is in F_j iff θ ∉ Old or b ∈ Old.
+    fn acc_of(&self, old: &BTreeSet<Fid>) -> u32 {
+        let mut acc = 0u32;
+        for (j, &(theta, b)) in self.untils.iter().enumerate() {
+            if !old.contains(&theta) || old.contains(&b) {
+                acc |= 1 << j;
+            }
+        }
+        acc
+    }
+
+    /// Finishes a fully expanded node: merge with an equivalent finished
+    /// node (cover key when pruning, the legacy `(Old, Next)` key
+    /// otherwise) or emit it and queue its successor seed.
+    fn finish_node(&mut self, mut node: Node, work: &mut Vec<Node>) {
+        let found = if self.prune {
+            let key = (
+                self.literals_of(&node.old),
+                self.acc_of(&node.old),
+                node.next.iter().copied().collect::<Vec<_>>(),
+            );
+            self.done.get(&key).copied()
+        } else {
             let key = (
                 node.old.iter().copied().collect::<Vec<_>>(),
                 node.next.iter().copied().collect::<Vec<_>>(),
             );
-            if let Some(&existing) = self.done.get(&key) {
-                let incoming = std::mem::take(&mut node.incoming);
-                self.nodes[existing].incoming.extend(incoming);
-                return;
-            }
-            let id = self.nodes.len();
-            self.nodes.push(node.clone());
+            self.done_legacy.get(&key).copied()
+        };
+        if let Some(existing) = found {
+            let incoming = std::mem::take(&mut node.incoming);
+            self.nodes[existing].incoming.extend(incoming);
+            return;
+        }
+        let id = self.nodes.len();
+        self.nodes.push(node.clone());
+        if self.prune {
+            let key = (
+                self.literals_of(&node.old),
+                self.acc_of(&node.old),
+                node.next.iter().copied().collect::<Vec<_>>(),
+            );
             self.done.insert(key, id);
-            work.push(Node {
-                incoming: BTreeSet::from([id]),
-                new: node.next.clone(),
-                old: BTreeSet::new(),
-                next: BTreeSet::new(),
-            });
+        } else {
+            let key = (
+                node.old.iter().copied().collect::<Vec<_>>(),
+                node.next.iter().copied().collect::<Vec<_>>(),
+            );
+            self.done_legacy.insert(key, id);
+        }
+        work.push(Node {
+            incoming: BTreeSet::from([id]),
+            new: node.next.clone(),
+            old: BTreeSet::new(),
+            next: BTreeSet::new(),
+        });
+    }
+
+    /// One GPVW expansion step; pushes follow-up nodes on `work`.
+    fn expand_step(&mut self, mut node: Node, work: &mut Vec<Node>) {
+        let Some(&eta) = node.new.iter().next() else {
+            self.finish_node(node, work);
             return;
         };
         node.new.remove(&eta);
@@ -350,15 +440,18 @@ impl Translator {
             }
             FKind::Lit(sig, pol) => {
                 // Contradiction with Old?
-                if let Some(neg) = self.lookup_lit(sig, !pol) {
-                    if node.old.contains(&neg) {
-                        return;
-                    }
+                if self.lit_contradicts(&node.old, sig, pol) {
+                    return;
                 }
                 node.old.insert(eta);
                 work.push(node);
             }
             FKind::And(parts) => {
+                // A part whose negation is already in Old kills the whole
+                // node — drop it before expanding the rest.
+                if parts.iter().any(|&p| self.fid_contradicts(&node.old, p)) {
+                    return;
+                }
                 for p in parts {
                     if !node.old.contains(&p) {
                         node.new.insert(p);
@@ -370,6 +463,11 @@ impl Translator {
             FKind::Or(parts) => {
                 node.old.insert(eta);
                 for p in parts {
+                    // Literal-contradictory alternatives die later anyway;
+                    // skipping them here avoids expanding their subtree.
+                    if self.fid_contradicts(&node.old, p) {
+                        continue;
+                    }
                     let mut branch = node.clone();
                     if !branch.old.contains(&p) {
                         branch.new.insert(p);
@@ -384,38 +482,76 @@ impl Translator {
             }
             FKind::Until(a, b) => {
                 node.old.insert(eta);
+                let b_known = self.prune && node.old.contains(&b);
                 // Branch 1: b holds now.
-                let mut sat = node.clone();
-                if !sat.old.contains(&b) {
-                    sat.new.insert(b);
+                if !self.fid_contradicts(&node.old, b) {
+                    let mut sat = node.clone();
+                    if !sat.old.contains(&b) {
+                        sat.new.insert(b);
+                    }
+                    work.push(sat);
                 }
-                work.push(sat);
-                // Branch 2: a holds now, Until postponed.
-                let mut wait = node;
-                if !wait.old.contains(&a) {
-                    wait.new.insert(a);
+                // Branch 2: a holds now, Until postponed. When b already
+                // holds, branch 1 is this very node with strictly weaker
+                // obligations — the postponement is subsumed and skipped.
+                if !b_known && !self.fid_contradicts(&node.old, a) {
+                    let mut wait = node;
+                    if !wait.old.contains(&a) {
+                        wait.new.insert(a);
+                    }
+                    wait.next.insert(eta);
+                    work.push(wait);
                 }
-                wait.next.insert(eta);
-                work.push(wait);
             }
             FKind::Release(a, b) => {
                 node.old.insert(eta);
+                let discharged =
+                    self.prune && node.old.contains(&a) && node.old.contains(&b);
                 // Branch 1: a & b hold now (release discharged).
-                let mut done = node.clone();
-                for p in [a, b] {
-                    if !done.old.contains(&p) {
-                        done.new.insert(p);
+                if ![a, b]
+                    .iter()
+                    .any(|&p| self.fid_contradicts(&node.old, p))
+                {
+                    let mut done = node.clone();
+                    for p in [a, b] {
+                        if !done.old.contains(&p) {
+                            done.new.insert(p);
+                        }
                     }
+                    work.push(done);
                 }
-                work.push(done);
-                // Branch 2: b holds now, Release postponed.
-                let mut wait = node;
-                if !wait.old.contains(&b) {
-                    wait.new.insert(b);
+                // Branch 2: b holds now, Release postponed — subsumed by
+                // branch 1 when the release is already discharged.
+                if !discharged && !self.fid_contradicts(&node.old, b) {
+                    let mut wait = node;
+                    if !wait.old.contains(&b) {
+                        wait.new.insert(b);
+                    }
+                    wait.next.insert(eta);
+                    work.push(wait);
                 }
-                wait.next.insert(eta);
-                work.push(wait);
             }
+        }
+    }
+
+    /// Whether adding the literal `(sig, pol)` to a node with `Old = old`
+    /// would contradict an already-recorded literal.
+    fn lit_contradicts(&self, old: &BTreeSet<Fid>, sig: SignalId, pol: bool) -> bool {
+        self.lookup_lit(sig, !pol)
+            .is_some_and(|neg| old.contains(&neg))
+    }
+
+    /// Whether the interned formula `f` is a literal contradicting `old`
+    /// (an early-drop prune; always false in legacy mode, where the
+    /// contradiction surfaces when the literal is processed).
+    fn fid_contradicts(&self, old: &BTreeSet<Fid>, f: Fid) -> bool {
+        if !self.prune {
+            return false;
+        }
+        match self.formulas[f as usize] {
+            FKind::Lit(s, p) => self.lit_contradicts(old, s, p),
+            FKind::False => true,
+            _ => false,
         }
     }
 
@@ -434,22 +570,10 @@ impl Translator {
         assert!(n_acc <= 32, "more than 32 Until subformulas");
         let mut states = Vec::with_capacity(n);
         for node in &self.nodes {
-            let mut literals = Vec::new();
-            for &f in &node.old {
-                if let FKind::Lit(s, p) = self.formulas[f as usize] {
-                    literals.push(Lit::new(s, p));
-                }
-            }
-            literals.sort();
-            // Acceptance: for Until θ = aUb with index j, state is in F_j iff
-            // θ ∉ Old or b ∈ Old.
-            let mut acc = 0u32;
-            for (j, &(theta, b)) in self.untils.iter().enumerate() {
-                if !node.old.contains(&theta) || node.old.contains(&b) {
-                    acc |= 1 << j;
-                }
-            }
-            states.push(GbaState { literals, acc });
+            states.push(GbaState {
+                literals: self.literals_of(&node.old),
+                acc: self.acc_of(&node.old),
+            });
         }
         let mut initial = Vec::new();
         let mut succs: Vec<Vec<u32>> = vec![Vec::new(); n];

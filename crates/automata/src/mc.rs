@@ -3,10 +3,62 @@
 use crate::gba::{translate, Gba};
 use crate::hashing::FastMap;
 use crate::product::{find_accepting_lasso, Product};
+use crate::reduce::{reduce, reduce_with_stats, ReductionStats};
 use crate::system::TransitionSystem;
 use dic_ltl::{LassoWord, Ltl};
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Whether the automaton reduction pipeline (formula rewriting before the
+/// tableau, simulation-based reduction after it) is active. On by
+/// default; `SPECMATCHER_NO_REDUCE=1` disables it — the escape hatch for
+/// bisecting miscompares back to raw GPVW output. Read once per process.
+pub fn reduction_enabled() -> bool {
+    static ENABLED: OnceLock<bool> = OnceLock::new();
+    *ENABLED.get_or_init(|| {
+        !std::env::var("SPECMATCHER_NO_REDUCE")
+            .map(|v| !v.is_empty() && v != "0")
+            .unwrap_or(false)
+    })
+}
+
+/// The canonical cache key for a formula: its rewritten form when the
+/// reduction pipeline is on (so syntactically distinct but rewrite-equal
+/// formulas share one translation), the formula itself otherwise.
+fn canonical_key(formula: &Ltl) -> Ltl {
+    if reduction_enabled() {
+        formula.simplify()
+    } else {
+        formula.clone()
+    }
+}
+
+/// The full translation pipeline on an already-canonical formula:
+/// GPVW tableau (with on-the-fly cover merging), then post-translation
+/// reduction ([`crate::reduce`]). With `SPECMATCHER_NO_REDUCE=1` this is
+/// the raw tableau.
+fn translate_canonical(canonical: &Ltl) -> Gba {
+    if reduction_enabled() {
+        reduce(&translate(canonical))
+    } else {
+        crate::gba::translate_unreduced(canonical)
+    }
+}
+
+/// Pre/post sizes of the full reduction pipeline for `formula`: `pre` is
+/// the legacy GPVW tableau of the formula as written (what the engines
+/// consumed before the pipeline existed, and consume again under
+/// `SPECMATCHER_NO_REDUCE=1`), `post` the automaton they consume now
+/// (rewritten, tableau-pruned, reduced). Used by the benchmark reports;
+/// independent of the cache.
+pub fn translation_reduction(formula: &Ltl) -> ReductionStats {
+    let pre = crate::gba::translate_unreduced(formula).stats();
+    let (_, stats) = reduce_with_stats(&translate(&formula.simplify()));
+    ReductionStats {
+        pre,
+        post: stats.post,
+    }
+}
 
 /// A memo table for LTL → GBA translations.
 ///
@@ -44,17 +96,37 @@ impl GbaCache {
     }
 
     /// The translation of `formula`, computed on first use.
+    ///
+    /// Misses are resolved through the formula's *canonical rewritten
+    /// form* (when the reduction pipeline is on), so syntactically
+    /// distinct but rewrite-equal formulas — common in the enumerated
+    /// candidate class of Algorithm 1, step 2(c) — share one tableau run
+    /// and one reduced automaton. The as-written formula is memoized as
+    /// an alias afterwards: repeat lookups (Algorithm 1's hottest path
+    /// issues thousands against the same few formulas) are a single hash,
+    /// never a rewrite.
     pub fn get(&self, formula: &Ltl) -> Arc<Gba> {
         let mut map = self.map.lock().expect("cache poisoned");
         if let Some(g) = map.get(formula) {
             return Arc::clone(g);
         }
-        let g = Arc::new(translate(formula));
-        map.insert(formula.clone(), Arc::clone(&g));
+        let key = canonical_key(formula);
+        let g = match map.get(&key) {
+            Some(g) => Arc::clone(g),
+            None => {
+                let g = Arc::new(translate_canonical(&key));
+                map.insert(key.clone(), Arc::clone(&g));
+                g
+            }
+        };
+        if *formula != key {
+            map.insert(formula.clone(), Arc::clone(&g));
+        }
         g
     }
 
-    /// Number of distinct formulas translated so far.
+    /// Number of cache entries so far (distinct translations plus
+    /// as-written aliases of rewritten formulas).
     pub fn len(&self) -> usize {
         self.map.lock().expect("cache poisoned").len()
     }
@@ -116,8 +188,11 @@ impl Verdict {
 /// to cover the intent iff `¬A ∧ R` is satisfiable in `M`, i.e.
 /// `satisfiable_in(&and([not(a), r]), m)` returns a witness.
 pub fn satisfiable_in<S: TransitionSystem>(formula: &Ltl, sys: &S) -> Option<LassoWord> {
-    let gba = translate(formula);
-    let product = Product { sys, gba: &gba };
+    let gba = translate_cached(formula);
+    let product = Product {
+        sys,
+        gba: gba.as_ref(),
+    };
     let mask = product.joint_mask();
     let (states, loop_start) = find_accepting_lasso(&product, mask)?;
     let word_states = states
@@ -139,8 +214,8 @@ pub fn satisfiable_in_conj<S: TransitionSystem>(
     formulas: &[Ltl],
     sys: &S,
 ) -> Option<LassoWord> {
-    let gbas: Vec<_> = formulas.iter().map(translate).collect();
-    let refs: Vec<&Gba> = gbas.iter().collect();
+    let gbas: Vec<Arc<Gba>> = formulas.iter().map(translate_cached).collect();
+    let refs: Vec<&Gba> = gbas.iter().map(Arc::as_ref).collect();
     conj_product_lasso(&refs, sys)
 }
 
@@ -155,6 +230,16 @@ pub fn satisfiable_in_conj_cached<S: TransitionSystem>(
     let gbas: Vec<Arc<Gba>> = formulas.iter().map(|f| cache.get(f)).collect();
     let refs: Vec<&Gba> = gbas.iter().map(Arc::as_ref).collect();
     conj_product_lasso(&refs, sys)
+}
+
+/// Existential conjunction query over caller-supplied automata — the hook
+/// the reduction-equivalence suite uses to run raw and reduced
+/// translations of the same conjunction against one system and compare.
+pub fn satisfiable_in_conj_gbas<S: TransitionSystem>(
+    gbas: &[&Gba],
+    sys: &S,
+) -> Option<LassoWord> {
+    conj_product_lasso(gbas, sys)
 }
 
 fn conj_product_lasso<S: TransitionSystem>(gbas: &[&Gba], sys: &S) -> Option<LassoWord> {

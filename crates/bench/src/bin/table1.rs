@@ -1,14 +1,22 @@
 //! Regenerates the paper's Table 1: per-design runtimes of the three
 //! SpecMatcher phases, printed next to the published 2006 numbers.
 //!
-//! Run with: `cargo run --release -p dic-bench --bin table1 [-- --backend auto|explicit|symbolic]`
+//! Run with: `cargo run --release -p dic-bench --bin table1 [-- --backend auto|explicit|symbolic] [--json]`
+//!
+//! With `--json`, also writes `BENCH_table1.json`: the measured per-phase
+//! wall times plus the pre/post-reduction automaton sizes of every spec
+//! conjunct (CI's nightly benchmark-trajectory artifact).
 
-use dic_bench::{measure_design, paper_reference};
+use dic_bench::{
+    bench_table1_json, design_reductions, measure_design, paper_reference, BENCH_TABLE1_PATH,
+};
 use dic_core::Backend;
 use dic_designs::table1_designs;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    let json = args.iter().any(|a| a == "--json");
+    let mut json_rows = Vec::new();
     let backend = args
         .iter()
         .position(|a| a == "--backend")
@@ -60,6 +68,15 @@ fn main() {
             row.num_rtl, expected,
             "property count must match the documented accounting"
         );
+        if json {
+            json_rows.push((row, design_reductions(design)));
+        }
+    }
+    if json {
+        std::fs::write(BENCH_TABLE1_PATH, bench_table1_json(backend, &json_rows))
+            .expect("write BENCH_table1.json");
+        println!();
+        println!("wrote {BENCH_TABLE1_PATH}");
     }
     println!();
     println!("shape check: gap finding dominates the other phases, as in the paper;");

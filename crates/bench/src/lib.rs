@@ -117,3 +117,114 @@ pub fn paper_reference() -> Vec<(&'static str, usize, f64, f64, f64)> {
         ("Paper Ex. (Fig 1)", 2, 0.18, 0.06, 1.2),
     ]
 }
+
+/// Where `table1 --json` (CLI and bench binary alike) writes its
+/// machine-readable row dump; CI uploads it as the nightly benchmark
+/// trajectory artifact.
+pub const BENCH_TABLE1_PATH: &str = "BENCH_table1.json";
+
+/// Automaton accounting for one spec conjunct: its name and the pre/post
+/// sizes of the reduction pipeline ([`dic_automata::translation_reduction`]).
+#[derive(Clone, Debug)]
+pub struct ConjunctReduction {
+    /// Property name (`R1`, …) or `!<name>` for a negated intent.
+    pub name: String,
+    /// Pre/post automaton sizes.
+    pub stats: dic_automata::ReductionStats,
+}
+
+pub use dic_automata::code_bits;
+
+/// Pre/post reduction accounting for every spec conjunct of a design:
+/// each RTL property and the negation of each architectural property —
+/// exactly the automata the primary and gap products are built from.
+pub fn design_reductions(design: &Design) -> Vec<ConjunctReduction> {
+    let mut out: Vec<ConjunctReduction> = design
+        .rtl
+        .properties()
+        .iter()
+        .map(|p| ConjunctReduction {
+            name: p.name().to_owned(),
+            stats: dic_automata::translation_reduction(p.formula()),
+        })
+        .collect();
+    for p in design.arch.properties() {
+        let neg = Ltl::not(p.formula().clone());
+        out.push(ConjunctReduction {
+            name: format!("!{}", p.name()),
+            stats: dic_automata::translation_reduction(&neg),
+        });
+    }
+    out
+}
+
+/// Renders the `BENCH_table1.json` document: per design, the measured
+/// phase wall times and the pre/post-reduction automaton sizes (states,
+/// transitions, acceptance sets, symbolic code bits) of every spec
+/// conjunct, plus per-design totals.
+pub fn bench_table1_json(
+    requested: Backend,
+    rows: &[(TableRow, Vec<ConjunctReduction>)],
+) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "{{\"schema\":\"specmatcher-bench-table1/1\",\"requested_backend\":\"{requested}\",\
+         \"reduction_enabled\":{},\"designs\":[",
+        dic_automata::reduction_enabled()
+    );
+    for (i, (row, conjuncts)) in rows.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"name\":\"{}\",\"rtl_properties\":{},\"primary_backend\":\"{}\",\
+             \"gap_backend\":\"{}\",\"phase_s\":{{\"primary\":{},\"tm_build\":{},\
+             \"gap_find\":{}}},\"automata\":[",
+            row.circuit,
+            row.num_rtl,
+            row.backend,
+            row.gap_backend,
+            row.primary.as_secs_f64(),
+            row.tm_build.as_secs_f64(),
+            row.gap_find.as_secs_f64(),
+        );
+        let mut totals = (0usize, 0usize, 0usize, 0usize); // pre/post states, pre/post bits
+        for (j, c) in conjuncts.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            let (pre, post) = (c.stats.pre, c.stats.post);
+            let (pre_bits, post_bits) = (code_bits(pre.states), code_bits(post.states));
+            totals.0 += pre.states;
+            totals.1 += post.states;
+            totals.2 += pre_bits;
+            totals.3 += post_bits;
+            let _ = write!(
+                out,
+                "{{\"conjunct\":\"{}\",\"pre\":{{\"states\":{},\"transitions\":{},\
+                 \"acceptance_sets\":{},\"code_bits\":{}}},\"post\":{{\"states\":{},\
+                 \"transitions\":{},\"acceptance_sets\":{},\"code_bits\":{}}}}}",
+                c.name,
+                pre.states,
+                pre.transitions,
+                pre.acceptance_sets,
+                pre_bits,
+                post.states,
+                post.transitions,
+                post.acceptance_sets,
+                post_bits,
+            );
+        }
+        let _ = write!(
+            out,
+            "],\"totals\":{{\"pre_states\":{},\"post_states\":{},\"pre_code_bits\":{},\
+             \"post_code_bits\":{}}}}}",
+            totals.0, totals.1, totals.2, totals.3
+        );
+    }
+    out.push_str("]}");
+    out
+}

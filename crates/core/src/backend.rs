@@ -22,29 +22,30 @@ pub const AUTO_SYMBOLIC_BITS: usize = 14;
 ///
 /// State bits are only one axis of the real cost: the explicit engine
 /// explores the on-the-fly product of the design with *every* property
-/// automaton, so a wide conjunction over a small design (amba-ahb: 7
-/// state bits but 29 conjunct automata, cost ≈ 2190) runs its primary
-/// and gap phases against a 30-automaton product, while the symbolic
-/// product — with dynamic reordering and compaction keeping the manager
-/// inside the default node budget — answers every phase from one cached
-/// set of fixpoints. The narrow designs (mal-ex1/ex2 ≈ 105, pipeline
-/// ≈ 364) stay explicit; mal-26 (≈ 1460) is already symbolic on the
-/// state-bit axis.
-pub const AUTO_SYMBOLIC_PRODUCT_COST: usize = 800;
+/// automaton, so a sufficiently wide conjunction over a small design can
+/// be explicit-hostile on width alone. The crossover is re-derived from
+/// **post-reduction** automaton sizes (the automaton reduction pipeline
+/// shrinks every product, but it shrinks the explicit engine's
+/// per-candidate closure products the most): amba-ahb — 7 state bits, 29
+/// conjuncts, post-reduction cost ≈ 1980 — now runs its full explicit
+/// gap phase in ~8 s against ~230 s forced-symbolic, so the widest
+/// packaged design sits comfortably on the explicit side and the
+/// threshold moved above it (pre-reduction it was 800, which sent
+/// amba-ahb symbolic). The cost axis still guards genuinely wider
+/// suites; within Table 1 the state-bit axis
+/// ([`AUTO_SYMBOLIC_BITS`], mal-26's trigger) is the live one.
+pub const AUTO_SYMBOLIC_PRODUCT_COST: usize = 2600;
 
 /// The product-size axis of the [`Backend::Auto`] crossover: total
 /// automaton code bits × conjunct count, maximized over the architectural
 /// properties (each property's primary/gap queries run against
-/// `R ∧ ¬fa`). Translations are memoized process-wide, so the engines
-/// reuse them when they encode the very same automata later.
+/// `R ∧ ¬fa`). The sizes are those of the *reduced* automata — the
+/// translations go through [`dic_automata::translate_cached`], i.e. the
+/// full reduction pipeline — and are memoized process-wide, so the
+/// engines reuse them when they encode the very same automata later.
 pub fn predicted_product_cost(arch: &ArchSpec, rtl: &RtlSpec) -> usize {
     let code_bits = |f: &dic_ltl::Ltl| -> usize {
-        let gba = dic_automata::translate_cached(f);
-        let mut bits = 1usize;
-        while (1usize << bits) < gba.num_states() {
-            bits += 1;
-        }
-        bits
+        dic_automata::code_bits(dic_automata::translate_cached(f).num_states())
     };
     let rtl_bits: usize = rtl.formulas().iter().map(code_bits).sum();
     let conjuncts = rtl.formulas().len() + 1;

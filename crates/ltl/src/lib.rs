@@ -45,6 +45,7 @@ pub mod formula;
 pub mod parse;
 pub mod position;
 pub mod random;
+pub mod rewrite;
 pub mod semantics;
 
 pub use cube::{PositionedVars, TemporalCube};

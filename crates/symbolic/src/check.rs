@@ -249,13 +249,10 @@ pub(crate) fn translate_all(formulas: &[Ltl]) -> Option<Vec<Arc<Gba>>> {
     Some(gbas)
 }
 
-/// Number of binary code bits for an `n`-state automaton.
+/// Number of binary code bits for an `n`-state automaton (the shared
+/// accounting in [`dic_automata::code_bits`]).
 fn bits_for(n: usize) -> usize {
-    let mut bits = 1;
-    while (1usize << bits) < n {
-        bits += 1;
-    }
-    bits
+    dic_automata::code_bits(n)
 }
 
 impl ProductData {

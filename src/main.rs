@@ -3,7 +3,7 @@
 //! ```text
 //! specmatcher check --design <name> [--backend B] [--reorder M] [--json]
 //! specmatcher check --snl <file> --spec <file> [--backend B] [--reorder M]
-//! specmatcher table1 [--backend B] [--reorder M] [--quick]
+//! specmatcher table1 [--backend B] [--reorder M] [--quick | --json]
 //! specmatcher fsm --design <name>              dump concrete-module FSMs (DOT)
 //! specmatcher list                             list packaged designs
 //! ```
@@ -127,7 +127,7 @@ fn run(args: &[String]) -> Result<ExitCode, CliError> {
 
 fn print_usage() {
     eprintln!(
-        "usage:\n  specmatcher check --design <name> [--backend explicit|symbolic|auto] [--reorder off|auto] [--json]\n  specmatcher check --snl <file> --spec <file> [--backend ...] [--reorder ...] [--json]\n  specmatcher table1 [--backend ...] [--reorder ...] [--quick]\n  specmatcher fsm --design <name>\n  specmatcher list\n\nbackends: explicit = state enumeration (paper-faithful, limited size),\n          symbolic = BDD reachability + fair cycles (scales further),\n          auto     = pick by state-space size and product width (default)\nreorder:  auto = dynamic BDD variable reordering (group sifting; default),\n          off  = keep the static variable order\n\nexit codes: 0 = covered, 1 = coverage gap reported,\n            2 = usage/specification error,\n            3 = engine resource refusal (state-space or BDD node budget)"
+        "usage:\n  specmatcher check --design <name> [--backend explicit|symbolic|auto] [--reorder off|auto] [--json]\n  specmatcher check --snl <file> --spec <file> [--backend ...] [--reorder ...] [--json]\n  specmatcher table1 [--backend ...] [--reorder ...] [--quick | --json]\n  specmatcher fsm --design <name>\n  specmatcher list\n\nbackends: explicit = state enumeration (paper-faithful, limited size),\n          symbolic = BDD reachability + fair cycles (scales further),\n          auto     = pick by state-space size and product width (default)\nreorder:  auto = dynamic BDD variable reordering (group sifting; default),\n          off  = keep the static variable order\n\nexit codes: 0 = covered, 1 = coverage gap reported,\n            2 = usage/specification error,\n            3 = engine resource refusal (state-space or BDD node budget)"
     );
 }
 
@@ -263,6 +263,8 @@ fn cmd_table1(args: &[String]) -> Result<ExitCode, CliError> {
     if args.iter().any(|a| a == "--quick") {
         return cmd_table1_quick(backend, reorder);
     }
+    let json = args.iter().any(|a| a == "--json");
+    let mut json_rows = Vec::new();
     let matcher = SpecMatcher::new(GapConfig::default())
         .with_tm_style(TmStyle::Enumerated)
         .with_backend(backend)
@@ -283,6 +285,30 @@ fn cmd_table1(args: &[String]) -> Result<ExitCode, CliError> {
             run.timings.tm_build.as_secs_f64(),
             run.timings.gap_find.as_secs_f64(),
         );
+        if json {
+            json_rows.push((
+                dic_bench::TableRow {
+                    circuit: design.name.to_owned(),
+                    num_rtl: run.num_rtl_properties,
+                    primary: run.timings.primary,
+                    tm_build: run.timings.tm_build,
+                    gap_find: run.timings.gap_find,
+                    backend: run.backend,
+                    gap_backend: run.gap_backend,
+                    reorder: run.reorder,
+                },
+                dic_bench::design_reductions(&design),
+            ));
+        }
+    }
+    if json {
+        std::fs::write(
+            dic_bench::BENCH_TABLE1_PATH,
+            dic_bench::bench_table1_json(backend, &json_rows),
+        )
+        .map_err(|e| format!("{}: {e}", dic_bench::BENCH_TABLE1_PATH))?;
+        println!();
+        println!("wrote {}", dic_bench::BENCH_TABLE1_PATH);
     }
     Ok(ExitCode::SUCCESS)
 }
@@ -302,6 +328,17 @@ fn cmd_table1_quick(backend: Backend, reorder: ReorderMode) -> Result<ExitCode, 
     let options = SymbolicOptions::from_env()
         .map_err(|e| core_err(CoreError::Symbolic(e)))?
         .with_reorder(reorder);
+
+    // The reduction pipeline must be on unless the bisection escape hatch
+    // was pulled; CI asserts both states of this line.
+    println!(
+        "automaton reduction: {} (SPECMATCHER_NO_REDUCE)",
+        if dic_automata::reduction_enabled() {
+            "on"
+        } else {
+            "off"
+        }
+    );
 
     // (design, primary coverage holds?)
     let rows: Vec<(Design, bool)> = vec![

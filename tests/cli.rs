@@ -166,6 +166,78 @@ fn scaling_design_needs_the_symbolic_backend() {
 }
 
 #[test]
+fn reduction_escape_hatch_preserves_the_gap_report() {
+    // SPECMATCHER_NO_REDUCE=1 (the bisection escape hatch) must restore
+    // the legacy tableaus without changing anything semantic: same exit
+    // code and the same gap-property set on the gapped toy design. (CI
+    // additionally asserts the `automaton reduction: on|off` status line
+    // of `table1 --quick` in both states.)
+    let gap_block = |stdout: &str| -> Vec<String> {
+        let mut out = Vec::new();
+        let mut in_gap = false;
+        for line in stdout.lines() {
+            if line.trim_start().starts_with("gap properties") {
+                in_gap = true;
+            } else if in_gap && line.starts_with("    ") {
+                out.push(line.trim().to_owned());
+            } else {
+                in_gap = false;
+            }
+        }
+        out
+    };
+    let on = specmatcher(&["check", "--design", "mal-ex2"]);
+    let off = Command::new(env!("CARGO_BIN_EXE_specmatcher"))
+        .args(["check", "--design", "mal-ex2"])
+        .env("SPECMATCHER_NO_REDUCE", "1")
+        .output()
+        .expect("binary runs");
+    assert_eq!(on.status.code(), Some(1));
+    assert_eq!(off.status.code(), Some(1), "escape hatch changed the verdict");
+    let gaps_on = gap_block(&String::from_utf8_lossy(&on.stdout));
+    let gaps_off = gap_block(&String::from_utf8_lossy(&off.stdout));
+    assert!(!gaps_on.is_empty(), "mal-ex2 must report gap properties");
+    assert_eq!(gaps_on, gaps_off, "escape hatch changed the gap set");
+}
+
+#[test]
+fn table1_json_writes_the_bench_trajectory() {
+    // `table1 --json` must emit BENCH_table1.json next to the table; run
+    // it in a scratch working directory so parallel tests cannot race on
+    // the file. Uses the quick-est path available: the full table on this
+    // 1-core container is ~40 s, acceptable for an integration test but
+    // only worth paying once (the nightly artifact covers trend data).
+    let dir = std::env::temp_dir().join(format!("specmatcher-bench-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let out = Command::new(env!("CARGO_BIN_EXE_specmatcher"))
+        .args(["table1", "--json"])
+        .current_dir(&dir)
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "table1 --json failed");
+    let json = std::fs::read_to_string(dir.join("BENCH_table1.json")).expect("json written");
+    assert!(json.starts_with('{') && json.trim_end().ends_with('}'));
+    for needle in [
+        "\"schema\":\"specmatcher-bench-table1/1\"",
+        "\"reduction_enabled\":true",
+        "\"name\":\"mal-26\"",
+        "\"name\":\"amba-ahb\"",
+        "\"pre\":{\"states\":",
+        "\"post\":{\"states\":",
+        "\"totals\":{\"pre_states\":",
+    ] {
+        assert!(json.contains(needle), "missing {needle} in {json}");
+    }
+    // The per-design totals must show the documented strict decrease on
+    // the designs where the pipeline bites (amba-ahb: 152 -> 132 states).
+    assert!(
+        json.contains("\"pre_states\":152,\"post_states\":132"),
+        "amba-ahb totals drifted: {json}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn unknown_design_fails_gracefully() {
     let out = specmatcher(&["check", "--design", "no-such-design"]);
     assert_eq!(out.status.code(), Some(2));

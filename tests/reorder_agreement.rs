@@ -191,24 +191,24 @@ proptest! {
 
 #[test]
 fn auto_crossover_reflects_product_width() {
-    // amba-ahb: 7 state bits — comfortably explicit on the bit axis — but
-    // 29 conjunct automata (predicted cost ≈ 2200): Auto must now resolve
-    // symbolic for *both* phases, which is what makes its gap phase run
-    // on the cached BDD product instead of minutes of explicit factored
-    // products.
+    // Re-derived for the automaton reduction pipeline: amba-ahb — 7 state
+    // bits, 29 conjuncts, post-reduction predicted cost ≈ 1980 — now runs
+    // its *explicit* gap phase in seconds (the reduced per-candidate
+    // closure automata are ~4x smaller), versus minutes forced-symbolic.
+    // Auto must resolve explicit for both phases again; the pre-reduction
+    // crossover (800) sent it symbolic.
     let amba = specmatcher::designs::amba::ahb29();
     let model = CoverageModel::build(&amba.arch, &amba.rtl, &amba.table).expect("builds");
-    assert_eq!(model.primary_backend(), Backend::Symbolic, "amba primary");
+    assert_eq!(model.primary_backend(), Backend::Explicit, "amba primary");
     assert_eq!(
         model.gap_backend_choice(Backend::Auto),
-        Backend::Symbolic,
+        Backend::Explicit,
         "amba gap"
     );
-    assert!(!model.has_explicit(), "no explicit structure rides along");
+    assert!(model.has_explicit(), "explicit structure carries Algorithm 1");
 
-    // The narrower pipeline design (12 properties, cost ≈ 360) stays
-    // explicit on both axes — its explicit gap phase is 20x faster than
-    // the symbolic one.
+    // The narrower pipeline design (12 properties, cost ≈ 350) stays
+    // explicit on both axes, as before.
     let pipe = specmatcher::designs::pipeline::pipeline12();
     let model = CoverageModel::build(&pipe.arch, &pipe.rtl, &pipe.table).expect("builds");
     assert_eq!(model.primary_backend(), Backend::Explicit, "pipeline primary");
@@ -222,4 +222,14 @@ fn auto_crossover_reflects_product_width() {
     let ex2 = specmatcher::designs::mal::ex2();
     let model = CoverageModel::build(&ex2.arch, &ex2.rtl, &ex2.table).expect("builds");
     assert_eq!(model.primary_backend(), Backend::Explicit, "mal-ex2 primary");
+
+    // mal-26 still crosses over on the state-bit axis (17 bits > 14).
+    let mal26 = specmatcher::designs::mal::mal26();
+    let model = CoverageModel::build(&mal26.arch, &mal26.rtl, &mal26.table).expect("builds");
+    assert_eq!(model.primary_backend(), Backend::Symbolic, "mal-26 primary");
+    assert_eq!(
+        model.gap_backend_choice(Backend::Auto),
+        Backend::Symbolic,
+        "mal-26 gap"
+    );
 }
