@@ -9,17 +9,34 @@ use dic_ltl::{LassoWord, Ltl};
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex, OnceLock};
 
+/// Strict parse of the `SPECMATCHER_NO_REDUCE` escape hatch: unset or
+/// `"0"` keeps the reduction pipeline on (`Ok(true)`), `"1"` disables it
+/// (`Ok(false)`), and anything else — a typo like `"yes"` or `"  1"` —
+/// is rejected with a message naming the variable. Entry points validate
+/// this fail-closed (the `SPECMATCHER_BDD_NODE_LIMIT` contract), so a
+/// misspelled escape hatch surfaces as a usage error instead of silently
+/// picking a pipeline.
+pub fn reduction_from_env() -> Result<bool, String> {
+    match std::env::var("SPECMATCHER_NO_REDUCE") {
+        Err(_) => Ok(true),
+        Ok(v) if v == "0" => Ok(true),
+        Ok(v) if v == "1" => Ok(false),
+        Ok(v) => Err(format!(
+            "invalid SPECMATCHER_NO_REDUCE {v:?}: expected 0 (reduce) or 1 (raw GPVW)"
+        )),
+    }
+}
+
 /// Whether the automaton reduction pipeline (formula rewriting before the
 /// tableau, simulation-based reduction after it) is active. On by
 /// default; `SPECMATCHER_NO_REDUCE=1` disables it — the escape hatch for
-/// bisecting miscompares back to raw GPVW output. Read once per process.
+/// bisecting miscompares back to raw GPVW output. Read once per process;
+/// library callers reaching this point treat an unparseable value as the
+/// default (entry points have already rejected it via
+/// [`reduction_from_env`]).
 pub fn reduction_enabled() -> bool {
     static ENABLED: OnceLock<bool> = OnceLock::new();
-    *ENABLED.get_or_init(|| {
-        !std::env::var("SPECMATCHER_NO_REDUCE")
-            .map(|v| !v.is_empty() && v != "0")
-            .unwrap_or(false)
-    })
+    *ENABLED.get_or_init(|| reduction_from_env().unwrap_or(true))
 }
 
 /// The canonical cache key for a formula: its rewritten form when the
@@ -137,24 +154,26 @@ impl GbaCache {
     }
 }
 
-thread_local! {
-    /// Per-thread translation memo backing [`translate_cached`].
-    static LOCAL_TRANSLATIONS: GbaCache = GbaCache::new();
-}
+/// Process-wide translation memo backing [`translate_cached`].
+static SHARED_TRANSLATIONS: OnceLock<GbaCache> = OnceLock::new();
 
-/// [`translate`](crate::translate) through a per-thread memo keyed by
+/// [`translate`](crate::translate) through a process-shared memo keyed by
 /// formula hash.
 ///
 /// The pure-formula decision procedures ([`crate::implies`],
 /// [`crate::is_satisfiable`], …) are called hundreds of times per
 /// coverage run on a small set of recurring formulas (every candidate of
 /// Algorithm 1 is compared against the same intent and siblings); caching
-/// here means each distinct formula runs the GPVW tableau exactly once per
-/// thread. The cache is append-only for the life of the thread — formula
-/// closures are small, so this trades a bounded amount of memory for the
-/// dominant translation cost.
+/// here means each distinct formula runs the GPVW tableau exactly once
+/// **per process** — the memo was per-thread once, which made N closure
+/// workers re-run the tableau N times on the same candidates. The
+/// [`GbaCache`] is internally synchronized (it holds its lock across a
+/// miss, so concurrent first lookups of one formula also translate once);
+/// it is append-only for the life of the process — formula closures are
+/// small, so this trades a bounded amount of memory for the dominant
+/// translation cost.
 pub fn translate_cached(formula: &Ltl) -> Arc<Gba> {
-    LOCAL_TRANSLATIONS.with(|c| c.get(formula))
+    SHARED_TRANSLATIONS.get_or_init(GbaCache::new).get(formula)
 }
 
 /// Result of a universal check ([`holds_in`]).
@@ -456,7 +475,7 @@ mod tests {
     }
 
     #[test]
-    fn translate_cached_memoizes_per_thread() {
+    fn translate_cached_memoizes_across_threads() {
         let mut t = SignalTable::new();
         let f = parse(&mut t, "G(p -> X q)");
         let first = translate_cached(&f);
@@ -464,6 +483,23 @@ mod tests {
         let rebuilt = parse(&mut t, "G(p -> X q)");
         let again = translate_cached(&rebuilt);
         assert!(Arc::ptr_eq(&first, &again));
+        // The memo is process-shared: a worker thread's lookup returns
+        // the very same translation instead of re-running the tableau.
+        let from_worker = std::thread::scope(|s| {
+            s.spawn(|| translate_cached(&f)).join().expect("worker")
+        });
+        assert!(Arc::ptr_eq(&first, &from_worker));
+    }
+
+    #[test]
+    fn reduction_env_parses_strictly() {
+        // Can't mutate the process environment safely under the parallel
+        // test harness; `reduction_from_env` reads the ambient value, so
+        // only the unset/default path is assertable here. The rejection
+        // paths are pinned end-to-end in tests/cli.rs, where each case
+        // runs in its own process.
+        assert_eq!(reduction_from_env(), Ok(true));
+        assert!(reduction_enabled());
     }
 
     #[test]

@@ -75,6 +75,9 @@ pub struct TableRow {
     pub gap_backend: Backend,
     /// Dynamic-reordering statistics of the symbolic engine, if one ran.
     pub reorder: Option<dic_core::ReorderStats>,
+    /// Worker-thread accounting of the run (resolved `--jobs` /
+    /// `SPECMATCHER_JOBS`, gap-phase fan-out, fixpoint concurrency).
+    pub jobs: dic_core::JobsStats,
 }
 
 /// The gap budget used for the Table 1 rows: enough to find the
@@ -104,6 +107,7 @@ pub fn measure_design(design: &Design, backend: Backend) -> TableRow {
         backend: run.backend,
         gap_backend: run.gap_backend,
         reorder: run.reorder,
+        jobs: run.jobs,
     }
 }
 
@@ -181,12 +185,16 @@ pub fn bench_table1_json(
         let _ = write!(
             out,
             "{{\"name\":\"{}\",\"rtl_properties\":{},\"primary_backend\":\"{}\",\
-             \"gap_backend\":\"{}\",\"phase_s\":{{\"primary\":{},\"tm_build\":{},\
+             \"gap_backend\":\"{}\",\"jobs\":{{\"requested\":{},\"gap_workers\":{},\
+             \"gap_fixpoints\":{}}},\"phase_s\":{{\"primary\":{},\"tm_build\":{},\
              \"gap_find\":{}}},\"automata\":[",
             row.circuit,
             row.num_rtl,
             row.backend,
             row.gap_backend,
+            row.jobs.requested,
+            row.jobs.gap_workers,
+            row.jobs.gap_fixpoints,
             row.primary.as_secs_f64(),
             row.tm_build.as_secs_f64(),
             row.gap_find.as_secs_f64(),

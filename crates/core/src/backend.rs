@@ -86,6 +86,43 @@ impl Backend {
             _ => None,
         }
     }
+
+    /// How many of `workers` threads can run closure *fixpoints*
+    /// concurrently on this backend.
+    ///
+    /// The explicit engine's per-candidate products are independent
+    /// structures, so every worker fixpoints freely. The symbolic
+    /// engine's `BddManager` scratch regions are single-threaded: its
+    /// fixpoints serialize on the engine lock, effectively one at a time
+    /// — the workers still overlap the word-level screens and act as the
+    /// queue a coordinating thread drains. Reported in the run's jobs
+    /// statistics so the serialization is visible, not silent.
+    pub fn fixpoint_parallelism(self, workers: usize) -> usize {
+        match self {
+            Backend::Symbolic => workers.min(1),
+            Backend::Explicit | Backend::Auto => workers,
+        }
+    }
+}
+
+/// Strict parse of the `SPECMATCHER_JOBS` worker-count override: unset
+/// means "no override" (`Ok(None)`), a positive integer wins, and
+/// anything else — empty, zero, negative, garbage — is rejected with a
+/// message naming the variable, mirroring the fail-closed
+/// `SPECMATCHER_BDD_NODE_LIMIT` contract. Entry points validate this
+/// before building a model so a typo surfaces as a usage error instead
+/// of a silently sequential run; library paths that merely *read* the
+/// setting treat errors as "no override".
+pub fn jobs_from_env() -> Result<Option<usize>, String> {
+    let Ok(v) = std::env::var("SPECMATCHER_JOBS") else {
+        return Ok(None);
+    };
+    match v.parse::<usize>() {
+        Ok(n) if n > 0 => Ok(Some(n)),
+        _ => Err(format!(
+            "invalid SPECMATCHER_JOBS {v:?}: expected a positive worker count"
+        )),
+    }
 }
 
 impl fmt::Display for Backend {
@@ -109,5 +146,13 @@ mod tests {
         }
         assert_eq!(Backend::parse("magic"), None);
         assert_eq!(Backend::default(), Backend::Auto);
+    }
+
+    #[test]
+    fn symbolic_fixpoints_serialize() {
+        assert_eq!(Backend::Explicit.fixpoint_parallelism(4), 4);
+        assert_eq!(Backend::Auto.fixpoint_parallelism(4), 4);
+        assert_eq!(Backend::Symbolic.fixpoint_parallelism(4), 1);
+        assert_eq!(Backend::Symbolic.fixpoint_parallelism(0), 0);
     }
 }

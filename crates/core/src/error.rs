@@ -25,6 +25,11 @@ pub enum CoreError {
         /// The backend that was requested.
         requested: crate::backend::Backend,
     },
+    /// An environment override (`SPECMATCHER_JOBS`,
+    /// `SPECMATCHER_NO_REDUCE`, …) failed its strict parse. Fail-closed
+    /// like the CLI's flag errors: a typo must not silently select a
+    /// default.
+    InvalidEnv(String),
     /// The paper's Assumption 1 (`AP_A ⊆ AP_R`) is violated: an
     /// architectural signal is neither constrained by an RTL property nor
     /// present in any concrete module, so no decomposition can ever cover
@@ -46,6 +51,7 @@ impl fmt::Display for CoreError {
                 "the {requested} backend is not available for the {phase} phase of this \
                  model (build the model with a backend that constructs it, or use auto)"
             ),
+            CoreError::InvalidEnv(msg) => write!(f, "invalid environment option: {msg}"),
             CoreError::UnknownArchSignal { name } => write!(
                 f,
                 "architectural signal {name} does not appear in the RTL specification \
@@ -62,6 +68,7 @@ impl Error for CoreError {
             CoreError::Fsm(e) => Some(e),
             CoreError::Symbolic(e) => Some(e),
             CoreError::BackendUnavailable { .. } => None,
+            CoreError::InvalidEnv(_) => None,
             CoreError::UnknownArchSignal { .. } => None,
         }
     }

@@ -122,6 +122,13 @@ impl CoverageModel {
         backend: Backend,
         options: SymbolicOptions,
     ) -> Result<Self, CoreError> {
+        // Strict environment validation, fail-closed like the symbolic
+        // options' node-limit parse: a typo in an override must surface
+        // as a usage error before any analysis runs, never silently
+        // select a default pipeline or worker count.
+        dic_automata::reduction_from_env().map_err(CoreError::InvalidEnv)?;
+        crate::backend::jobs_from_env().map_err(CoreError::InvalidEnv)?;
+
         // Assumption 1: AP_A ⊆ AP_R.
         let ap_r = rtl.alphabet();
         for &s in &arch.alphabet() {
@@ -575,6 +582,15 @@ mod tests {
     use super::*;
     use dic_ltl::Ltl;
     use dic_netlist::ModuleBuilder;
+
+    /// The closure workers of Algorithm 1 share `&CoverageModel` across
+    /// threads; its interior mutability is all `Mutex`-wrapped, so the
+    /// auto-traits must hold. Compile-time pin.
+    #[test]
+    fn coverage_model_is_shareable_across_threads() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CoverageModel>();
+    }
 
     fn setup() -> (SignalTable, ArchSpec, RtlSpec) {
         let mut t = SignalTable::new();

@@ -35,6 +35,28 @@ impl PhaseTimings {
     }
 }
 
+/// Worker-thread accounting for the run, per phase — the parallel
+/// analogue of the reordering statistics: enough to see from a report
+/// whether the closure fan-out actually ran and how wide.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct JobsStats {
+    /// The resolved worker count for candidate closure verification
+    /// ([`GapConfig::effective_jobs`]).
+    pub requested: usize,
+    /// Workers on the primary coverage question — always 1 (one Theorem 1
+    /// query per property; parallelizing across properties is a ROADMAP
+    /// item, not this refactor).
+    pub primary: usize,
+    /// Workers fanned out over gap-phase candidate verification.
+    pub gap_workers: usize,
+    /// Closure *fixpoints* that can run concurrently on the gap backend:
+    /// equals `gap_workers` on the explicit engine, 1 on the symbolic
+    /// engine (`BddManager` scratch regions are single-threaded — workers
+    /// still overlap the word-level screens). See
+    /// [`Backend::fixpoint_parallelism`].
+    pub gap_fixpoints: usize,
+}
+
 /// Coverage result for one architectural property.
 #[derive(Clone, Debug)]
 pub struct PropertyReport {
@@ -124,6 +146,8 @@ pub struct CoverageRun {
     /// Dynamic-reordering statistics of the symbolic engine (`None` when
     /// no symbolic engine was built for this run).
     pub reorder: Option<ReorderStats>,
+    /// Worker-thread accounting per phase.
+    pub jobs: JobsStats,
 }
 
 impl CoverageRun {
@@ -156,6 +180,11 @@ impl CoverageRun {
                 );
             }
         }
+        let _ = writeln!(
+            out,
+            "jobs: {} workers (primary {}, gap verification {}, gap fixpoints {})",
+            self.jobs.requested, self.jobs.primary, self.jobs.gap_workers, self.jobs.gap_fixpoints
+        );
         out
     }
 }
@@ -223,6 +252,16 @@ impl SpecMatcher {
         self.reorder
     }
 
+    /// Overrides the closure-verification worker count (the CLI's
+    /// `--jobs`). `0` keeps the default resolution:
+    /// `SPECMATCHER_JOBS` when set, otherwise the machine's available
+    /// parallelism. The reported property set is identical for every
+    /// value; see [`GapConfig::jobs`].
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.config.jobs = jobs;
+        self
+    }
+
     /// Runs the full analysis: primary coverage for every architectural
     /// property (Theorem 1), `T_M` construction (Definition 4), and — for
     /// every uncovered property — gap extraction and representation
@@ -265,6 +304,13 @@ impl SpecMatcher {
         let tm_build = tm_start.elapsed();
 
         let gap_backend = model.gap_backend_choice(self.config.backend);
+        let requested_jobs = self.config.effective_jobs();
+        let jobs = JobsStats {
+            requested: requested_jobs,
+            primary: 1,
+            gap_workers: requested_jobs,
+            gap_fixpoints: gap_backend.fixpoint_parallelism(requested_jobs),
+        };
         let mut reports = Vec::with_capacity(arch.len());
         let mut total = PhaseTimings {
             tm_build,
@@ -323,6 +369,7 @@ impl SpecMatcher {
             backend: model.primary_backend(),
             gap_backend,
             reorder: model.reorder_stats(),
+            jobs,
         })
     }
 }

@@ -13,6 +13,7 @@
 //! {
 //!   "num_rtl_properties": 6,
 //!   "backend": "explicit",
+//!   "jobs": {"requested": 4, "primary": 1, "gap_workers": 4, "gap_fixpoints": 4},
 //!   "timings": {"primary_s": 0.01, "tm_build_s": 0.002, "gap_find_s": 1.9},
 //!   "tm_size": 124,
 //!   "all_covered": false,
@@ -58,6 +59,13 @@ impl CoverageRun {
                 w.close_object();
             }
         }
+        w.key("jobs");
+        w.open_object();
+        w.field_u64("requested", self.jobs.requested as u64);
+        w.field_u64("primary", self.jobs.primary as u64);
+        w.field_u64("gap_workers", self.jobs.gap_workers as u64);
+        w.field_u64("gap_fixpoints", self.jobs.gap_fixpoints as u64);
+        w.close_object();
         w.key("timings");
         timings_json(&mut w, &self.timings);
         w.field_u64("tm_size", self.tm.size() as u64);

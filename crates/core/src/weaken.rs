@@ -67,6 +67,13 @@ pub struct GapConfig {
     /// state-bit crossover, symbolic above it or whenever the model has no
     /// explicit structure. See [`CoverageModel::gap_backend`].
     pub backend: Backend,
+    /// Worker threads for candidate closure verification (the parallel
+    /// stage of Algorithm 1). `0` — the default — resolves through
+    /// [`GapConfig::effective_jobs`]: `SPECMATCHER_JOBS` when set, the
+    /// machine's available parallelism otherwise. The reported property
+    /// set is identical for every value (verification is per-candidate
+    /// and the merge is deterministic); only wall-clock changes.
+    pub jobs: usize,
 }
 
 impl Default for GapConfig {
@@ -81,7 +88,27 @@ impl Default for GapConfig {
             max_gap_properties: 24,
             max_intent_depth: 8,
             backend: Backend::Auto,
+            jobs: 0,
         }
+    }
+}
+
+impl GapConfig {
+    /// Resolves [`GapConfig::jobs`]: an explicit setting wins, then a
+    /// valid `SPECMATCHER_JOBS`, then the machine's available parallelism
+    /// (1 when that cannot be determined). Garbage in the environment
+    /// variable is ignored *here* — the pipeline entry points reject it
+    /// loudly first ([`crate::backend::jobs_from_env`]).
+    pub fn effective_jobs(&self) -> usize {
+        if self.jobs > 0 {
+            return self.jobs;
+        }
+        if let Ok(Some(n)) = crate::backend::jobs_from_env() {
+            return n;
+        }
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
     }
 }
 
@@ -194,138 +221,473 @@ pub fn find_gap_with_runs(
         // [`GapConfig::max_intent_depth`]).
         return Ok(Vec::new());
     }
-    let candidates = push_candidates(fa, terms, model.observable(), config);
+    // Stage 1: canonical candidate enumeration, fixed up front. Every
+    // later stage refers to candidates by their index in this order.
+    let candidates: Vec<Candidate> = push_candidates(fa, terms, model.observable(), config)
+        .into_iter()
+        .take(config.max_candidates)
+        .collect();
     let base: Vec<Ltl> = rtl
         .formulas()
         .iter()
         .cloned()
         .chain([Ltl::not(fa.clone())])
         .collect();
-    // Pool of known *bad* runs — runs of `M` satisfying `R ∧ ¬fa`. Term
-    // enumeration seeds it; every failed closure check contributes one
-    // more. A candidate that holds on any pooled run cannot close the gap
-    // (the run would still slip through), so it is rejected by a word
-    // evaluation instead of a model check.
-    let mut bad_runs: Vec<LassoWord> = seed_runs.to_vec();
     // Deterministic sample words over the property atoms and the whole
-    // candidate-literal universe, used to refute subsumption by earlier
-    // closing candidates cheaply.
+    // candidate-literal universe, used to refute implications between
+    // candidates cheaply (subsumption screen and merge).
     let screen_words = {
         let mut signals: BTreeSet<dic_logic::SignalId> = fa.atoms();
         signals.extend(model.observable().iter().copied());
         random_words(&signals)
     };
-    // Directed refutation probes already answered, per probed (time,
-    // literal) pair — unsatisfiable probes would otherwise repeat across
-    // candidates sharing a literal.
-    let mut probed: BTreeSet<(usize, Lit)> = BTreeSet::new();
-    let mut closing: Vec<Candidate> = Vec::new();
-    let mut formulas: Vec<Ltl> = Vec::new();
-    // Verification is strictly sequential in the canonical candidate
-    // order. This is a *determinism requirement*, not just simplicity:
-    // the closing-budget slots and the subsumption screen below must
-    // depend only on closure verdicts (semantic, backend-independent) —
-    // never on which particular counterexample runs a backend's pool
-    // happens to hold. (A batched variant was measured to be a
-    // performance wash anyway: the union automaton's size multiplies the
-    // per-check cost by what the batching divides.)
-    'candidates: for cand in candidates.into_iter().take(config.max_candidates) {
-        if closing.len() >= config.max_gap_properties {
-            break;
+    // Stage 2 + 3: per-candidate verification, then the deterministic
+    // merge. One worker runs both inline (the merge's early exit then
+    // prunes exactly like the historical sequential loop); more workers
+    // fan stage 2 out and the merge runs on the coordinating thread.
+    let jobs = config.effective_jobs().min(candidates.len().max(1));
+    let closing = if jobs <= 1 {
+        verify_sequential(
+            fa,
+            &candidates,
+            seed_runs,
+            &base,
+            model,
+            backend,
+            &screen_words,
+            config.max_gap_properties,
+        )?
+    } else {
+        verify_parallel(
+            fa,
+            &candidates,
+            seed_runs,
+            &base,
+            model,
+            backend,
+            &screen_words,
+            config.max_gap_properties,
+            jobs,
+        )?
+    };
+    attach_witnesses(closing, seed_runs, &base, model, backend)
+}
+
+/// Outcome of verifying one candidate, a function of the candidate alone
+/// (plus, for [`Verdict::Subsumed`], formulas already accepted by the
+/// merge — see the soundness note there).
+enum Verdict {
+    /// Degenerate candidate: the smart constructors absorbed the
+    /// augmentation (or the position vanished).
+    Skip,
+    /// Some genuine bad run of `M ⊨ R ∧ ¬fa` satisfies the weakened
+    /// property, so it cannot close the gap. *Which* run refuted it is a
+    /// worker-local detail; the verdict itself is semantic.
+    NotClosing,
+    /// The weakened property implies a formula the merge had already
+    /// accepted when this candidate was verified. That proves closure
+    /// without a fixpoint (every run it admits is admitted by a closing
+    /// formula) — and guarantees the merge drops it, so the formula is
+    /// not carried.
+    Subsumed,
+    /// No run of `M ⊨ R ∧ ¬fa` satisfies the weakened property: it
+    /// closes the gap (Definition 3).
+    Closing(Ltl),
+}
+
+/// Per-worker verification scratch. Each worker owns its pool and probe
+/// memo outright, so no verdict ever depends on what another worker
+/// happened to discover first: every pooled run is a genuine bad run
+/// (rejections are sound regardless of pool content), and the probe memo
+/// only suppresses *repeat* probes within one worker.
+struct WorkerState {
+    /// Known bad runs — runs of `M` satisfying `R ∧ ¬fa`. Seeded with the
+    /// term-enumeration runs; every failed closure check and probe hit
+    /// contributes one more. A candidate that holds on any pooled run is
+    /// rejected by a word evaluation instead of a model check.
+    bad_runs: Vec<LassoWord>,
+    /// Directed refutation probes already answered by this worker, per
+    /// probed (time, literal) pair.
+    probed: BTreeSet<(usize, Lit)>,
+}
+
+impl WorkerState {
+    fn new(seed_runs: &[LassoWord]) -> Self {
+        WorkerState {
+            bad_runs: seed_runs.to_vec(),
+            probed: BTreeSet::new(),
         }
-        let Some(weakened) = apply(fa, &cand) else {
-            continue;
-        };
-        if weakened == *fa {
-            continue; // smart constructors absorbed the change
-        }
-        for run in &bad_runs {
+    }
+}
+
+/// `f ⇒ g`, decided by the automata procedure behind a sample-word
+/// screen: a word satisfying `f` but not `g` refutes the implication
+/// outright, and only unrefuted pairs pay for the automata check. The
+/// screen never changes the answer — words refute soundly — so the
+/// result is deterministic and identical on every worker.
+fn implies_screened(f: &Ltl, g: &Ltl, screen_words: &[LassoWord]) -> bool {
+    let refuted = screen_words.iter().any(|w| f.holds_on(w) && !g.holds_on(w));
+    !refuted && dic_automata::implies(f, g)
+}
+
+/// Verifies one candidate against the model: apply, word-screen against
+/// the worker's bad-run pool, subsumption screen against the accepted
+/// formulas, directed refutation probe, then the full closure fixpoint.
+///
+/// `accepted` is a (possibly stale) snapshot of the merge's accepted
+/// formulas; see [`WeakestMerge`] for why staleness is sound.
+#[allow(clippy::too_many_arguments)]
+fn verify_candidate(
+    fa: &Ltl,
+    cand: &Candidate,
+    base: &[Ltl],
+    model: &CoverageModel,
+    backend: Backend,
+    accepted: &[Ltl],
+    screen_words: &[LassoWord],
+    state: &mut WorkerState,
+) -> Result<Verdict, CoreError> {
+    let Some(weakened) = apply(fa, cand) else {
+        return Ok(Verdict::Skip);
+    };
+    if weakened == *fa {
+        return Ok(Verdict::Skip); // smart constructors absorbed the change
+    }
+    if state.bad_runs.iter().any(|run| weakened.holds_on(run)) {
+        return Ok(Verdict::NotClosing); // a known bad run slips through
+    }
+    // Subsumption by an already-accepted closing formula: if
+    // `weakened ⇒ g` for a closing `g`, every run the candidate admits is
+    // admitted by `g`, so the candidate closes too — and the merge drops
+    // it as (at best) equivalent to the earlier `g`. Confirming closure
+    // by formula implication replaces a whole-product fixpoint per
+    // redundant candidate.
+    if accepted
+        .iter()
+        .any(|g| implies_screened(&weakened, g, screen_words))
+    {
+        return Ok(Verdict::Subsumed);
+    }
+    // Directed cheap refutation before the full closure fixpoint: a
+    // bad run exhibiting the *negated* augmentation at the candidate's
+    // position usually satisfies the weakened property outright (the
+    // strengthened antecedent never fires / the weakened consequent is
+    // not exercised), and any bad run satisfying the candidate refutes
+    // closure by word evaluation alone. The probe is one bounded-cube
+    // query against the memoized `R ∧ ¬fa` base product; when the run
+    // it finds does not settle the candidate, the full check below
+    // still decides it — the probe is an early exit, never an oracle.
+    let probe_at = (cand.x_depth + cand.offset, cand.literal.negated());
+    if state.probed.insert(probe_at) {
+        let probe = TemporalCube::from_lits([probe_at]).expect("single literal");
+        if let Some(run) = model.gap_scenario_query(backend, base, None, &probe)? {
+            state.bad_runs.push(run);
+            let run = state.bad_runs.last().expect("just pushed");
             if weakened.holds_on(run) {
-                continue 'candidates; // a known bad run slips through
-            }
-        }
-        // Subsumption by an already-confirmed closing candidate: if
-        // `weakened ⇒ g` for a known closing `g`, every run the candidate
-        // admits is admitted by `g`, so the candidate closes too — and
-        // [`weakest_only`] would drop it as (at best) equivalent to the
-        // earlier `g`. Confirming closure by formula implication replaces
-        // a whole-product fixpoint per redundant candidate; a sample-word
-        // screen keeps the automata implication checks off the hot path.
-        for g in &formulas {
-            let refuted = screen_words
-                .iter()
-                .any(|w| weakened.holds_on(w) && !g.holds_on(w));
-            if !refuted && dic_automata::implies(&weakened, g) {
-                continue 'candidates;
-            }
-        }
-        // Directed cheap refutation before the full closure fixpoint: a
-        // bad run exhibiting the *negated* augmentation at the candidate's
-        // position usually satisfies the weakened property outright (the
-        // strengthened antecedent never fires / the weakened consequent is
-        // not exercised), and any bad run satisfying the candidate refutes
-        // closure by word evaluation alone. The probe is one bounded-cube
-        // query against the memoized `R ∧ ¬fa` base product; when the run
-        // it finds does not settle the candidate, the full check below
-        // still decides it — the probe is an early exit, never an oracle.
-        let probe_at = (cand.x_depth + cand.offset, cand.literal.negated());
-        if probed.insert(probe_at) {
-            let probe = TemporalCube::from_lits([probe_at]).expect("single literal");
-            if let Some(run) = model.gap_scenario_query(backend, &base, None, &probe)? {
-                bad_runs.push(run);
-                let run = bad_runs.last().expect("just pushed");
-                if weakened.holds_on(run) {
-                    continue 'candidates;
-                }
-            }
-        }
-        match model.gap_query(backend, &base, std::slice::from_ref(&weakened))? {
-            Some(run) => bad_runs.push(run),
-            None => {
-                closing.push(cand);
-                formulas.push(weakened);
+                return Ok(Verdict::NotClosing);
             }
         }
     }
-    // Attach the demonstrating run per surviving candidate: a run matching
-    // the motivating term where one exists (quantified terms are not
-    // always realizable verbatim), otherwise a seeded/known bad run.
-    // Candidates sharing a motivating term share the run (one query per
-    // distinct term).
+    match model.gap_query(backend, base, std::slice::from_ref(&weakened))? {
+        Some(run) => {
+            state.bad_runs.push(run);
+            Ok(Verdict::NotClosing)
+        }
+        None => Ok(Verdict::Closing(weakened)),
+    }
+}
+
+/// The deterministic merge (stage 3): consumes *closing* verdicts in
+/// canonical candidate order and maintains the running weakest antichain
+/// under the strength order of Definition 2.
+///
+/// For each offered formula `f`, in order:
+///
+/// * if `f ⇒ g` for an accepted `g`, `f` is dropped — it is at best
+///   equivalent to `g` (keep-first dedup) and otherwise strictly
+///   stronger, which the "weakest gap properties" contract excludes;
+/// * otherwise every accepted `g` with `g ⇒ f` is *removed* and its
+///   budget slot refunded (`f` did not imply `g`, so the implication is
+///   strict: `g` is strictly stronger than the newly found weaker `f`).
+///   This is the post-pass that replaces the historical mid-loop screen,
+///   whose confirmed-earlier formulas burned budget slots that the final
+///   weakest-only filter then discarded — reporting fewer weakest
+///   properties than the budget allowed;
+/// * `f` is accepted. Scanning stops once the antichain reaches the
+///   `max_gap_properties` budget.
+///
+/// Subsumption screens against *stale* snapshots of the accepted set are
+/// sound: a formula is only ever removed in favor of a strictly weaker
+/// one, so `f ⇒ g` with `g` accepted at any point implies `f ⇒ h` for
+/// some `h` accepted at every later point — a [`Verdict::Subsumed`]
+/// candidate stays dropped no matter how the antichain evolves.
+struct WeakestMerge<'a> {
+    accepted: Vec<(Candidate, Ltl)>,
+    screen_words: &'a [LassoWord],
+    budget: usize,
+}
+
+impl<'a> WeakestMerge<'a> {
+    fn new(screen_words: &'a [LassoWord], budget: usize) -> Self {
+        WeakestMerge {
+            accepted: Vec::new(),
+            screen_words,
+            budget,
+        }
+    }
+
+    fn is_full(&self) -> bool {
+        self.accepted.len() >= self.budget
+    }
+
+    /// Snapshot of the accepted formulas, for the workers' subsumption
+    /// screen.
+    fn formulas(&self) -> Vec<Ltl> {
+        self.accepted.iter().map(|(_, g)| g.clone()).collect()
+    }
+
+    fn offer(&mut self, cand: Candidate, formula: Ltl) {
+        let words = self.screen_words;
+        if self
+            .accepted
+            .iter()
+            .any(|(_, g)| implies_screened(&formula, g, words))
+        {
+            return; // equivalent to or strictly stronger than an accepted g
+        }
+        // The refund: `formula` implies no accepted formula (checked
+        // above), so any accepted `g ⇒ formula` is strictly stronger and
+        // Definition 2 drops it in favor of the weaker newcomer.
+        self.accepted
+            .retain(|(_, g)| !implies_screened(g, &formula, words));
+        self.accepted.push((cand, formula));
+    }
+
+    fn into_closing(self) -> Vec<(Candidate, Ltl)> {
+        self.accepted
+    }
+}
+
+/// One-worker verification: the verify/merge stages run interleaved on
+/// the calling thread, so the merge's budget exit stops verification at
+/// exactly the candidate the historical sequential loop stopped at —
+/// the refactor is free when `jobs == 1`.
+#[allow(clippy::too_many_arguments)]
+fn verify_sequential(
+    fa: &Ltl,
+    candidates: &[Candidate],
+    seed_runs: &[LassoWord],
+    base: &[Ltl],
+    model: &CoverageModel,
+    backend: Backend,
+    screen_words: &[LassoWord],
+    budget: usize,
+) -> Result<Vec<(Candidate, Ltl)>, CoreError> {
+    let mut state = WorkerState::new(seed_runs);
+    let mut merge = WeakestMerge::new(screen_words, budget);
+    let mut accepted: Vec<Ltl> = Vec::new();
+    for cand in candidates {
+        if merge.is_full() {
+            break;
+        }
+        let verdict = verify_candidate(
+            fa,
+            cand,
+            base,
+            model,
+            backend,
+            &accepted,
+            screen_words,
+            &mut state,
+        )?;
+        if let Verdict::Closing(formula) = verdict {
+            merge.offer(cand.clone(), formula);
+            accepted = merge.formulas();
+        }
+    }
+    Ok(merge.into_closing())
+}
+
+/// Fan-out verification: `jobs` scoped workers claim candidates from a
+/// shared index in canonical order, each owning its bad-run pool and
+/// probe memo ([`WorkerState`]); verdicts stream back to this thread,
+/// which advances a merge frontier strictly in canonical order. The
+/// frontier applies the budget and the subsumption post-pass only to
+/// in-order verdicts, so the result — including the point verification
+/// stops — is byte-identical to the one-worker path.
+///
+/// Errors propagate deterministically too: the first error *in canonical
+/// order* reached by the frontier wins (exactly the one the sequential
+/// scan would have hit), the cutoff releases the workers, and the error
+/// surfaces after they drain — a worker-thread resource refusal
+/// (state-space limit, BDD node budget) reaches the caller as the same
+/// [`CoreError`] it would raise inline.
+///
+/// On the symbolic backend the closure fixpoints serialize on the
+/// engine's internal lock (the `BddManager` scratch regions are
+/// single-threaded); the workers still overlap all word-level screens
+/// and act as the queue that coordinating thread drains. See
+/// [`Backend::fixpoint_parallelism`].
+#[allow(clippy::too_many_arguments)]
+fn verify_parallel(
+    fa: &Ltl,
+    candidates: &[Candidate],
+    seed_runs: &[LassoWord],
+    base: &[Ltl],
+    model: &CoverageModel,
+    backend: Backend,
+    screen_words: &[LassoWord],
+    budget: usize,
+    jobs: usize,
+) -> Result<Vec<(Candidate, Ltl)>, CoreError> {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::{mpsc, Mutex};
+
+    let total = candidates.len();
+    let next = AtomicUsize::new(0);
+    // First candidate index whose verdict the merge no longer needs:
+    // moves to the budget point once the antichain fills (or to 0 on an
+    // error), releasing the workers early.
+    let cutoff = AtomicUsize::new(total);
+    // Accepted formulas, republished by the merge after every accept for
+    // the workers' subsumption screen. Stale reads are sound (see
+    // [`WeakestMerge`]); the screen only ever *adds* fixpoint savings.
+    let subsumers: Mutex<Vec<Ltl>> = Mutex::new(Vec::new());
+    let (tx, rx) = mpsc::channel::<(usize, Result<Verdict, CoreError>)>();
+
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            let tx = tx.clone();
+            let next = &next;
+            let cutoff = &cutoff;
+            let subsumers = &subsumers;
+            scope.spawn(move || {
+                let mut state = WorkerState::new(seed_runs);
+                loop {
+                    let i = next.fetch_add(1, Ordering::SeqCst);
+                    if i >= total || i >= cutoff.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let accepted = subsumers.lock().expect("subsumer snapshot").clone();
+                    let verdict = verify_candidate(
+                        fa,
+                        &candidates[i],
+                        base,
+                        model,
+                        backend,
+                        &accepted,
+                        screen_words,
+                        &mut state,
+                    );
+                    if tx.send((i, verdict)).is_err() {
+                        break;
+                    }
+                }
+            });
+        }
+        drop(tx);
+
+        let mut merge = WeakestMerge::new(screen_words, budget);
+        let mut slots: Vec<Option<Result<Verdict, CoreError>>> = Vec::new();
+        slots.resize_with(total, || None);
+        let mut frontier = 0usize;
+        let mut error: Option<CoreError> = None;
+        // Drain until every worker exits (the scope joins them anyway);
+        // verdicts past the cutoff are received and discarded.
+        for (i, verdict) in rx {
+            if slots[i].is_none() {
+                slots[i] = Some(verdict);
+            }
+            while frontier < cutoff.load(Ordering::SeqCst) {
+                let Some(slot) = slots[frontier].take() else {
+                    break; // the canonical next verdict is still in flight
+                };
+                match slot {
+                    Err(e) => {
+                        error = Some(e);
+                        cutoff.store(0, Ordering::SeqCst);
+                    }
+                    Ok(Verdict::Closing(formula)) => {
+                        merge.offer(candidates[frontier].clone(), formula);
+                        *subsumers.lock().expect("subsumer snapshot") = merge.formulas();
+                        if merge.is_full() {
+                            cutoff.store(frontier + 1, Ordering::SeqCst);
+                        }
+                    }
+                    Ok(_) => {}
+                }
+                frontier += 1;
+            }
+        }
+        match error {
+            Some(e) => Err(e),
+            None => Ok(merge.into_closing()),
+        }
+    })
+}
+
+/// Attaches the demonstrating run per accepted candidate: a run matching
+/// the motivating term where one exists (quantified terms are not always
+/// realizable verbatim), otherwise a *seeded* run — term-matching first,
+/// then the first seed — otherwise any bad run. Candidates sharing a
+/// motivating term share the run (one query per distinct term). Only
+/// deterministic sources are consulted — never the verification pools,
+/// whose content depends on worker scheduling — so the reported
+/// witnesses are identical for every worker count.
+fn attach_witnesses(
+    closing: Vec<(Candidate, Ltl)>,
+    seed_runs: &[LassoWord],
+    base: &[Ltl],
+    model: &CoverageModel,
+    backend: Backend,
+) -> Result<Vec<GapProperty>, CoreError> {
     let mut term_runs: std::collections::BTreeMap<TemporalCube, Option<LassoWord>> =
         std::collections::BTreeMap::new();
+    // Memoized unconstrained bad-run query, for the seedless path.
+    let mut any_run: Option<Option<LassoWord>> = None;
     let mut props = Vec::with_capacity(closing.len());
-    for (cand, formula) in closing.into_iter().zip(formulas) {
+    for (cand, formula) in closing {
         let queried = match term_runs.get(&cand.term) {
             Some(w) => w.clone(),
             None => {
-                let w = model.gap_scenario_query(backend, &base, None, &cand.term)?;
+                let w = model.gap_scenario_query(backend, base, None, &cand.term)?;
                 term_runs.insert(cand.term.clone(), w.clone());
                 w
             }
         };
-        let witness = match queried {
+        let seeded = || {
+            seed_runs
+                .iter()
+                .find(|r| cand.term.holds_on(r, 0))
+                .or_else(|| seed_runs.first())
+                .cloned()
+        };
+        let witness = match queried.or_else(seeded) {
             Some(w) => w,
-            None => match bad_runs.iter().find(|r| cand.term.holds_on(r, 0)) {
-                Some(r) => r.clone(),
-                None => match bad_runs.first().cloned() {
+            // The seed pool is empty on the unseeded path; any bad run
+            // demonstrates the gap the candidate closes.
+            None => {
+                let fallback = match &any_run {
+                    Some(w) => w.clone(),
+                    None => {
+                        let w = model.gap_scenario_query(
+                            backend,
+                            base,
+                            None,
+                            &TemporalCube::top(),
+                        )?;
+                        any_run = Some(w.clone());
+                        w
+                    }
+                };
+                match fallback {
                     Some(r) => r,
-                    // The pool can be empty on the unseeded path; any bad
-                    // run demonstrates the gap the candidate closes.
-                    None => match model.gap_scenario_query(
-                        backend,
-                        &base,
-                        None,
-                        &TemporalCube::top(),
-                    )? {
-                        Some(r) => r,
-                        // Genuinely no bad run: `R ∧ ¬fa` is unsatisfiable
-                        // (the property is covered), so there is no gap to
-                        // represent.
-                        None => continue,
-                    },
-                },
-            },
+                    // Genuinely no bad run: `R ∧ ¬fa` is unsatisfiable
+                    // (the property is covered), so there is no gap to
+                    // represent.
+                    None => continue,
+                }
+            }
         };
         props.push(GapProperty {
             formula,
@@ -336,7 +698,7 @@ pub fn find_gap_with_runs(
             witness,
         });
     }
-    Ok(weakest_only(props))
+    Ok(props)
 }
 
 /// Step 2(c): pair the variable instances of `fa` with augmentation
@@ -445,70 +807,6 @@ fn apply(fa: &Ltl, cand: &Candidate) -> Option<Ltl> {
         Polarity::Positive => Ltl::or([occ, lit]),
     };
     fa.replace_at(&cand.position, replacement)
-}
-
-/// Definition 2 filtering: drop any candidate strictly stronger than
-/// another closing candidate; sort the rest weakest-first.
-///
-/// The closing candidates are mostly pairwise *incomparable*, and each
-/// automata-based implication check on until-heavy formulas is expensive.
-/// Every pair is therefore screened first against a fixed sample of
-/// pseudo-random lasso words: a word satisfying `f` but not `g` refutes
-/// `f ⇒ g` outright, and only unrefuted directions reach the automata.
-fn weakest_only(mut props: Vec<GapProperty>) -> Vec<GapProperty> {
-    let samples = sample_words(&props);
-    let sat: Vec<Vec<bool>> = props
-        .iter()
-        .map(|p| samples.iter().map(|w| p.formula.holds_on(w)).collect())
-        .collect();
-    let implies = |i: usize, j: usize| -> bool {
-        if (0..samples.len()).any(|w| sat[i][w] && !sat[j][w]) {
-            return false; // refuted by a sample word
-        }
-        dic_automata::implies(&props[i].formula, &props[j].formula)
-    };
-    let mut keep = vec![true; props.len()];
-    for i in 0..props.len() {
-        if !keep[i] {
-            continue;
-        }
-        for j in 0..props.len() {
-            if i == j || !keep[j] {
-                continue;
-            }
-            // Drop i if j is strictly weaker (i ⇒ j, not j ⇒ i).
-            if implies(i, j) && !implies(j, i) {
-                keep[i] = false;
-                break;
-            }
-        }
-    }
-    // Deduplicate equivalent formulas (keep the first of each class).
-    for i in 0..props.len() {
-        if !keep[i] {
-            continue;
-        }
-        for (j, keep_j) in keep.iter_mut().enumerate().skip(i + 1) {
-            if *keep_j && implies(i, j) && implies(j, i) {
-                *keep_j = false;
-            }
-        }
-    }
-    props
-        .drain(..)
-        .zip(keep)
-        .filter_map(|(p, k)| k.then_some(p))
-        .collect()
-}
-
-/// A deterministic sample of lasso words over the atoms of `props`, used
-/// to refute implications cheaply in [`weakest_only`].
-fn sample_words(props: &[GapProperty]) -> Vec<LassoWord> {
-    let mut signals: BTreeSet<dic_logic::SignalId> = BTreeSet::new();
-    for p in props {
-        signals.extend(p.formula.atoms());
-    }
-    random_words(&signals)
 }
 
 /// A fixed-seed pseudo-random sample of lasso words over `signals`.
@@ -635,6 +933,76 @@ mod tests {
             v
         };
         assert_eq!(fmt(&unseeded), fmt(&seeded), "seeding is a pure optimization");
+    }
+
+    /// Regression: a subsumed closing candidate must refund its
+    /// `max_gap_properties` slot. FA = `G(p -> q U r)` over four free
+    /// inputs; the lone RTL property `G !l` pins `l` low, so three
+    /// candidates close the gap in strictly increasing weakness along
+    /// the canonical order: `q ∨ r` (≡ FA), then `q ∨ l` (≡ FA under
+    /// `G !l`, strictly weaker as a formula), then `r ∨ l` — the
+    /// weakest, `G(p -> q U (r | l))`. With a budget of 2 the
+    /// historical loop admitted the first two closing candidates, hit
+    /// the budget, stopped verifying, and the weakest-only post-filter
+    /// then dropped one of them — reporting the strictly stronger
+    /// `G(p -> (q | l) U r)` with an underfilled budget, a function of
+    /// the verification order rather than of the model. The merge
+    /// refunds the slot of every subsumed candidate, so verification
+    /// reaches the genuinely weakest one and reports exactly it — at
+    /// any worker count.
+    #[test]
+    fn subsumed_candidates_refund_their_budget_slot() {
+        let mut t = SignalTable::new();
+        let fa = Ltl::parse("G(p -> q U r)", &mut t).unwrap();
+        let r_prop = Ltl::parse("G !l", &mut t).unwrap();
+        let mut b = ModuleBuilder::new("free", &mut t);
+        b.input("p");
+        b.input("q");
+        b.input("r");
+        let l = b.input("l");
+        let d = b.latch_from("d", l, false);
+        b.mark_output(d);
+        let m = b.finish().unwrap();
+        let arch = ArchSpec::new([("A1", fa)]);
+        let rtl = RtlSpec::new([("R1", r_prop)], [m]);
+        let model = CoverageModel::build(&arch, &rtl, &t).unwrap();
+        let fa = arch.properties()[0].formula();
+        let term = TemporalCube::from_lits([(0, Lit::neg(l))]).unwrap();
+        let weakest = {
+            let mut t2 = t.clone();
+            Ltl::parse("G(p -> q U (r | l))", &mut t2).unwrap()
+        };
+        let stronger = {
+            let mut t2 = t.clone();
+            Ltl::parse("G(p -> (q | l) U r)", &mut t2).unwrap()
+        };
+        for jobs in [1, 4] {
+            let config = GapConfig {
+                max_offset: 0,
+                max_gap_properties: 2,
+                jobs,
+                ..GapConfig::default()
+            };
+            let gaps = find_gap(fa, std::slice::from_ref(&term), &rtl, &model, &config)
+                .expect("runs");
+            let shown: Vec<String> = gaps.iter().map(|g| g.describe(&t)).collect();
+            assert_eq!(
+                gaps.len(),
+                1,
+                "jobs={jobs}: expected exactly the weakest property, got {shown:?}"
+            );
+            assert!(
+                dic_automata::equivalent(&gaps[0].formula, &weakest),
+                "jobs={jobs}: expected G(p -> q U (r | l)), got {shown:?}"
+            );
+            assert!(
+                !dic_automata::implies(&gaps[0].formula, &stronger),
+                "jobs={jobs}: reported a property at least as strong as the \
+                 order-dependent screen's G(p -> (q | l) U r)"
+            );
+            // The demonstrating run is a genuine bad run.
+            assert!(!fa.holds_on(&gaps[0].witness));
+        }
     }
 
     #[test]

@@ -1,9 +1,9 @@
 //! The `specmatcher` command-line tool.
 //!
 //! ```text
-//! specmatcher check --design <name> [--backend B] [--reorder M] [--json]
-//! specmatcher check --snl <file> --spec <file> [--backend B] [--reorder M]
-//! specmatcher table1 [--backend B] [--reorder M] [--quick | --json]
+//! specmatcher check --design <name> [--backend B] [--reorder M] [--jobs N] [--json]
+//! specmatcher check --snl <file> --spec <file> [--backend B] [--reorder M] [--jobs N]
+//! specmatcher table1 [--backend B] [--reorder M] [--jobs N] [--quick | --json]
 //! specmatcher fsm --design <name>              dump concrete-module FSMs (DOT)
 //! specmatcher list                             list packaged designs
 //! ```
@@ -13,7 +13,10 @@
 //! `symbolic` (BDD reachability + fair cycles) or `auto` (the default:
 //! explicit for small state spaces and narrow products, symbolic past
 //! either threshold). `--reorder` controls the symbolic engine's dynamic
-//! variable reordering (`auto`, the default, or `off`).
+//! variable reordering (`auto`, the default, or `off`). `--jobs` sets the
+//! worker-thread count for Algorithm 1's candidate closure verification
+//! (default: `SPECMATCHER_JOBS`, else the machine's available
+//! parallelism); the reported property set is identical for every value.
 //!
 //! Exit codes: `0` — every architectural property is covered; `1` — a
 //! coverage gap was found and reported; `2` — usage or specification
@@ -127,7 +130,7 @@ fn run(args: &[String]) -> Result<ExitCode, CliError> {
 
 fn print_usage() {
     eprintln!(
-        "usage:\n  specmatcher check --design <name> [--backend explicit|symbolic|auto] [--reorder off|auto] [--json]\n  specmatcher check --snl <file> --spec <file> [--backend ...] [--reorder ...] [--json]\n  specmatcher table1 [--backend ...] [--reorder ...] [--quick | --json]\n  specmatcher fsm --design <name>\n  specmatcher list\n\nbackends: explicit = state enumeration (paper-faithful, limited size),\n          symbolic = BDD reachability + fair cycles (scales further),\n          auto     = pick by state-space size and product width (default)\nreorder:  auto = dynamic BDD variable reordering (group sifting; default),\n          off  = keep the static variable order\n\nexit codes: 0 = covered, 1 = coverage gap reported,\n            2 = usage/specification error,\n            3 = engine resource refusal (state-space or BDD node budget)"
+        "usage:\n  specmatcher check --design <name> [--backend explicit|symbolic|auto] [--reorder off|auto] [--jobs N] [--json]\n  specmatcher check --snl <file> --spec <file> [--backend ...] [--reorder ...] [--jobs N] [--json]\n  specmatcher table1 [--backend ...] [--reorder ...] [--jobs N] [--quick | --json]\n  specmatcher fsm --design <name>\n  specmatcher list\n\nbackends: explicit = state enumeration (paper-faithful, limited size),\n          symbolic = BDD reachability + fair cycles (scales further),\n          auto     = pick by state-space size and product width (default)\nreorder:  auto = dynamic BDD variable reordering (group sifting; default),\n          off  = keep the static variable order\njobs:     worker threads for gap-phase candidate verification\n          (default: SPECMATCHER_JOBS, else available parallelism;\n          the reported property set is identical for every value)\n\nexit codes: 0 = covered, 1 = coverage gap reported,\n            2 = usage/specification error,\n            3 = engine resource refusal (state-space or BDD node budget)"
     );
 }
 
@@ -161,6 +164,22 @@ fn reorder_option(args: &[String]) -> Result<ReorderMode, String> {
     }
 }
 
+/// `--jobs N` worker-count override, mirroring `SPECMATCHER_JOBS`'s
+/// strict contract: absent → `Ok(0)` (auto resolution), a positive
+/// integer wins, anything else is a usage error.
+fn jobs_option(args: &[String]) -> Result<usize, String> {
+    match option(args, "--jobs") {
+        None if args.iter().any(|a| a == "--jobs") => {
+            Err("--jobs needs a value: a positive worker count".into())
+        }
+        None => Ok(0),
+        Some(s) => match s.parse::<usize>() {
+            Ok(n) if n > 0 => Ok(n),
+            _ => Err(format!("invalid --jobs {s:?}: expected a positive worker count")),
+        },
+    }
+}
+
 fn find_design(name: &str) -> Result<Design, String> {
     // The chain-<n>[-gap] scaling family is generated on demand.
     if let Some(rest) = name.strip_prefix("chain-") {
@@ -186,9 +205,11 @@ fn cmd_check(args: &[String]) -> Result<ExitCode, CliError> {
     let json = args.iter().any(|a| a == "--json");
     let backend = backend_option(args)?;
     let reorder = reorder_option(args)?;
+    let jobs = jobs_option(args)?;
     let matcher = SpecMatcher::new(GapConfig::default())
         .with_backend(backend)
-        .with_reorder(reorder);
+        .with_reorder(reorder)
+        .with_jobs(jobs);
     let (design, run) = if let Some(name) = option(args, "--design") {
         let design = find_design(name)?;
         let run = design.check(&matcher).map_err(core_err)?;
@@ -260,6 +281,7 @@ fn parse_spec(src: &str, table: &mut SignalTable) -> Result<(NamedProps, NamedPr
 fn cmd_table1(args: &[String]) -> Result<ExitCode, CliError> {
     let backend = backend_option(args)?;
     let reorder = reorder_option(args)?;
+    let jobs = jobs_option(args)?;
     if args.iter().any(|a| a == "--quick") {
         return cmd_table1_quick(backend, reorder);
     }
@@ -268,7 +290,8 @@ fn cmd_table1(args: &[String]) -> Result<ExitCode, CliError> {
     let matcher = SpecMatcher::new(GapConfig::default())
         .with_tm_style(TmStyle::Enumerated)
         .with_backend(backend)
-        .with_reorder(reorder);
+        .with_reorder(reorder)
+        .with_jobs(jobs);
     println!(
         "{:<14} {:>9} {:>9} {:>9} {:>12} {:>12} {:>12}",
         "Circuit", "RTL props", "primary", "gap", "Primary (s)", "TM (s)", "Gap (s)"
@@ -296,6 +319,7 @@ fn cmd_table1(args: &[String]) -> Result<ExitCode, CliError> {
                     backend: run.backend,
                     gap_backend: run.gap_backend,
                     reorder: run.reorder,
+                    jobs: run.jobs,
                 },
                 dic_bench::design_reductions(&design),
             ));

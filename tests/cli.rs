@@ -131,6 +131,103 @@ fn invalid_node_limit_is_rejected_loudly() {
 }
 
 #[test]
+fn invalid_no_reduce_is_rejected_loudly() {
+    // The reduction escape hatch takes exactly "0" (reduce, the default)
+    // or "1" (raw GPVW tableaus). A typo'd value must not silently pick
+    // either — running a bisection with the hatch half-engaged is worse
+    // than refusing: usage error (2) with a clear message.
+    for bad in ["2", "yes", "true", "", "01", "on"] {
+        let out = Command::new(env!("CARGO_BIN_EXE_specmatcher"))
+            .args(["check", "--design", "mal-ex1"])
+            .env("SPECMATCHER_NO_REDUCE", bad)
+            .output()
+            .expect("binary runs");
+        assert_eq!(out.status.code(), Some(2), "value {bad:?} must be rejected");
+        let stderr = String::from_utf8(out.stderr).expect("utf8");
+        assert!(
+            stderr.contains("invalid SPECMATCHER_NO_REDUCE"),
+            "value {bad:?}: {stderr}"
+        );
+    }
+    // Both documented values still honor the verdict contract.
+    for good in ["0", "1"] {
+        let out = Command::new(env!("CARGO_BIN_EXE_specmatcher"))
+            .args(["check", "--design", "mal-ex1"])
+            .env("SPECMATCHER_NO_REDUCE", good)
+            .output()
+            .expect("binary runs");
+        assert_eq!(out.status.code(), Some(0), "value {good:?} is documented");
+    }
+}
+
+#[test]
+fn invalid_jobs_are_rejected_loudly() {
+    // `--jobs` takes a positive worker count; zero, garbage and a
+    // missing value are usage errors.
+    for bad in ["0", "-2", "four", "1.5"] {
+        let out = specmatcher(&["check", "--design", "mal-ex1", "--jobs", bad]);
+        assert_eq!(out.status.code(), Some(2), "--jobs {bad:?} must be rejected");
+        let stderr = String::from_utf8(out.stderr).expect("utf8");
+        assert!(stderr.contains("--jobs"), "--jobs {bad:?}: {stderr}");
+    }
+    let out = specmatcher(&["check", "--design", "mal-ex1", "--jobs"]);
+    assert_eq!(out.status.code(), Some(2), "--jobs needs a value");
+
+    // The same contract for SPECMATCHER_JOBS: a typo'd worker count must
+    // not silently fall back to the machine's parallelism.
+    for bad in ["0", "-1", "four", "", "2.5"] {
+        let out = Command::new(env!("CARGO_BIN_EXE_specmatcher"))
+            .args(["check", "--design", "mal-ex1"])
+            .env("SPECMATCHER_JOBS", bad)
+            .output()
+            .expect("binary runs");
+        assert_eq!(out.status.code(), Some(2), "value {bad:?} must be rejected");
+        let stderr = String::from_utf8(out.stderr).expect("utf8");
+        assert!(
+            stderr.contains("invalid SPECMATCHER_JOBS"),
+            "value {bad:?}: {stderr}"
+        );
+    }
+
+    // Good values run, are reported, and leave the verdict unchanged.
+    let out = specmatcher(&["check", "--design", "mal-ex2", "--jobs", "2"]);
+    assert_eq!(out.status.code(), Some(1), "worker count never changes the verdict");
+    let stdout = String::from_utf8(out.stdout).expect("utf8");
+    assert!(stdout.contains("jobs: 2 workers"), "report names the worker count");
+    let out = Command::new(env!("CARGO_BIN_EXE_specmatcher"))
+        .args(["check", "--design", "mal-ex1"])
+        .env("SPECMATCHER_JOBS", "3")
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(0));
+}
+
+#[test]
+fn worker_resource_refusals_exit_three() {
+    // A node budget that survives the model build, the primary question
+    // and term enumeration, but trips inside parallel closure
+    // verification: the refusal is raised on a worker thread and must
+    // reach the caller through the deterministic merge as the same
+    // exit-3 resource contract the sequential path honors.
+    for jobs in ["1", "4"] {
+        let out = Command::new(env!("CARGO_BIN_EXE_specmatcher"))
+            .args([
+                "check", "--design", "mal-ex2", "--backend", "symbolic", "--jobs", jobs,
+            ])
+            .env("SPECMATCHER_BDD_NODE_LIMIT", "128K")
+            .output()
+            .expect("binary runs");
+        assert_eq!(
+            out.status.code(),
+            Some(3),
+            "gap-phase refusal at --jobs {jobs} => exit 3"
+        );
+        let stderr = String::from_utf8(out.stderr).expect("utf8");
+        assert!(stderr.contains("node"), "--jobs {jobs}: {stderr}");
+    }
+}
+
+#[test]
 fn scaling_design_needs_the_symbolic_backend() {
     // Beyond the explicit bit limit: explicit refuses for resource
     // reasons (3), symbolic and auto prove coverage (0).

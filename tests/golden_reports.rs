@@ -23,8 +23,11 @@ fn normalized_report(design: &Design) -> String {
     let text = run.render(&design.table);
     let mut normalized: String = text
         .lines()
-        // Wall-clock and reorder statistics are machine/run dependent.
-        .filter(|l| !l.starts_with("timings") && !l.starts_with("reordering"))
+        // Wall-clock, reorder and worker statistics are machine/run
+        // dependent (jobs defaults to the machine's parallelism).
+        .filter(|l| {
+            !l.starts_with("timings") && !l.starts_with("reordering") && !l.starts_with("jobs")
+        })
         .collect::<Vec<_>>()
         .join("\n");
     normalized.push('\n');
