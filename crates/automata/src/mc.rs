@@ -125,12 +125,24 @@ impl GbaCache {
     pub fn get(&self, formula: &Ltl) -> Arc<Gba> {
         let mut map = self.map.lock().expect("cache poisoned");
         if let Some(g) = map.get(formula) {
+            if dic_trace::enabled() {
+                dic_trace::count(dic_trace::Counter::GbaCacheHits, 1);
+            }
             return Arc::clone(g);
         }
         let key = canonical_key(formula);
         let g = match map.get(&key) {
-            Some(g) => Arc::clone(g),
+            Some(g) => {
+                if dic_trace::enabled() {
+                    dic_trace::count(dic_trace::Counter::GbaCacheHits, 1);
+                }
+                Arc::clone(g)
+            }
             None => {
+                if dic_trace::enabled() {
+                    dic_trace::count(dic_trace::Counter::GbaCacheMisses, 1);
+                }
+                let _span = dic_trace::span("automata.translate");
                 let g = Arc::new(translate_canonical(&key));
                 map.insert(key.clone(), Arc::clone(&g));
                 g

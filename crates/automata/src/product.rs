@@ -498,12 +498,23 @@ fn find_accepting_scc<G: SccGraph>(g: &G, full_mask: u32) -> Option<Vec<G::Node>
                         let nontrivial = members.len() > 1
                             || g.succs(members[0]).contains(&members[0]);
                         if nontrivial {
+                            // `counter` numbered every distinct state this
+                            // search visited: flush it once, not per node.
+                            if dic_trace::enabled() {
+                                dic_trace::count(
+                                    dic_trace::Counter::ExplicitStatesExpanded,
+                                    u64::from(counter),
+                                );
+                            }
                             return Some(members);
                         }
                     }
                 }
             }
         }
+    }
+    if dic_trace::enabled() {
+        dic_trace::count(dic_trace::Counter::ExplicitStatesExpanded, u64::from(counter));
     }
     None
 }

@@ -78,6 +78,9 @@ pub struct TableRow {
     /// Worker-thread accounting of the run (resolved `--jobs` /
     /// `SPECMATCHER_JOBS`, gap-phase fan-out, fixpoint concurrency).
     pub jobs: dic_core::JobsStats,
+    /// Per-phase engine counter deltas, when the run was traced
+    /// (`dic_trace` enabled); `None` keeps the historical JSON shape.
+    pub counters: Option<dic_core::PhaseCounters>,
 }
 
 /// The gap budget used for the Table 1 rows: enough to find the
@@ -108,6 +111,7 @@ pub fn measure_design(design: &Design, backend: Backend) -> TableRow {
         gap_backend: run.gap_backend,
         reorder: run.reorder,
         jobs: run.jobs,
+        counters: run.counters,
     }
 }
 
@@ -187,7 +191,7 @@ pub fn bench_table1_json(
             "{{\"name\":\"{}\",\"rtl_properties\":{},\"primary_backend\":\"{}\",\
              \"gap_backend\":\"{}\",\"jobs\":{{\"requested\":{},\"gap_workers\":{},\
              \"gap_fixpoints\":{}}},\"phase_s\":{{\"primary\":{},\"tm_build\":{},\
-             \"gap_find\":{}}},\"automata\":[",
+             \"gap_find\":{}}},",
             row.circuit,
             row.num_rtl,
             row.backend,
@@ -199,6 +203,34 @@ pub fn bench_table1_json(
             row.tm_build.as_secs_f64(),
             row.gap_find.as_secs_f64(),
         );
+        // Per-phase engine counters ride next to the wall times when the
+        // run was traced; untraced runs keep the historical document
+        // shape (no "phase_counters" key at all).
+        if let Some(c) = &row.counters {
+            out.push_str("\"phase_counters\":{");
+            for (i, (phase, snap)) in [
+                ("primary", &c.primary),
+                ("tm_build", &c.tm_build),
+                ("gap_find", &c.gap_find),
+            ]
+            .into_iter()
+            .enumerate()
+            {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "\"{phase}\":{{");
+                for (j, (name, value)) in snap.nonzero().into_iter().enumerate() {
+                    if j > 0 {
+                        out.push(',');
+                    }
+                    let _ = write!(out, "\"{name}\":{value}");
+                }
+                out.push('}');
+            }
+            out.push_str("},");
+        }
+        out.push_str("\"automata\":[");
         let mut totals = (0usize, 0usize, 0usize, 0usize); // pre/post states, pre/post bits
         for (j, c) in conjuncts.iter().enumerate() {
             if j > 0 {

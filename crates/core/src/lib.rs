@@ -76,7 +76,9 @@ pub use error::CoreError;
 pub use hole::{closes_gap, closure_witness, exact_hole};
 pub use intent::{close_gap_iteratively, uncovered_intent};
 pub use model::CoverageModel;
-pub use pipeline::{CoverageRun, JobsStats, PhaseTimings, PropertyReport, SpecMatcher};
+pub use pipeline::{
+    CoverageRun, JobsStats, PhaseCounters, PhaseTimings, PropertyReport, SpecMatcher,
+};
 pub use spec::{ArchSpec, Property, RtlSpec};
 pub use terms::{uncovered_terms, uncovered_terms_with_runs};
 pub use tm::TmStyle;

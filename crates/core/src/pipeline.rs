@@ -13,7 +13,7 @@ use dic_logic::SignalTable;
 use dic_ltl::{LassoWord, Ltl, TemporalCube};
 use dic_symbolic::{ReorderMode, ReorderStats, SymbolicOptions};
 use std::fmt::Write as _;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Wall-clock spent in each phase of the analysis — the three timing
 /// columns of the paper's Table 1.
@@ -33,6 +33,20 @@ impl PhaseTimings {
         self.tm_build += other.tm_build;
         self.gap_find += other.gap_find;
     }
+}
+
+/// Engine counter deltas attributed to each pipeline phase — the counter
+/// analogue of [`PhaseTimings`], populated only when `dic_trace` is
+/// enabled (the snapshots cost atomic reads per phase boundary, which the
+/// disabled path must not pay).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PhaseCounters {
+    /// Work answering the primary coverage questions (Theorem 1).
+    pub primary: dic_trace::CounterSnapshot,
+    /// Work building `T_M` (Definition 4).
+    pub tm_build: dic_trace::CounterSnapshot,
+    /// Work finding and representing the gap (Algorithm 1).
+    pub gap_find: dic_trace::CounterSnapshot,
 }
 
 /// Worker-thread accounting for the run, per phase — the parallel
@@ -148,6 +162,9 @@ pub struct CoverageRun {
     pub reorder: Option<ReorderStats>,
     /// Worker-thread accounting per phase.
     pub jobs: JobsStats,
+    /// Per-phase engine counter deltas; `None` unless `dic_trace` was
+    /// enabled for the run (e.g. the CLI's `--profile` / `--trace-out`).
+    pub counters: Option<PhaseCounters>,
 }
 
 impl CoverageRun {
@@ -298,10 +315,18 @@ impl SpecMatcher {
         table: &SignalTable,
         model: &CoverageModel,
     ) -> Result<CoverageRun, CoreError> {
+        let mut counters = dic_trace::enabled().then(PhaseCounters::default);
+
         // Phase: TM building (Definition 4) — once per design.
-        let tm_start = Instant::now();
+        let base = counters.as_ref().map(|_| dic_trace::CounterSnapshot::capture());
+        let tm_span = dic_trace::span("phase.tm_build");
+        let tm_start = dic_trace::Stopwatch::start();
         let tm = tm_for_modules(rtl.concrete(), table, self.tm_style)?;
         let tm_build = tm_start.elapsed();
+        drop(tm_span);
+        if let (Some(c), Some(b)) = (counters.as_mut(), base.as_ref()) {
+            c.tm_build.merge(&b.delta_since());
+        }
 
         let gap_backend = model.gap_backend_choice(self.config.backend);
         let requested_jobs = self.config.effective_jobs();
@@ -321,9 +346,15 @@ impl SpecMatcher {
 
             // Phase: primary coverage question (Theorem 1), answered by
             // the backend the model was built with.
-            let t0 = Instant::now();
+            let base = counters.as_ref().map(|_| dic_trace::CounterSnapshot::capture());
+            let primary_span = dic_trace::span("phase.primary");
+            let t0 = dic_trace::Stopwatch::start();
             let witness = crate::primary_coverage(fa, rtl, model)?;
             let primary = t0.elapsed();
+            drop(primary_span);
+            if let (Some(c), Some(b)) = (counters.as_mut(), base.as_ref()) {
+                c.primary.merge(&b.delta_since());
+            }
             let covered = witness.is_none();
 
             // Phase: gap finding (Algorithm 1), on the per-phase gap
@@ -331,7 +362,9 @@ impl SpecMatcher {
             // the symbolic closure engine above it — so models past the
             // explicit state limit get structured gap reports too. The
             // enumeration runs seed the closure loop's bad-run pool.
-            let t1 = Instant::now();
+            let base = counters.as_ref().map(|_| dic_trace::CounterSnapshot::capture());
+            let gap_span = dic_trace::span("phase.gap_find");
+            let t1 = dic_trace::Stopwatch::start();
             let (terms, gaps) = if covered {
                 (Vec::new(), Vec::new())
             } else {
@@ -340,6 +373,10 @@ impl SpecMatcher {
                 (terms, gaps)
             };
             let gap_find = t1.elapsed();
+            drop(gap_span);
+            if let (Some(c), Some(b)) = (counters.as_mut(), base.as_ref()) {
+                c.gap_find.merge(&b.delta_since());
+            }
 
             let timings = PhaseTimings {
                 primary,
@@ -370,6 +407,7 @@ impl SpecMatcher {
             gap_backend,
             reorder: model.reorder_stats(),
             jobs,
+            counters,
         })
     }
 }

@@ -223,10 +223,19 @@ pub fn find_gap_with_runs(
     }
     // Stage 1: canonical candidate enumeration, fixed up front. Every
     // later stage refers to candidates by their index in this order.
+    let mut enum_span = dic_trace::span("gap.enumerate");
     let candidates: Vec<Candidate> = push_candidates(fa, terms, model.observable(), config)
         .into_iter()
         .take(config.max_candidates)
         .collect();
+    if dic_trace::enabled() {
+        dic_trace::count(
+            dic_trace::Counter::GapCandidatesEnumerated,
+            candidates.len() as u64,
+        );
+        enum_span.meta("candidates", candidates.len() as u64);
+    }
+    drop(enum_span);
     let base: Vec<Ltl> = rtl
         .formulas()
         .iter()
@@ -246,6 +255,7 @@ pub fn find_gap_with_runs(
     // prunes exactly like the historical sequential loop); more workers
     // fan stage 2 out and the merge runs on the coordinating thread.
     let jobs = config.effective_jobs().min(candidates.len().max(1));
+    let verify_span = dic_trace::span("gap.verify");
     let closing = if jobs <= 1 {
         verify_sequential(
             fa,
@@ -270,6 +280,8 @@ pub fn find_gap_with_runs(
             jobs,
         )?
     };
+    drop(verify_span);
+    let _merge_span = dic_trace::span("gap.witnesses");
     attach_witnesses(closing, seed_runs, &base, model, backend)
 }
 
@@ -366,6 +378,9 @@ fn verify_candidate(
         .iter()
         .any(|g| implies_screened(&weakened, g, screen_words))
     {
+        if dic_trace::enabled() {
+            dic_trace::count(dic_trace::Counter::GapImplicationSettled, 1);
+        }
         return Ok(Verdict::Subsumed);
     }
     // Directed cheap refutation before the full closure fixpoint: a
@@ -384,9 +399,15 @@ fn verify_candidate(
             state.bad_runs.push(run);
             let run = state.bad_runs.last().expect("just pushed");
             if weakened.holds_on(run) {
+                if dic_trace::enabled() {
+                    dic_trace::count(dic_trace::Counter::GapProbeRefuted, 1);
+                }
                 return Ok(Verdict::NotClosing);
             }
         }
+    }
+    if dic_trace::enabled() {
+        dic_trace::count(dic_trace::Counter::GapFixpointVerified, 1);
     }
     match model.gap_query(backend, base, std::slice::from_ref(&weakened))? {
         Some(run) => {
@@ -458,8 +479,15 @@ impl<'a> WeakestMerge<'a> {
         // The refund: `formula` implies no accepted formula (checked
         // above), so any accepted `g ⇒ formula` is strictly stronger and
         // Definition 2 drops it in favor of the weaker newcomer.
+        let before = self.accepted.len();
         self.accepted
             .retain(|(_, g)| !implies_screened(g, &formula, words));
+        if dic_trace::enabled() {
+            dic_trace::count(
+                dic_trace::Counter::GapBudgetRefunds,
+                (before - self.accepted.len()) as u64,
+            );
+        }
         self.accepted.push((cand, formula));
     }
 
@@ -555,6 +583,10 @@ fn verify_parallel(
     let subsumers: Mutex<Vec<Ltl>> = Mutex::new(Vec::new());
     let (tx, rx) = mpsc::channel::<(usize, Result<Verdict, CoreError>)>();
 
+    // Workers run on their own threads, outside the coordinator's
+    // thread-local span stack — attach their spans to the verify span
+    // explicitly so the profile tree keeps per-worker busy time.
+    let parent_span = dic_trace::current_span_id();
     std::thread::scope(|scope| {
         for _ in 0..jobs {
             let tx = tx.clone();
@@ -562,12 +594,16 @@ fn verify_parallel(
             let cutoff = &cutoff;
             let subsumers = &subsumers;
             scope.spawn(move || {
+                let mut worker_span = dic_trace::span_with_parent("gap.worker", parent_span);
                 let mut state = WorkerState::new(seed_runs);
+                let mut claimed = 0u64;
+                let mut closing = 0u64;
                 loop {
                     let i = next.fetch_add(1, Ordering::SeqCst);
                     if i >= total || i >= cutoff.load(Ordering::SeqCst) {
                         break;
                     }
+                    claimed += 1;
                     let accepted = subsumers.lock().expect("subsumer snapshot").clone();
                     let verdict = verify_candidate(
                         fa,
@@ -579,9 +615,16 @@ fn verify_parallel(
                         screen_words,
                         &mut state,
                     );
+                    if matches!(verdict, Ok(Verdict::Closing(_))) {
+                        closing += 1;
+                    }
                     if tx.send((i, verdict)).is_err() {
                         break;
                     }
+                }
+                if dic_trace::enabled() {
+                    worker_span.meta("claimed", claimed);
+                    worker_span.meta("closing", closing);
                 }
             });
         }

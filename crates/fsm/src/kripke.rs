@@ -63,6 +63,7 @@ impl Kripke {
             });
         }
         let n_input_bits = input_vars.len() as u32;
+        let mut build_span = dic_trace::span("fsm.kripke_build");
 
         // Reachable latch keys by BFS.
         let mut reset = Valuation::all_false(table.len());
@@ -107,6 +108,11 @@ impl Kripke {
             }
         }
 
+        if dic_trace::enabled() {
+            dic_trace::count(dic_trace::Counter::ExplicitStatesExpanded, labels.len() as u64);
+            build_span.meta("states", labels.len() as u64);
+            build_span.meta("latch_states", latch_keys.len() as u64);
+        }
         Ok(Kripke {
             state_vars,
             input_vars,

@@ -311,7 +311,14 @@ impl BddManager {
         // Normalize for the commutative cache.
         let (f, g) = if f <= g { (f, g) } else { (g, f) };
         let key = (set, f.0, g.0);
+        if dic_trace::enabled() {
+            dic_trace::count(dic_trace::Counter::BddAndExistsOps, 1);
+            dic_trace::count(dic_trace::Counter::BddMemoLookups, 1);
+        }
         if let Some(&r) = self.and_exists_cache.get(&key) {
+            if dic_trace::enabled() {
+                dic_trace::count(dic_trace::Counter::BddMemoHits, 1);
+            }
             return Bdd(r);
         }
         let (fv, gv) = (self.top_var(f), self.top_var(g));
@@ -416,7 +423,14 @@ impl BddManager {
             return f;
         }
         let key = (pairing, f.0);
+        if dic_trace::enabled() {
+            dic_trace::count(dic_trace::Counter::BddRenameOps, 1);
+            dic_trace::count(dic_trace::Counter::BddMemoLookups, 1);
+        }
         if let Some(&r) = self.rename_cache.get(&key) {
+            if dic_trace::enabled() {
+                dic_trace::count(dic_trace::Counter::BddMemoHits, 1);
+            }
             return Bdd(r);
         }
         let n = self.node(f);
@@ -448,12 +462,23 @@ impl BddManager {
             return lo;
         }
         let key = (var, lo.0, hi.0);
+        if dic_trace::enabled() {
+            dic_trace::count(dic_trace::Counter::BddUniqueLookups, 1);
+        }
         if let Some(&n) = self.unique.get(&key) {
+            if dic_trace::enabled() {
+                dic_trace::count(dic_trace::Counter::BddUniqueHits, 1);
+            }
             return Bdd(n);
         }
         let n = u32::try_from(self.nodes.len()).expect("BDD node store overflow");
         self.nodes.push(Node { var, lo: lo.0, hi: hi.0 });
         self.unique.insert(key, n);
+        if dic_trace::enabled() {
+            let live = self.nodes.len() as u64;
+            dic_trace::gauge_set(dic_trace::Gauge::BddLiveNodes, live);
+            dic_trace::gauge_max(dic_trace::Gauge::BddPeakNodes, live);
+        }
         Bdd(n)
     }
 
@@ -508,7 +533,14 @@ impl BddManager {
             return f;
         }
         let key = (f.0, g.0, h.0);
+        if dic_trace::enabled() {
+            dic_trace::count(dic_trace::Counter::BddIteOps, 1);
+            dic_trace::count(dic_trace::Counter::BddMemoLookups, 1);
+        }
         if let Some(&r) = self.ite_cache.get(&key) {
+            if dic_trace::enabled() {
+                dic_trace::count(dic_trace::Counter::BddMemoHits, 1);
+            }
             return Bdd(r);
         }
         let v = self.top_of_three(f, g, h);

@@ -265,6 +265,11 @@ impl ProductData {
         gbas: &[Arc<Gba>],
         base: Option<&ProductData>,
     ) -> Result<ProductData, SymbolicError> {
+        let mut build_span = dic_trace::span("symbolic.product_build");
+        build_span.meta("automata", gbas.len() as u64);
+        if base.is_some() {
+            build_span.meta("extended", 1);
+        }
         // Allocate a stable slice of the bit pool per automaton.
         let mut ranges = Vec::with_capacity(gbas.len());
         let mut cursor = base.map_or(0, |b| b.bits_used);
@@ -490,6 +495,7 @@ impl ProductData {
         if let Some(r) = self.reach {
             return Ok(r);
         }
+        let _span = dic_trace::span("symbolic.reachable");
         let init = m.man.and(self.init, self.care);
         let mut reach = init;
         let mut frontier = init;
@@ -554,6 +560,7 @@ impl ProductData {
             return Ok(z);
         }
         let reach = self.reachable(m)?;
+        let _span = dic_trace::span("symbolic.fair_hull");
         let mut z = m.man.and(reach, self.hull_seed);
         let nfair = self.fair.len();
         let mut live: Vec<Bdd> = Vec::new();

@@ -55,6 +55,6 @@ pub mod terms;
 
 pub use error::SymbolicError;
 pub use model::{
-    ReorderMode, ReorderStats, SymbolicModel, SymbolicOptions, DEFAULT_NODE_LIMIT,
-    REORDER_FIRST_TRIGGER,
+    reorder_log_from_env, ReorderMode, ReorderStats, SymbolicModel, SymbolicOptions,
+    DEFAULT_NODE_LIMIT, REORDER_FIRST_TRIGGER,
 };

@@ -119,6 +119,11 @@ pub struct SymbolicOptions {
     /// Node count arming the first automatic reorder (tests lower it to
     /// exercise reordering on small models).
     pub reorder_trigger: usize,
+    /// Legacy stderr logging of reorder outcomes (the old
+    /// `SPECMATCHER_REORDER_LOG=1` behaviour). Deprecated in favour of
+    /// the structured `bdd.reorder`/`bdd.compact` trace events
+    /// (`--trace-out`); kept as a line-oriented escape hatch.
+    pub reorder_log: bool,
 }
 
 impl Default for SymbolicOptions {
@@ -131,6 +136,7 @@ impl Default for SymbolicOptions {
             node_limit: DEFAULT_NODE_LIMIT,
             reorder: ReorderMode::default(),
             reorder_trigger: REORDER_FIRST_TRIGGER,
+            reorder_log: false,
         }
     }
 }
@@ -152,6 +158,7 @@ impl SymbolicOptions {
         if let Ok(v) = std::env::var("SPECMATCHER_BDD_NODE_LIMIT") {
             opts.node_limit = parse_node_limit(&v)?;
         }
+        opts.reorder_log = reorder_log_from_env()?;
         Ok(opts)
     }
 
@@ -159,6 +166,32 @@ impl SymbolicOptions {
     pub fn with_reorder(mut self, mode: ReorderMode) -> Self {
         self.reorder = mode;
         self
+    }
+}
+
+/// Strict parse of the deprecated `SPECMATCHER_REORDER_LOG` stderr log
+/// switch: unset or `"0"` is off, `"1"` turns it on (with a one-time
+/// deprecation note pointing at `--trace-out`), anything else is
+/// rejected — the `SPECMATCHER_NO_REDUCE`/`SPECMATCHER_JOBS` contract.
+///
+/// # Errors
+///
+/// [`SymbolicError::InvalidReorderLog`] for any other value.
+pub fn reorder_log_from_env() -> Result<bool, SymbolicError> {
+    match std::env::var("SPECMATCHER_REORDER_LOG") {
+        Err(_) => Ok(false),
+        Ok(v) if v == "0" => Ok(false),
+        Ok(v) if v == "1" => {
+            static DEPRECATION: std::sync::Once = std::sync::Once::new();
+            DEPRECATION.call_once(|| {
+                eprintln!(
+                    "note: SPECMATCHER_REORDER_LOG is deprecated; reorder/compaction \
+                     events are part of the structured trace — prefer --trace-out <path>"
+                );
+            });
+            Ok(true)
+        }
+        Ok(v) => Err(SymbolicError::InvalidReorderLog { value: v }),
     }
 }
 
@@ -499,7 +532,7 @@ impl SymbolicModel {
             return Ok(());
         }
 
-        let t0 = std::time::Instant::now();
+        let t0 = dic_trace::Stopwatch::start();
         // One extract-and-rebuild pass: it always collects garbage (the
         // only collection this manager has), and runs the sifting search
         // only when the *live* size has at least doubled since the last
@@ -513,8 +546,25 @@ impl SymbolicModel {
         } else {
             self.reorder_stats.compactions += 1;
         }
-        // Diagnostics for order-sensitivity investigations; off by default.
-        if std::env::var_os("SPECMATCHER_REORDER_LOG").is_some() {
+        if dic_trace::enabled() {
+            // Every rebuild compacts; a sifting search on top is a reorder.
+            dic_trace::count(dic_trace::Counter::BddCompactions, 1);
+            if outcome.sifted {
+                dic_trace::count(dic_trace::Counter::BddReorders, 1);
+            }
+            dic_trace::event(
+                if outcome.sifted { "bdd.reorder" } else { "bdd.compact" },
+                &[
+                    ("store_before", outcome.store_before as u64),
+                    ("live_before", outcome.live_before as u64),
+                    ("live_after", outcome.live_after as u64),
+                    ("dur_ns", t0.elapsed().as_nanos() as u64),
+                ],
+            );
+        }
+        // Legacy line-oriented diagnostics (`SPECMATCHER_REORDER_LOG=1`,
+        // deprecated); off by default.
+        if self.options.reorder_log {
             eprintln!(
                 "reorder: store {} -> live {} -> {}{} in {:.2?}",
                 outcome.store_before,

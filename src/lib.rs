@@ -14,6 +14,7 @@
 //! | Symbolic | [`symbolic`] | BDD transition relations, reachability, fair cycles |
 //! | Coverage | [`core`] | Theorems 1–2, Algorithm 1, backend selection, the SpecMatcher pipeline |
 //! | Workloads | [`designs`] | MAL, AMBA AHB, pipeline, scaling generators |
+//! | Observability | [`trace`] | spans, engine counters, profile tree, JSONL trace sink |
 //!
 //! See the workspace `README.md` for a guided tour, `DESIGN.md` for the
 //! architecture and `EXPERIMENTS.md` for the paper-vs-measured record.
@@ -96,3 +97,4 @@ pub use dic_logic as logic;
 pub use dic_ltl as ltl;
 pub use dic_netlist as netlist;
 pub use dic_symbolic as symbolic;
+pub use dic_trace as trace;

@@ -1,9 +1,9 @@
 //! The `specmatcher` command-line tool.
 //!
 //! ```text
-//! specmatcher check --design <name> [--backend B] [--reorder M] [--jobs N] [--json]
+//! specmatcher check --design <name> [--backend B] [--reorder M] [--jobs N] [--json] [--profile] [--trace-out F]
 //! specmatcher check --snl <file> --spec <file> [--backend B] [--reorder M] [--jobs N]
-//! specmatcher table1 [--backend B] [--reorder M] [--jobs N] [--quick | --json]
+//! specmatcher table1 [--backend B] [--reorder M] [--jobs N] [--quick | --json] [--profile] [--trace-out F]
 //! specmatcher fsm --design <name>              dump concrete-module FSMs (DOT)
 //! specmatcher list                             list packaged designs
 //! ```
@@ -17,6 +17,10 @@
 //! worker-thread count for Algorithm 1's candidate closure verification
 //! (default: `SPECMATCHER_JOBS`, else the machine's available
 //! parallelism); the reported property set is identical for every value.
+//! `--profile` appends the `dic_trace` span/counter tree to the report
+//! and `--trace-out <path>` writes the run as a replayable JSONL event
+//! stream; with both absent tracing stays disabled and output is
+//! byte-identical to earlier releases.
 //!
 //! Exit codes: `0` — every architectural property is covered; `1` — a
 //! coverage gap was found and reported; `2` — usage or specification
@@ -130,7 +134,7 @@ fn run(args: &[String]) -> Result<ExitCode, CliError> {
 
 fn print_usage() {
     eprintln!(
-        "usage:\n  specmatcher check --design <name> [--backend explicit|symbolic|auto] [--reorder off|auto] [--jobs N] [--json]\n  specmatcher check --snl <file> --spec <file> [--backend ...] [--reorder ...] [--jobs N] [--json]\n  specmatcher table1 [--backend ...] [--reorder ...] [--jobs N] [--quick | --json]\n  specmatcher fsm --design <name>\n  specmatcher list\n\nbackends: explicit = state enumeration (paper-faithful, limited size),\n          symbolic = BDD reachability + fair cycles (scales further),\n          auto     = pick by state-space size and product width (default)\nreorder:  auto = dynamic BDD variable reordering (group sifting; default),\n          off  = keep the static variable order\njobs:     worker threads for gap-phase candidate verification\n          (default: SPECMATCHER_JOBS, else available parallelism;\n          the reported property set is identical for every value)\n\nexit codes: 0 = covered, 1 = coverage gap reported,\n            2 = usage/specification error,\n            3 = engine resource refusal (state-space or BDD node budget)"
+        "usage:\n  specmatcher check --design <name> [--backend explicit|symbolic|auto] [--reorder off|auto] [--jobs N] [--json] [--profile] [--trace-out <path>]\n  specmatcher check --snl <file> --spec <file> [--backend ...] [--reorder ...] [--jobs N] [--json] [--profile] [--trace-out <path>]\n  specmatcher table1 [--backend ...] [--reorder ...] [--jobs N] [--quick | --json] [--profile] [--trace-out <path>]\n  specmatcher fsm --design <name>\n  specmatcher list\n\nbackends: explicit = state enumeration (paper-faithful, limited size),\n          symbolic = BDD reachability + fair cycles (scales further),\n          auto     = pick by state-space size and product width (default)\nreorder:  auto = dynamic BDD variable reordering (group sifting; default),\n          off  = keep the static variable order\njobs:     worker threads for gap-phase candidate verification\n          (default: SPECMATCHER_JOBS, else available parallelism;\n          the reported property set is identical for every value)\nprofile:  append the structured span/counter tree to the report\n          (stderr under --json); --trace-out writes the same run as a\n          JSONL event stream (schema specmatcher-trace/1)\n\nexit codes: 0 = covered, 1 = coverage gap reported,\n            2 = usage/specification error,\n            3 = engine resource refusal (state-space or BDD node budget)"
     );
 }
 
@@ -162,6 +166,48 @@ fn reorder_option(args: &[String]) -> Result<ReorderMode, String> {
             ReorderMode::parse(s).ok_or_else(|| format!("unknown reorder mode {s:?}; use off or auto"))
         }
     }
+}
+
+/// `--profile` / `--trace-out <path>` observability flags, shared by
+/// `check` and `table1`. Either flag turns `dic_trace` on for the run;
+/// with both absent the engines never pay more than the disabled-gate
+/// branch, so reports and timings are unchanged.
+fn trace_options(args: &[String]) -> Result<(bool, Option<String>), String> {
+    let profile = args.iter().any(|a| a == "--profile");
+    let trace_out = match option(args, "--trace-out") {
+        None if args.iter().any(|a| a == "--trace-out") => {
+            return Err("--trace-out needs a value: a JSONL output path".into());
+        }
+        other => other.map(str::to_owned),
+    };
+    if profile || trace_out.is_some() {
+        dic_trace::set_enabled(true);
+        dic_trace::reset();
+    }
+    Ok((profile, trace_out))
+}
+
+/// Emits the enabled trace sinks after a traced run: the rendered
+/// `profile:` tree (to stderr when stdout must stay machine-readable)
+/// and the JSONL event stream.
+fn emit_trace_sinks(
+    profile: bool,
+    trace_out: Option<&str>,
+    profile_to_stderr: bool,
+) -> Result<(), CliError> {
+    if profile {
+        let tree = dic_trace::render_profile();
+        if profile_to_stderr {
+            eprint!("{tree}");
+        } else {
+            print!("{tree}");
+        }
+    }
+    if let Some(path) = trace_out {
+        dic_trace::write_jsonl(std::path::Path::new(path))
+            .map_err(|e| format!("{path}: {e}"))?;
+    }
+    Ok(())
 }
 
 /// `--jobs N` worker-count override, mirroring `SPECMATCHER_JOBS`'s
@@ -206,10 +252,12 @@ fn cmd_check(args: &[String]) -> Result<ExitCode, CliError> {
     let backend = backend_option(args)?;
     let reorder = reorder_option(args)?;
     let jobs = jobs_option(args)?;
+    let (profile, trace_out) = trace_options(args)?;
     let matcher = SpecMatcher::new(GapConfig::default())
         .with_backend(backend)
         .with_reorder(reorder)
         .with_jobs(jobs);
+    let run_span = dic_trace::span("check");
     let (design, run) = if let Some(name) = option(args, "--design") {
         let design = find_design(name)?;
         let run = design.check(&matcher).map_err(core_err)?;
@@ -220,8 +268,10 @@ fn cmd_check(args: &[String]) -> Result<ExitCode, CliError> {
         let snl = std::fs::read_to_string(snl_path).map_err(|e| format!("{snl_path}: {e}"))?;
         let spec = std::fs::read_to_string(spec_path).map_err(|e| format!("{spec_path}: {e}"))?;
         let mut table = SignalTable::new();
+        let parse_span = dic_trace::span("parse");
         let modules = parse_snl(&snl, &mut table).map_err(|e| e.to_string())?;
         let (arch, rtl_props) = parse_spec(&spec, &mut table)?;
+        drop(parse_span);
         let rtl = RtlSpec::new(
             rtl_props.iter().map(|(n, f)| (n.as_str(), f.clone())),
             modules,
@@ -236,11 +286,15 @@ fn cmd_check(args: &[String]) -> Result<ExitCode, CliError> {
         let run = design.check(&matcher).map_err(core_err)?;
         (design, run)
     };
+    drop(run_span);
     if json {
         println!("{}", run.to_json(&design.table));
     } else {
         print!("{}", run.render(&design.table));
     }
+    // Under --json the profile tree goes to stderr so stdout stays pure
+    // JSON; the JSONL stream always goes to its own file.
+    emit_trace_sinks(profile, trace_out.as_deref(), json)?;
     Ok(if run.all_covered() {
         ExitCode::SUCCESS
     } else {
@@ -282,8 +336,11 @@ fn cmd_table1(args: &[String]) -> Result<ExitCode, CliError> {
     let backend = backend_option(args)?;
     let reorder = reorder_option(args)?;
     let jobs = jobs_option(args)?;
+    let (profile, trace_out) = trace_options(args)?;
     if args.iter().any(|a| a == "--quick") {
-        return cmd_table1_quick(backend, reorder);
+        let code = cmd_table1_quick(backend, reorder)?;
+        emit_trace_sinks(profile, trace_out.as_deref(), false)?;
+        return Ok(code);
     }
     let json = args.iter().any(|a| a == "--json");
     let mut json_rows = Vec::new();
@@ -297,7 +354,9 @@ fn cmd_table1(args: &[String]) -> Result<ExitCode, CliError> {
         "Circuit", "RTL props", "primary", "gap", "Primary (s)", "TM (s)", "Gap (s)"
     );
     for design in table1_designs() {
+        let design_span = dic_trace::span("design.check");
         let run = design.check(&matcher).map_err(core_err)?;
+        drop(design_span);
         println!(
             "{:<14} {:>9} {:>9} {:>9} {:>12.4} {:>12.4} {:>12.4}",
             design.name,
@@ -320,6 +379,7 @@ fn cmd_table1(args: &[String]) -> Result<ExitCode, CliError> {
                     gap_backend: run.gap_backend,
                     reorder: run.reorder,
                     jobs: run.jobs,
+                    counters: run.counters,
                 },
                 dic_bench::design_reductions(&design),
             ));
@@ -334,6 +394,7 @@ fn cmd_table1(args: &[String]) -> Result<ExitCode, CliError> {
         println!();
         println!("wrote {}", dic_bench::BENCH_TABLE1_PATH);
     }
+    emit_trace_sinks(profile, trace_out.as_deref(), false)?;
     Ok(ExitCode::SUCCESS)
 }
 
@@ -347,7 +408,6 @@ fn cmd_table1(args: &[String]) -> Result<ExitCode, CliError> {
 /// state-explosion cliff fails the run instead of silently slowing it.
 fn cmd_table1_quick(backend: Backend, reorder: ReorderMode) -> Result<ExitCode, CliError> {
     use dic_core::{CoverageModel, SymbolicOptions};
-    use std::time::Instant;
 
     let options = SymbolicOptions::from_env()
         .map_err(|e| core_err(CoreError::Symbolic(e)))?
@@ -380,7 +440,7 @@ fn cmd_table1_quick(backend: Backend, reorder: ReorderMode) -> Result<ExitCode, 
     );
     let mut ok = true;
     for (design, expect_covered) in rows {
-        let t0 = Instant::now();
+        let t0 = dic_trace::Stopwatch::start();
         let model = CoverageModel::build_with_symbolic_options(
             &design.arch,
             &design.rtl,

@@ -23,6 +23,10 @@ fn normalized_report(design: &Design) -> String {
     let text = run.render(&design.table);
     let mut normalized: String = text
         .lines()
+        // Everything from a `profile:` line on is the optional dic_trace
+        // span/counter tree (`--profile`) — durations and node counts,
+        // all run dependent.
+        .take_while(|l| !l.starts_with("profile:"))
         // Wall-clock, reorder and worker statistics are machine/run
         // dependent (jobs defaults to the machine's parallelism).
         .filter(|l| {

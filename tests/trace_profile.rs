@@ -1,0 +1,262 @@
+//! Observability is observational: enabling `dic_trace` (the CLI's
+//! `--profile` / `--trace-out`) must not change a single reported bit.
+//! Random gapped netlists are checked with tracing off and on — both
+//! backends, one and four workers — and the verdicts plus the full
+//! ordered gap fingerprints must be byte-identical. The traced runs are
+//! then inspected: every pipeline phase span is present, the counters
+//! attribute work to the right phase, and the JSONL stream replays into
+//! the identical rendered tree.
+//!
+//! Trace state is process-global, so every test takes `exclusive()`
+//! (this file is its own process; other integration suites never see
+//! tracing enabled).
+
+use proptest::prelude::*;
+use specmatcher::core::{Backend, CoverageModel, GapConfig, PropertyReport, SpecMatcher};
+use specmatcher::designs::mal;
+use specmatcher::logic::SignalTable;
+use specmatcher::trace;
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+mod common;
+use common::{random_problem, replay};
+
+/// Serializes tests (trace state is process-global) and restores the
+/// disabled default afterwards.
+fn exclusive() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    let guard = LOCK
+        .get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    trace::set_enabled(false);
+    trace::reset();
+    guard
+}
+
+/// The full ordered fingerprint of a property report: everything that
+/// reaches the rendered report or the JSON document.
+fn fingerprint(rep: &PropertyReport, t: &SignalTable) -> Vec<String> {
+    let mut out = vec![format!(
+        "{} covered={} witness={:?} terms={}",
+        rep.formula.display(t),
+        rep.covered,
+        rep.witness,
+        rep.uncovered_terms
+            .iter()
+            .map(|c| c.display(t).to_string())
+            .collect::<Vec<_>>()
+            .join(";"),
+    )];
+    out.extend(rep.gap_properties.iter().map(|g| {
+        format!(
+            "{} @ {} lit {} off {} term {} wit {:?}",
+            g.formula.display(t),
+            g.position,
+            g.literal.display(t),
+            g.offset,
+            g.term.display(t),
+            g.witness,
+        )
+    }));
+    out
+}
+
+fn small_config() -> GapConfig {
+    GapConfig {
+        term_depth: 2,
+        max_terms: 3,
+        max_candidates: 24,
+        max_gap_properties: 4,
+        ..GapConfig::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Tracing on vs. off: byte-identical verdicts and ordered gap sets
+    /// on random problems, per backend and worker count.
+    #[test]
+    fn tracing_never_changes_a_reported_bit(seed in 1u64..100_000) {
+        let _guard = exclusive();
+        let (t, arch, rtl) = random_problem(seed);
+        for backend in [Backend::Explicit, Backend::Symbolic] {
+            for jobs in [1usize, 4] {
+                let matcher = SpecMatcher::new(small_config())
+                    .with_backend(backend)
+                    .with_jobs(jobs);
+
+                trace::set_enabled(false);
+                let off = matcher.check(&arch, &rtl, &t).expect("untraced run");
+                prop_assert!(off.counters.is_none(), "untraced runs carry no counters");
+
+                trace::set_enabled(true);
+                trace::reset();
+                let on = matcher.check(&arch, &rtl, &t).expect("traced run");
+                trace::set_enabled(false);
+                prop_assert!(on.counters.is_some(), "traced runs carry phase counters");
+
+                prop_assert_eq!(
+                    off.all_covered(),
+                    on.all_covered(),
+                    "verdict changed under tracing (seed {}, {} backend, {} jobs)",
+                    seed, backend, jobs
+                );
+                for (o, n) in off.properties.iter().zip(&on.properties) {
+                    prop_assert_eq!(
+                        fingerprint(o, &t),
+                        fingerprint(n, &t),
+                        "report changed under tracing (seed {}, {} backend, {} jobs)",
+                        seed, backend, jobs
+                    );
+                }
+
+                // The traced run's witnesses still replay on the modules.
+                let model = CoverageModel::build(&arch, &rtl, &t).expect("builds");
+                for rep in &on.properties {
+                    for g in &rep.gap_properties {
+                        replay(&model, &t, &g.witness);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Names of all recorded spans.
+fn span_names(data: &trace::TraceData) -> Vec<String> {
+    data.spans.iter().map(|s| s.name.clone()).collect()
+}
+
+#[test]
+fn every_pipeline_phase_span_is_present() {
+    let _guard = exclusive();
+    trace::set_enabled(true);
+    trace::reset();
+    let design = mal::ex2();
+    let run = design
+        .check(&SpecMatcher::new(small_config()))
+        .expect("runs");
+    trace::set_enabled(false);
+    assert!(!run.all_covered(), "mal-ex2 is the gapped fixture");
+
+    let data = trace::capture();
+    let names = span_names(&data);
+    for phase in [
+        "phase.tm_build",
+        "phase.primary",
+        "phase.gap_find",
+        "gap.enumerate",
+        "gap.verify",
+        "fsm.kripke_build",
+        "automata.translate",
+    ] {
+        assert!(
+            names.iter().any(|n| n == phase),
+            "span {phase} missing from {names:?}"
+        );
+    }
+
+    // Phase spans nest under the gap phase, not beside it.
+    let gap_find = data
+        .spans
+        .iter()
+        .find(|s| s.name == "phase.gap_find")
+        .expect("present");
+    let verify = data
+        .spans
+        .iter()
+        .find(|s| s.name == "gap.verify")
+        .expect("present");
+    assert_eq!(verify.parent, gap_find.id, "gap.verify nests in phase.gap_find");
+
+    // Counter attribution: the gap phase did the candidate work.
+    let counters = run.counters.expect("traced");
+    assert!(counters.gap_find.get(trace::Counter::GapCandidatesEnumerated) > 0);
+    assert!(counters.gap_find.get(trace::Counter::GapFixpointVerified) > 0);
+    assert_eq!(counters.tm_build.get(trace::Counter::GapCandidatesEnumerated), 0);
+    assert!(
+        counters.primary.get(trace::Counter::ExplicitStatesExpanded) > 0
+            || counters.primary.get(trace::Counter::BddIteOps) > 0,
+        "the primary phase ran an engine"
+    );
+}
+
+#[test]
+fn parallel_workers_attach_to_the_verify_span() {
+    let _guard = exclusive();
+    trace::set_enabled(true);
+    trace::reset();
+    let design = mal::ex2();
+    design
+        .check(&SpecMatcher::new(small_config()).with_jobs(4))
+        .expect("runs");
+    trace::set_enabled(false);
+
+    let data = trace::capture();
+    let workers: Vec<_> = data.spans.iter().filter(|s| s.name == "gap.worker").collect();
+    assert_eq!(workers.len(), 4, "one span per worker");
+    let verify_ids: Vec<u64> = data
+        .spans
+        .iter()
+        .filter(|s| s.name == "gap.verify")
+        .map(|s| s.id)
+        .collect();
+    for w in &workers {
+        assert!(
+            verify_ids.contains(&w.parent),
+            "worker span must parent under gap.verify"
+        );
+    }
+    let claimed: u64 = workers
+        .iter()
+        .flat_map(|w| &w.meta)
+        .filter(|(k, _)| k == "claimed")
+        .map(|(_, v)| *v)
+        .sum();
+    assert!(claimed > 0, "workers recorded their claimed candidates");
+}
+
+#[test]
+fn symbolic_runs_count_bdd_work() {
+    let _guard = exclusive();
+    trace::set_enabled(true);
+    trace::reset();
+    let design = mal::ex2();
+    design
+        .check(&SpecMatcher::new(small_config()).with_backend(Backend::Symbolic))
+        .expect("runs");
+    trace::set_enabled(false);
+
+    assert!(trace::counter_value(trace::Counter::BddIteOps) > 0);
+    assert!(trace::counter_value(trace::Counter::BddUniqueLookups) > 0);
+    assert!(trace::gauge_value(trace::Gauge::BddPeakNodes) > 0);
+    let names = span_names(&trace::capture());
+    for span in ["symbolic.product_build", "symbolic.reachable", "symbolic.fair_hull"] {
+        assert!(names.iter().any(|n| n == span), "span {span} missing");
+    }
+}
+
+#[test]
+fn jsonl_stream_replays_into_the_live_tree() {
+    let _guard = exclusive();
+    trace::set_enabled(true);
+    trace::reset();
+    let design = mal::ex2();
+    design
+        .check(&SpecMatcher::new(small_config()).with_jobs(2))
+        .expect("runs");
+    trace::set_enabled(false);
+
+    let live = trace::render_profile();
+    let replayed = trace::parse_jsonl(&trace::to_jsonl(&trace::capture()))
+        .expect("own stream parses");
+    assert_eq!(
+        live,
+        trace::render_tree(&replayed),
+        "JSONL replay must render the identical profile tree"
+    );
+    assert!(live.starts_with("profile:\n"));
+    assert!(live.contains("phase.gap_find"));
+}
