@@ -54,6 +54,11 @@ impl GbaState {
         self.acc
     }
 
+    /// Whether this state belongs to acceptance set `m`.
+    pub fn in_acceptance_set(&self, m: u32) -> bool {
+        self.acc & (1 << m) != 0
+    }
+
     /// Whether a valuation satisfies all literal constraints.
     pub fn compatible(&self, v: &Valuation) -> bool {
         self.literals.iter().all(|l| l.eval(v))
@@ -141,6 +146,13 @@ impl Gba {
     /// Initial state indices.
     pub fn initial(&self) -> &[u32] {
         &self.initial
+    }
+
+    /// Whether `q` is an initial state. The initial list is a handful of
+    /// entries, so a scan beats materializing a set — the SAT encoder
+    /// asks this once per state per query.
+    pub fn is_initial(&self, q: u32) -> bool {
+        self.initial.contains(&q)
     }
 
     /// Successor state indices of `q`.

@@ -1,7 +1,7 @@
 //! Regenerates the paper's Table 1: per-design runtimes of the three
 //! SpecMatcher phases, printed next to the published 2006 numbers.
 //!
-//! Run with: `cargo run --release -p dic-bench --bin table1 [-- --backend auto|explicit|symbolic] [--json]`
+//! Run with: `cargo run --release -p dic-bench --bin table1 [-- --backend auto|explicit|symbolic] [--bmc off|auto] [--json]`
 //!
 //! With `--json`, also writes `BENCH_table1.json`: the measured per-phase
 //! wall times plus the pre/post-reduction automaton sizes of every spec
@@ -10,10 +10,17 @@
 use dic_bench::{
     bench_table1_json, design_reductions, measure_design, paper_reference, BENCH_TABLE1_PATH,
 };
-use dic_core::Backend;
+use dic_core::{Backend, BmcMode};
 use dic_designs::table1_designs;
 
 fn main() {
+    // Fail-closed env audit, mirroring the specmatcher binary: a typoed
+    // SPECMATCHER_* override is a usage error (exit 2), never a silently
+    // defaulted measurement.
+    if let Err(msg) = dic_core::validate_env() {
+        eprintln!("table1: {msg}");
+        std::process::exit(2);
+    }
     let args: Vec<String> = std::env::args().skip(1).collect();
     let json = args.iter().any(|a| a == "--json");
     let mut json_rows = Vec::new();
@@ -23,8 +30,14 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .map(|s| Backend::parse(s).expect("--backend explicit|symbolic|auto"))
         .unwrap_or(Backend::Explicit);
+    let bmc = args
+        .iter()
+        .position(|a| a == "--bmc")
+        .and_then(|i| args.get(i + 1))
+        .map(|s| BmcMode::parse(s).expect("--bmc off|auto"))
+        .unwrap_or_default();
     println!(
-        "Table 1 — SpecMatcher runtimes (measured on this machine vs DATE 2006, 2 GHz P4; requested backend: {backend})"
+        "Table 1 — SpecMatcher runtimes (measured on this machine vs DATE 2006, 2 GHz P4; requested backend: {backend}, bmc: {bmc})"
     );
     println!();
     println!(
@@ -33,7 +46,7 @@ fn main() {
     );
     let reference = paper_reference();
     for (design, paper) in table1_designs().iter().zip(reference) {
-        let row = measure_design(design, backend);
+        let row = measure_design(design, backend, bmc);
         let reorder = match &row.reorder {
             Some(r) if r.count > 0 || r.compactions > 0 => {
                 format!("  [{} sifts, {} compactions]", r.count, r.compactions)

@@ -8,8 +8,10 @@
 
 use dic_core::tm::{tm_for_modules, TmStyle};
 use dic_core::{
-    find_gap, primary_coverage, uncovered_terms, Backend, CoverageModel, GapConfig, SpecMatcher,
+    find_gap, primary_coverage, uncovered_terms, Backend, BmcMode, CoverageModel, CoverageRun,
+    GapConfig, SpecMatcher,
 };
+use dic_logic::SignalTable;
 use dic_designs::Design;
 use dic_ltl::Ltl;
 use std::time::Duration;
@@ -81,6 +83,29 @@ pub struct TableRow {
     /// Per-phase engine counter deltas, when the run was traced
     /// (`dic_trace` enabled); `None` keeps the historical JSON shape.
     pub counters: Option<dic_core::PhaseCounters>,
+    /// The bounded-refutation mode of the run (`--bmc`).
+    pub bmc: BmcMode,
+    /// The gap fingerprint: every reported gap property, rendered in
+    /// report order ([`gap_fingerprint`]). The determinism contract says
+    /// this list is byte-identical across `--bmc` modes, backends and
+    /// `--jobs` counts; CI diffs it between nightly lanes.
+    pub gap_fingerprint: Vec<String>,
+}
+
+/// The ordered gap-property fingerprint of a run: for every architectural
+/// property, each reported gap property's formula rendered against the
+/// design's signal table. Two runs with equal fingerprints reported the
+/// same gap content in the same order — the byte-identity CI pins across
+/// `--bmc on/off`, backends, and worker counts.
+pub fn gap_fingerprint(run: &CoverageRun, table: &SignalTable) -> Vec<String> {
+    run.properties
+        .iter()
+        .flat_map(|p| {
+            p.gap_properties
+                .iter()
+                .map(|g| format!("{}: {}", p.name, g.formula.display(table)))
+        })
+        .collect()
 }
 
 /// The gap budget used for the Table 1 rows: enough to find the
@@ -96,11 +121,13 @@ pub fn table1_config() -> GapConfig {
 }
 
 /// Runs the full pipeline once and reports the row (used by `bin/table1`).
-pub fn measure_design(design: &Design, backend: Backend) -> TableRow {
+pub fn measure_design(design: &Design, backend: Backend, bmc: BmcMode) -> TableRow {
     let matcher = SpecMatcher::new(table1_config())
         .with_tm_style(TmStyle::Enumerated)
-        .with_backend(backend);
+        .with_backend(backend)
+        .with_bmc(bmc);
     let run = design.check(&matcher).expect("packaged design runs");
+    let fingerprint = gap_fingerprint(&run, &design.table);
     TableRow {
         circuit: design.name.to_owned(),
         num_rtl: run.num_rtl_properties,
@@ -112,6 +139,8 @@ pub fn measure_design(design: &Design, backend: Backend) -> TableRow {
         reorder: run.reorder,
         jobs: run.jobs,
         counters: run.counters,
+        bmc: run.bmc,
+        gap_fingerprint: fingerprint,
     }
 }
 
@@ -189,13 +218,14 @@ pub fn bench_table1_json(
         let _ = write!(
             out,
             "{{\"name\":\"{}\",\"rtl_properties\":{},\"primary_backend\":\"{}\",\
-             \"gap_backend\":\"{}\",\"jobs\":{{\"requested\":{},\"gap_workers\":{},\
-             \"gap_fixpoints\":{}}},\"phase_s\":{{\"primary\":{},\"tm_build\":{},\
-             \"gap_find\":{}}},",
+             \"gap_backend\":\"{}\",\"bmc\":\"{}\",\"jobs\":{{\"requested\":{},\
+             \"gap_workers\":{},\"gap_fixpoints\":{}}},\"phase_s\":{{\"primary\":{},\
+             \"tm_build\":{},\"gap_find\":{}}},",
             row.circuit,
             row.num_rtl,
             row.backend,
             row.gap_backend,
+            row.bmc,
             row.jobs.requested,
             row.jobs.gap_workers,
             row.jobs.gap_fixpoints,
@@ -203,6 +233,17 @@ pub fn bench_table1_json(
             row.tm_build.as_secs_f64(),
             row.gap_find.as_secs_f64(),
         );
+        // The ordered gap fingerprint: what the byte-identity contract
+        // quantifies over. The nightly CI lane diffs this list between
+        // `--bmc off` and `--bmc auto` documents.
+        out.push_str("\"gap_fingerprint\":[");
+        for (j, g) in row.gap_fingerprint.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{:?}", g);
+        }
+        out.push_str("],");
         // Per-phase engine counters ride next to the wall times when the
         // run was traced; untraced runs keep the historical document
         // shape (no "phase_counters" key at all).

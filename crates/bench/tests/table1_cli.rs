@@ -1,0 +1,45 @@
+//! The `table1` bench binary shares the fail-closed startup environment
+//! audit with `specmatcher`: a typo'd `SPECMATCHER_*` override must exit 2
+//! with a message naming the variable *before* any measurement starts —
+//! a silently defaulted knob would poison a nightly benchmark trajectory.
+//!
+//! Only the rejection paths are exercised here (they return in
+//! milliseconds); the accepting paths run the full table and are covered
+//! by tests/cli.rs via the `specmatcher table1` subcommand.
+
+use std::process::Command;
+
+fn table1_with_env(var: &str, value: &str) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_table1"))
+        .env(var, value)
+        .output()
+        .expect("binary runs")
+}
+
+#[test]
+fn invalid_env_is_rejected_at_startup() {
+    for (var, bad, needle) in [
+        ("SPECMATCHER_NO_REDUCE", "yes", "invalid SPECMATCHER_NO_REDUCE"),
+        ("SPECMATCHER_NO_REDUCE", "2", "invalid SPECMATCHER_NO_REDUCE"),
+        ("SPECMATCHER_JOBS", "0", "invalid SPECMATCHER_JOBS"),
+        ("SPECMATCHER_JOBS", "four", "invalid SPECMATCHER_JOBS"),
+        ("SPECMATCHER_BMC_DEPTH", "0", "invalid SPECMATCHER_BMC_DEPTH"),
+        ("SPECMATCHER_BMC_DEPTH", "257", "invalid SPECMATCHER_BMC_DEPTH"),
+        ("SPECMATCHER_BMC_DEPTH", "sixteen", "invalid SPECMATCHER_BMC_DEPTH"),
+    ] {
+        let out = table1_with_env(var, bad);
+        assert_eq!(
+            out.status.code(),
+            Some(2),
+            "{var}={bad:?} must be rejected at startup"
+        );
+        let stderr = String::from_utf8(out.stderr).expect("utf8");
+        assert!(stderr.contains(needle), "{var}={bad:?}: {stderr}");
+        // Exit 2 means nothing was measured: no table header on stdout.
+        let stdout = String::from_utf8(out.stdout).expect("utf8");
+        assert!(
+            !stdout.contains("Table 1"),
+            "{var}={bad:?} must fail before measuring: {stdout}"
+        );
+    }
+}

@@ -57,6 +57,7 @@
 //! ```
 
 pub mod backend;
+pub mod bmc;
 pub mod error;
 pub mod hole;
 pub mod intent;
@@ -71,6 +72,7 @@ pub mod weaken;
 pub use backend::{
     predicted_product_cost, Backend, AUTO_SYMBOLIC_BITS, AUTO_SYMBOLIC_PRODUCT_COST,
 };
+pub use bmc::{bmc_depth_from_env, BmcMode, MAX_BMC_DEPTH};
 pub use dic_symbolic::{ReorderMode, ReorderStats, SymbolicOptions};
 pub use error::CoreError;
 pub use hole::{closes_gap, closure_witness, exact_hole};
@@ -97,6 +99,28 @@ pub use weaken::{find_gap, find_gap_with_runs, GapConfig, GapProperty};
 ///
 /// [`CoreError::Symbolic`] if the symbolic backend exceeds its node budget
 /// mid-analysis (the explicit backend cannot fail once built).
+/// Startup audit of every `SPECMATCHER_*` override with a strict parse:
+/// `SPECMATCHER_NO_REDUCE`, `SPECMATCHER_JOBS` and `SPECMATCHER_BMC_DEPTH`.
+/// Returns the first offending setting's message.
+///
+/// Model construction re-validates these fail-closed, but the library
+/// paths that merely *read* them (`reduction_enabled()`,
+/// `GapConfig::effective_jobs`, the BMC depth resolution) deliberately
+/// swallow garbage and fall back to defaults — safe only because every
+/// binary entry point calls this (or builds a model) before any of those
+/// reads. Binaries should treat an `Err` as a usage error (exit 2).
+///
+/// # Errors
+///
+/// The offending variable's message, naming the variable and the
+/// expected form.
+pub fn validate_env() -> Result<(), String> {
+    dic_automata::reduction_from_env()?;
+    backend::jobs_from_env()?;
+    bmc::bmc_depth_from_env()?;
+    Ok(())
+}
+
 pub fn primary_coverage(
     fa: &dic_ltl::Ltl,
     rtl: &RtlSpec,

@@ -3,6 +3,7 @@
 use crate::backend::{
     predicted_product_cost, Backend, AUTO_SYMBOLIC_BITS, AUTO_SYMBOLIC_PRODUCT_COST,
 };
+use crate::bmc::BmcMode;
 use crate::error::CoreError;
 use crate::spec::{ArchSpec, RtlSpec};
 use dic_fsm::Kripke;
@@ -49,6 +50,12 @@ pub struct CoverageModel {
     cache: dic_automata::GbaCache,
     /// Materialized base products, keyed by the baked-in conjunction.
     products: Mutex<HashMap<Vec<dic_ltl::Ltl>, Arc<dic_automata::ProductSystem>>>,
+    /// Whether gap queries first try the bounded SAT refutation tier
+    /// ([`BmcMode::Auto`] by default; see [`CoverageModel::gap_query`]).
+    bmc_mode: BmcMode,
+    /// Unroll depth of the SAT tier (`SPECMATCHER_BMC_DEPTH` override or
+    /// [`dic_sat::DEFAULT_BMC_DEPTH`], resolved at build time).
+    bmc_depth: usize,
 }
 
 impl CoverageModel {
@@ -128,6 +135,7 @@ impl CoverageModel {
         // select a default pipeline or worker count.
         dic_automata::reduction_from_env().map_err(CoreError::InvalidEnv)?;
         crate::backend::jobs_from_env().map_err(CoreError::InvalidEnv)?;
+        crate::bmc::bmc_depth_from_env().map_err(CoreError::InvalidEnv)?;
 
         // Assumption 1: AP_A ⊆ AP_R.
         let ap_r = rtl.alphabet();
@@ -253,7 +261,23 @@ impl CoverageModel {
             hidden,
             cache: dic_automata::GbaCache::new(),
             products: Mutex::new(HashMap::new()),
+            bmc_mode: BmcMode::default(),
+            bmc_depth: crate::bmc::effective_bmc_depth(),
         })
+    }
+
+    /// Selects whether gap queries consult the bounded SAT refutation
+    /// tier first (the CLI's `--bmc`; [`BmcMode::Auto`] by default). The
+    /// reported gap-property sets are identical either way — the tier
+    /// only ever short-circuits verdicts the fixpoint engines would reach
+    /// themselves.
+    pub fn set_bmc_mode(&mut self, mode: BmcMode) {
+        self.bmc_mode = mode;
+    }
+
+    /// The bounded-refutation mode gap queries run with.
+    pub fn bmc_mode(&self) -> BmcMode {
+        self.bmc_mode
     }
 
     /// The engine answering primary coverage queries: [`Backend::Explicit`]
@@ -275,6 +299,14 @@ impl CoverageModel {
     /// every backend (unlike `kripke().input_vars()`).
     pub fn input_signals(&self) -> &[SignalId] {
         &self.inputs
+    }
+
+    /// The free spec signals: property atoms the (cone-reduced)
+    /// composition does not drive. Together with [`Module::inputs`] these
+    /// are the unconstrained bits a bounded query must leave open —
+    /// exactly the `free` argument of [`dic_sat::bounded_lasso`].
+    pub fn free_signals(&self) -> &[SignalId] {
+        &self.free
     }
 
     /// Backend-dispatched existential query: is some run of `M` satisfying
@@ -390,6 +422,20 @@ impl CoverageModel {
     /// `backend` must be resolved ([`CoverageModel::gap_backend`]), never
     /// [`Backend::Auto`].
     ///
+    /// With [`BmcMode::Auto`] (the default) a bounded SAT refutation runs
+    /// *before* the symbolic fixpoint engine: if a lasso satisfying the
+    /// whole conjunction exists within [`CoverageModel::bmc_depth`] steps,
+    /// the SAT tier finds it, replays it through the netlist evaluator,
+    /// and returns it without ever touching a fixpoint. An inconclusive
+    /// bound (UNSAT within the depth, or the per-query conflict budget)
+    /// falls through, so verdicts are identical across modes — only the
+    /// engine that produces them changes. `Auto` deliberately skips the
+    /// tier when the resolved gap backend is explicit: those models fit
+    /// the enumerative engine precisely because their fixpoints cost
+    /// milliseconds, less than a single unrolled SAT query, while each
+    /// symbolic Emerson–Lei fixpoint costs seconds. The gate is a pure
+    /// function of the resolved backend, so determinism is unaffected.
+    ///
     /// # Errors
     ///
     /// [`CoreError::Symbolic`] when the symbolic engine exceeds its node
@@ -400,10 +446,35 @@ impl CoverageModel {
         base: &[dic_ltl::Ltl],
         extra: &[dic_ltl::Ltl],
     ) -> Result<Option<dic_ltl::LassoWord>, CoreError> {
+        if self.bmc_mode == BmcMode::Auto && backend == Backend::Symbolic {
+            let formulas: Vec<dic_ltl::Ltl> =
+                base.iter().chain(extra.iter()).cloned().collect();
+            if let Some(run) = self.bmc_refute(&formulas) {
+                return Ok(Some(run));
+            }
+        }
         match backend {
             Backend::Symbolic => self.with_symbolic(|sym| sym.satisfiable_factored(base, extra)),
             _ => Ok(self.satisfiable_factored(base, extra)),
         }
+    }
+
+    /// The bounded tier of [`CoverageModel::gap_query`]: a `k`-step SAT
+    /// query for a run of `M` satisfying the conjunction. `Some` is a
+    /// genuine, re-verified run (sound to report as a closure refutation);
+    /// `None` proves nothing.
+    fn bmc_refute(&self, formulas: &[dic_ltl::Ltl]) -> Option<dic_ltl::LassoWord> {
+        let _span = dic_trace::span("bmc.query");
+        dic_trace::count(dic_trace::Counter::BmcQueries, 1);
+        let run = dic_sat::bounded_lasso(
+            &self.composed,
+            &self.table,
+            &self.free,
+            formulas,
+            self.bmc_depth,
+        )?;
+        dic_trace::count(dic_trace::Counter::BmcRefuted, 1);
+        Some(run)
     }
 
     /// Backend-dispatched bounded-scenario query with witness: is some run

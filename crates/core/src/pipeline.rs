@@ -2,6 +2,7 @@
 //! per-phase timing breakdown of the paper's Table 1.
 
 use crate::backend::Backend;
+use crate::bmc::BmcMode;
 use crate::error::CoreError;
 use crate::hole::exact_hole;
 use crate::model::CoverageModel;
@@ -157,6 +158,9 @@ pub struct CoverageRun {
     /// The engine that ran the gap phases ([`Backend::Auto`] resolves per
     /// phase, so this can differ from [`CoverageRun::backend`]).
     pub gap_backend: Backend,
+    /// Whether the bounded SAT refutation tier ran ahead of the closure
+    /// fixpoints (the gap-property sets are identical either way).
+    pub bmc: BmcMode,
     /// Dynamic-reordering statistics of the symbolic engine (`None` when
     /// no symbolic engine was built for this run).
     pub reorder: Option<ReorderStats>,
@@ -181,9 +185,10 @@ impl CoverageRun {
         }
         let _ = writeln!(
             out,
-            "timings (primary backend {}, gap backend {}): primary {:?}, TM build {:?}, gap finding {:?}",
+            "timings (primary backend {}, gap backend {}, bmc {}): primary {:?}, TM build {:?}, gap finding {:?}",
             self.backend,
             self.gap_backend,
+            self.bmc,
             self.timings.primary,
             self.timings.tm_build,
             self.timings.gap_find
@@ -215,6 +220,7 @@ pub struct SpecMatcher {
     tm_style: TmStyle,
     backend: Backend,
     reorder: ReorderMode,
+    bmc: BmcMode,
 }
 
 impl SpecMatcher {
@@ -226,6 +232,7 @@ impl SpecMatcher {
             tm_style: TmStyle::default(),
             backend: Backend::default(),
             reorder: ReorderMode::default(),
+            bmc: BmcMode::default(),
         }
     }
 
@@ -269,6 +276,24 @@ impl SpecMatcher {
         self.reorder
     }
 
+    /// Selects the bounded-refutation mode (the CLI's `--bmc`;
+    /// [`BmcMode::Auto`] by default). With `Auto`, every gap-phase closure
+    /// query first asks the SAT tier for a `k`-bounded refuting run and
+    /// only falls through to the fixpoint engines on an inconclusive
+    /// bound; the reported gap-property sets are byte-identical across
+    /// modes. Takes effect on the model [`SpecMatcher::check`] builds —
+    /// when reusing a prebuilt model via [`SpecMatcher::check_with_model`],
+    /// set [`CoverageModel::set_bmc_mode`] on it instead.
+    pub fn with_bmc(mut self, bmc: BmcMode) -> Self {
+        self.bmc = bmc;
+        self
+    }
+
+    /// The requested bounded-refutation mode.
+    pub fn bmc(&self) -> BmcMode {
+        self.bmc
+    }
+
     /// Overrides the closure-verification worker count (the CLI's
     /// `--jobs`). `0` keeps the default resolution:
     /// `SPECMATCHER_JOBS` when set, otherwise the machine's available
@@ -296,8 +321,9 @@ impl SpecMatcher {
         let options = SymbolicOptions::from_env()
             .map_err(CoreError::Symbolic)?
             .with_reorder(self.reorder);
-        let model =
+        let mut model =
             CoverageModel::build_with_symbolic_options(arch, rtl, table, self.backend, options)?;
+        model.set_bmc_mode(self.bmc);
         self.check_with_model(arch, rtl, table, &model)
     }
 
@@ -405,6 +431,7 @@ impl SpecMatcher {
             num_rtl_properties: rtl.num_properties(),
             backend: model.primary_backend(),
             gap_backend,
+            bmc: model.bmc_mode(),
             reorder: model.reorder_stats(),
             jobs,
             counters,

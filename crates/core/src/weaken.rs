@@ -409,6 +409,10 @@ fn verify_candidate(
     if dic_trace::enabled() {
         dic_trace::count(dic_trace::Counter::GapFixpointVerified, 1);
     }
+    // The full closure check. With `BmcMode::Auto`, `gap_query` itself
+    // fronts this with the bounded SAT tier — a shallow refuting lasso
+    // comes back without running either fixpoint engine, and lands in
+    // the shared bad-run pool exactly like a fixpoint counterexample.
     match model.gap_query(backend, base, std::slice::from_ref(&weakened))? {
         Some(run) => {
             state.bad_runs.push(run);

@@ -869,8 +869,22 @@ impl BddManager {
     /// Number of satisfying assignments over an `nvars`-variable universe.
     ///
     /// `nvars` must be at least the number of registered variables appearing
-    /// in `f`'s support.
+    /// in `f`'s support. Counts saturate at `u128::MAX`: past a
+    /// 127-variable universe the exact count can exceed the word (already
+    /// `sat_count(TRUE, 128)` is `2^128`), and a pegged maximum is more
+    /// useful than the shift overflow the unchecked arithmetic used to
+    /// hit (a debug panic, silently wrong counts in release).
     pub fn sat_count(&self, f: Bdd, nvars: u32) -> u128 {
+        /// `x << n`, saturating at `u128::MAX` instead of overflowing.
+        fn shl_sat(x: u128, n: u32) -> u128 {
+            if x == 0 {
+                0
+            } else if n > x.leading_zeros() {
+                u128::MAX
+            } else {
+                x << n
+            }
+        }
         fn go(
             man: &BddManager,
             f: Bdd,
@@ -891,14 +905,14 @@ impl BddManager {
             let hi = go(man, Bdd(n.hi), nvars, cache);
             let skipped_lo = man.level_gap(n.var, Bdd(n.lo), nvars);
             let skipped_hi = man.level_gap(n.var, Bdd(n.hi), nvars);
-            let c = (lo << skipped_lo) + (hi << skipped_hi);
+            let c = shl_sat(lo, skipped_lo).saturating_add(shl_sat(hi, skipped_hi));
             cache.insert(f.0, c);
             c
         }
         let mut cache = HashMap::new();
         let total = go(self, f, nvars, &mut cache);
         // Account for variables above the root.
-        total << self.level_gap_root(f, nvars)
+        shl_sat(total, self.level_gap_root(f, nvars))
     }
 
     fn level_gap(&self, var: u32, child: Bdd, nvars: u32) -> u32 {
@@ -1097,6 +1111,24 @@ mod tests {
         assert_eq!(m.sat_count(f, 4), 12);
         assert_eq!(m.sat_count(Bdd::TRUE, 4), 16);
         assert_eq!(m.sat_count(Bdd::FALSE, 4), 0);
+    }
+
+    #[test]
+    fn sat_count_saturates_past_word_width() {
+        let (_t, mut m, ids) = setup();
+        // 127 free variables is the largest exact power: 2^127 fits.
+        assert_eq!(m.sat_count(Bdd::TRUE, 127), 1u128 << 127);
+        // At 128 the exact count is 2^128: saturate, don't overflow.
+        assert_eq!(m.sat_count(Bdd::TRUE, 128), u128::MAX);
+        assert_eq!(m.sat_count(Bdd::TRUE, 500), u128::MAX);
+        // FALSE stays 0 at any width.
+        assert_eq!(m.sat_count(Bdd::FALSE, 500), 0);
+        // A one-variable function over a 128-variable universe: the count
+        // is 2^127 exactly — the boundary where the old shift was fine.
+        let a = m.var_for_signal(ids[0]);
+        assert_eq!(m.sat_count(a, 128), 1u128 << 127);
+        // Over 129 variables it would be 2^128: saturated.
+        assert_eq!(m.sat_count(a, 129), u128::MAX);
     }
 
     #[test]

@@ -1,0 +1,502 @@
+//! Bounded refutation: SAT-encoded lasso search over the netlist × GBA
+//! product.
+//!
+//! [`bounded_lasso`] asks: *is there an ultimately periodic run of the
+//! model, with prefix + period fitting inside `depth` cycles, satisfying
+//! every formula of the conjunction?* A `Some` answer is a genuine run —
+//! extracted from the SAT model, re-settled through the netlist evaluator
+//! and re-verified against every formula with the word-level semantics —
+//! so the caller may treat it exactly like a counterexample from the
+//! unbounded engines. A `None` answer proves nothing (the run may simply
+//! need more cycles), which is why the coverage pipeline uses this as a
+//! *refutation-only* tier in front of the fixpoint engines.
+//!
+//! # Encoding
+//!
+//! Positions `0 ..= k` (`k = depth`), with position `k` identified with
+//! some earlier position `j` by a one-hot loop selector:
+//!
+//! * **netlist**: one variable per latch/input/wire per position; latches
+//!   pinned to their reset value at position 0 and tied to their
+//!   next-state function across steps; wires Tseitin-defined from their
+//!   gate functions per position; signals the model does not constrain
+//!   are pinned false, matching the explicit engine's label convention;
+//! * **automata**: per conjunct, the same GPVW automaton both engines use
+//!   (via [`dic_automata::translate_cached`]), encoded one-hot per
+//!   position: the chosen state's literal obligations hold on the
+//!   position's valuation, and consecutive states follow the transition
+//!   relation;
+//! * **loop**: selector `l_j` forces latch/input/automaton-state equality
+//!   between positions `k` and `j`, making `j .. k-1` the period;
+//! * **acceptance**: for every acceptance set of every automaton, some
+//!   in-loop position visits it (generalized Büchi acceptance localized
+//!   to the period).
+
+use crate::cnf::{Cnf, SatLit};
+use crate::solver::{SatResult, Solver};
+use dic_automata::translate_cached;
+use dic_logic::{BoolExpr, SignalId, SignalTable, Valuation};
+use dic_ltl::{LassoWord, Ltl};
+use dic_netlist::Module;
+use std::collections::HashMap;
+
+/// Default unroll depth of the bounded tier (`SPECMATCHER_BMC_DEPTH`
+/// overrides it).
+pub const DEFAULT_BMC_DEPTH: usize = 16;
+
+/// Conflict budget per bounded query: exhausting it abandons the query
+/// (falling through to the unbounded engines) instead of stalling on a
+/// hard instance. Part of the query, hence deterministic.
+pub const BMC_CONFLICT_BUDGET: u64 = 50_000;
+
+/// Variable cap for the bounded tier: an encoding wider than this is
+/// skipped outright (`None`) — the CNF build itself would dominate the
+/// fixpoint it is supposed to short-circuit.
+pub const BMC_VAR_LIMIT: usize = 400_000;
+
+/// Searches for a lasso run of `module` (with `free` spec signals as
+/// additional nondeterministic inputs) satisfying every formula in
+/// `formulas`, with prefix + period within `depth` cycles.
+///
+/// Returns a replayable [`LassoWord`] on success; `None` means *no verdict*
+/// (bounded-unsatisfiable, over budget, or too large to encode), never
+/// "unsatisfiable".
+///
+/// # Panics
+///
+/// Panics if `depth == 0` (callers validate the configured depth).
+pub fn bounded_lasso(
+    module: &Module,
+    table: &SignalTable,
+    free: &[SignalId],
+    formulas: &[Ltl],
+    depth: usize,
+) -> Option<LassoWord> {
+    assert!(depth > 0, "BMC depth must be positive");
+    let gbas: Vec<_> = formulas.iter().map(translate_cached).collect();
+    if gbas.iter().any(|g| g.initial().is_empty()) {
+        // Some conjunct is unsatisfiable on its own: no run exists at any
+        // depth. Still "no verdict" here — the unbounded engines answer
+        // the query with the same `None` for free.
+        return None;
+    }
+    let mut span = dic_trace::span("bmc.encode");
+    let mut enc = Encoder::new(module, table, free, depth);
+    if enc.predicted_vars(&gbas) > BMC_VAR_LIMIT {
+        return None;
+    }
+    enc.encode_model();
+    for g in &gbas {
+        enc.encode_automaton(g.as_ref());
+    }
+    enc.encode_loop();
+    if dic_trace::enabled() {
+        span.meta("vars", enc.cnf.num_vars() as u64);
+        span.meta("clauses", enc.cnf.num_clauses() as u64);
+        span.meta("depth", depth as u64);
+    }
+    drop(span);
+
+    let Encoder {
+        cnf,
+        latch_vars,
+        input_vars,
+        selectors,
+        ..
+    } = enc;
+    let _solve_span = dic_trace::span("bmc.solve");
+    let mut solver = Solver::new(cnf);
+    let SatResult::Sat(model) = solver.solve(Some(BMC_CONFLICT_BUDGET)) else {
+        return None;
+    };
+
+    // Extract: latch and input bits from the model, wires re-settled
+    // through the netlist evaluator (exactly the explicit engine's label
+    // convention — unconstrained signals stay false).
+    let state_signals = module.state_signals();
+    let inputs = module.nondet_inputs(free);
+    let lit_val = |l: SatLit| model[l.var().index()] == l.is_pos();
+    let mut states = Vec::with_capacity(depth);
+    for t in 0..depth {
+        let mut v = Valuation::all_false(table.len());
+        for (i, &s) in state_signals.iter().enumerate() {
+            v.set(s, lit_val(latch_vars[t][i]));
+        }
+        for (i, &s) in inputs.iter().enumerate() {
+            v.set(s, lit_val(input_vars[t][i]));
+        }
+        module.eval_wires(&mut v);
+        states.push(v);
+    }
+    let loop_start = selectors.iter().position(|&l| lit_val(l))?;
+    let word = LassoWord::new(states, loop_start)?;
+
+    // Belt and braces: the word is only trusted if every formula holds on
+    // it under the word-level semantics — an encoding discrepancy then
+    // degrades to a missed short-circuit, never an unsound verdict.
+    if formulas.iter().all(|f| f.holds_on(&word)) {
+        Some(word)
+    } else {
+        debug_assert!(false, "BMC witness failed word-level re-verification");
+        None
+    }
+}
+
+/// Per-query encoder state.
+struct Encoder<'a> {
+    module: &'a Module,
+    depth: usize,
+    cnf: Cnf,
+    /// `latch_vars[t][i]`: latch `i` (in `state_signals` order) at `t`.
+    latch_vars: Vec<Vec<SatLit>>,
+    /// `input_vars[t][i]`: nondet input `i` at `t`.
+    input_vars: Vec<Vec<SatLit>>,
+    /// Wire definitions per position, filled during model encoding.
+    wire_vars: Vec<HashMap<SignalId, SatLit>>,
+    /// Signal → latch/input index maps.
+    latch_index: HashMap<SignalId, usize>,
+    input_index: HashMap<SignalId, usize>,
+    /// One-hot loop selectors `l_0 .. l_{depth-1}`.
+    selectors: Vec<SatLit>,
+    /// Prefix-or of the selectors: `inloop[t] ⇔ ⋁_{j ≤ t} l_j`.
+    inloop: Vec<SatLit>,
+    nondet: Vec<SignalId>,
+}
+
+impl<'a> Encoder<'a> {
+    fn new(
+        module: &'a Module,
+        _table: &SignalTable,
+        free: &[SignalId],
+        depth: usize,
+    ) -> Self {
+        let state_signals = module.state_signals();
+        let nondet = module.nondet_inputs(free);
+        let latch_index = state_signals
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| (s, i))
+            .collect();
+        let input_index = nondet.iter().enumerate().map(|(i, &s)| (s, i)).collect();
+        Encoder {
+            module,
+            depth,
+            cnf: Cnf::new(),
+            latch_vars: Vec::new(),
+            input_vars: Vec::new(),
+            wire_vars: vec![HashMap::new(); depth + 1],
+            latch_index,
+            input_index,
+            selectors: Vec::new(),
+            inloop: Vec::new(),
+            nondet,
+        }
+    }
+
+    /// Rough pre-encoding size estimate, to bail out before building an
+    /// encoding the solver could never repay.
+    fn predicted_vars(&self, gbas: &[std::sync::Arc<dic_automata::Gba>]) -> usize {
+        let per_step = self.latch_index.len()
+            + self.input_index.len()
+            + self.module.wires().len() * 2
+            + gbas.iter().map(|g| g.num_states()).sum::<usize>();
+        (self.depth + 1) * per_step
+    }
+
+    /// The literal carrying `signal` at position `t`. Latches and inputs
+    /// have dedicated variables; wires resolve to their Tseitin
+    /// definition; anything else is pinned false (the explicit engine's
+    /// label convention for signals the model does not constrain).
+    fn signal_lit(&mut self, s: SignalId, t: usize) -> SatLit {
+        if let Some(&i) = self.latch_index.get(&s) {
+            return self.latch_vars[t][i];
+        }
+        if let Some(&i) = self.input_index.get(&s) {
+            return self.input_vars[t][i];
+        }
+        if let Some(&l) = self.wire_vars[t].get(&s) {
+            return l;
+        }
+        self.cnf.lit_false()
+    }
+
+    /// Tseitin of a gate function over position `t`'s signals.
+    fn expr_lit(&mut self, e: &BoolExpr, t: usize) -> SatLit {
+        match e {
+            BoolExpr::Const(true) => self.cnf.lit_true(),
+            BoolExpr::Const(false) => self.cnf.lit_false(),
+            BoolExpr::Var(s) => self.signal_lit(*s, t),
+            BoolExpr::Not(inner) => self.expr_lit(inner, t).negated(),
+            BoolExpr::And(parts) => {
+                let lits: Vec<SatLit> =
+                    parts.iter().map(|p| self.expr_lit(p, t)).collect();
+                self.cnf.lit_and(&lits)
+            }
+            BoolExpr::Or(parts) => {
+                let lits: Vec<SatLit> =
+                    parts.iter().map(|p| self.expr_lit(p, t)).collect();
+                self.cnf.lit_or(&lits)
+            }
+            BoolExpr::Xor(a, b) => {
+                let la = self.expr_lit(a, t);
+                let lb = self.expr_lit(b, t);
+                self.cnf.lit_xor(la, lb)
+            }
+        }
+    }
+
+    /// Unrolls the netlist: variables per position, reset at 0, wires as
+    /// definitions, latches tied across steps.
+    fn encode_model(&mut self) {
+        let latches = self.module.latches().to_vec();
+        let n_inputs = self.nondet.len();
+        for _t in 0..=self.depth {
+            let lv: Vec<SatLit> = latches
+                .iter()
+                .map(|_| SatLit::pos(self.cnf.new_var()))
+                .collect();
+            let iv: Vec<SatLit> = (0..n_inputs)
+                .map(|_| SatLit::pos(self.cnf.new_var()))
+                .collect();
+            self.latch_vars.push(lv);
+            self.input_vars.push(iv);
+        }
+        // Reset values at position 0. `state_signals` is the latch-output
+        // list in latch order, so index i matches latches[i].
+        for (i, l) in latches.iter().enumerate() {
+            let lit = self.latch_vars[0][i];
+            self.cnf
+                .add_clause([if l.init() { lit } else { lit.negated() }]);
+        }
+        // Wires, in topological order, per position.
+        let order = self.module.wire_order().to_vec();
+        for t in 0..=self.depth {
+            for &wi in &order {
+                let wire = &self.module.wires()[wi];
+                let (out, func) = (wire.output(), wire.func().clone());
+                let def = self.expr_lit(&func, t);
+                self.wire_vars[t].insert(out, def);
+            }
+        }
+        // Transition: latch at t+1 equals its next function over t.
+        for t in 0..self.depth {
+            for (i, l) in latches.iter().enumerate() {
+                let next = self.expr_lit(&l.next().clone(), t);
+                let target = self.latch_vars[t + 1][i];
+                self.cnf.equate(target, next);
+            }
+        }
+    }
+
+    /// Encodes one conjunct automaton: one-hot states per position,
+    /// initial-state restriction, literal obligations, transition
+    /// relation, and loop-localized generalized acceptance.
+    fn encode_automaton(&mut self, gba: &dic_automata::Gba) {
+        let n = gba.num_states();
+        let k = self.depth;
+        // One-hot state variables per position.
+        let mut at: Vec<Vec<SatLit>> = Vec::with_capacity(k + 1);
+        for _t in 0..=k {
+            let row: Vec<SatLit> =
+                (0..n).map(|_| SatLit::pos(self.cnf.new_var())).collect();
+            self.cnf.exactly_one(&row);
+            at.push(row);
+        }
+        // Initial states only at position 0.
+        for (q, &here) in at[0].iter().enumerate() {
+            if !gba.is_initial(q as u32) {
+                self.cnf.add_clause([here.negated()]);
+            }
+        }
+        // Literal obligations: being in q at t forces q's literals on the
+        // position's valuation.
+        for (t, row) in at.iter().enumerate() {
+            for (q, &here) in row.iter().enumerate() {
+                for &lit in gba.state(q as u32).literals() {
+                    let sig = self.signal_lit(lit.signal(), t);
+                    let obligation = if lit.polarity() { sig } else { sig.negated() };
+                    self.cnf.add_clause([here.negated(), obligation]);
+                }
+            }
+        }
+        // Transitions: q at t allows only its successors at t+1.
+        for t in 0..k {
+            for q in 0..n {
+                let mut clause: Vec<SatLit> = vec![at[t][q].negated()];
+                clause.extend(
+                    gba.successors(q as u32)
+                        .iter()
+                        .map(|&q2| at[t + 1][q2 as usize]),
+                );
+                self.cnf.add_clause(clause);
+            }
+        }
+        // Loop closure for this automaton: selector j ties position k to
+        // position j (selectors exist by the time this runs — see
+        // `encode_loop`'s ordering note).
+        self.ensure_selectors();
+        for (j, &sel) in self.selectors.clone().iter().enumerate() {
+            for (&at_end, &at_loop) in at[k].iter().zip(&at[j]) {
+                self.cnf.equate_if(sel, at_end, at_loop);
+            }
+        }
+        // Acceptance: every set visited at some in-loop position.
+        for m in 0..gba.num_acceptance_sets() {
+            let mut witnesses: Vec<SatLit> = Vec::new();
+            for (t, row) in at.iter().enumerate().take(k) {
+                let members: Vec<SatLit> = row
+                    .iter()
+                    .enumerate()
+                    .filter(|&(q, _)| gba.state(q as u32).in_acceptance_set(m))
+                    .map(|(_, &l)| l)
+                    .collect();
+                if members.is_empty() {
+                    continue;
+                }
+                let visited = self.cnf.lit_or(&members);
+                let inloop = self.inloop[t];
+                witnesses.push(self.cnf.lit_and(&[inloop, visited]));
+            }
+            self.cnf.add_clause(witnesses);
+        }
+    }
+
+    /// Creates the one-hot loop selectors and the prefix-or in-loop
+    /// indicators on first use.
+    fn ensure_selectors(&mut self) {
+        if !self.selectors.is_empty() {
+            return;
+        }
+        let k = self.depth;
+        self.selectors = (0..k).map(|_| SatLit::pos(self.cnf.new_var())).collect();
+        let sels = self.selectors.clone();
+        self.cnf.exactly_one(&sels);
+        // inloop[t] ⇔ l_0 ∨ … ∨ l_t.
+        let mut prev: Option<SatLit> = None;
+        for t in 0..k {
+            let here = match prev {
+                None => self.selectors[0],
+                Some(p) => self.cnf.lit_or(&[p, self.selectors[t]]),
+            };
+            self.inloop.push(here);
+            prev = Some(here);
+        }
+    }
+
+    /// Ties the model state at position `k` back to the selected loop
+    /// position: latches and inputs equal (wires follow functionally).
+    fn encode_loop(&mut self) {
+        self.ensure_selectors();
+        let k = self.depth;
+        for (j, &sel) in self.selectors.clone().iter().enumerate() {
+            for i in 0..self.latch_vars[0].len() {
+                self.cnf
+                    .equate_if(sel, self.latch_vars[k][i], self.latch_vars[j][i]);
+            }
+            for i in 0..self.input_vars[0].len() {
+                self.cnf
+                    .equate_if(sel, self.input_vars[k][i], self.input_vars[j][i]);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dic_logic::SignalTable;
+    use dic_netlist::ModuleBuilder;
+
+    /// `q` latches `a`; free spec signal `req` rides along.
+    fn latch_module(t: &mut SignalTable) -> Module {
+        let mut b = ModuleBuilder::new("glue", t);
+        let a = b.input("a");
+        let q = b.latch_from("q", a, false);
+        b.mark_output(q);
+        b.finish().expect("valid")
+    }
+
+    #[test]
+    fn finds_bounded_witness_for_reachable_scenario() {
+        let mut t = SignalTable::new();
+        let m = latch_module(&mut t);
+        // F(q): reachable in one step by driving a.
+        let f = Ltl::parse("F q", &mut t).unwrap();
+        let word = bounded_lasso(&m, &t, &[], std::slice::from_ref(&f), DEFAULT_BMC_DEPTH)
+            .expect("q is reachable");
+        assert!(f.holds_on(&word));
+    }
+
+    #[test]
+    fn respects_conjunction() {
+        let mut t = SignalTable::new();
+        let m = latch_module(&mut t);
+        let req = t.intern("req");
+        let f1 = Ltl::parse("G(req -> X q)", &mut t).unwrap();
+        let f2 = Ltl::parse("F req", &mut t).unwrap();
+        let f3 = Ltl::parse("G !a", &mut t).unwrap();
+        // req with a pinned low: q never rises, so G(req -> X q) ∧ F req
+        // ∧ G !a has no run of this module.
+        assert!(bounded_lasso(&m, &t, &[req], &[f1, f2, f3], 8).is_none());
+    }
+
+    #[test]
+    fn bounded_none_on_unsatisfiable_conjunct() {
+        let mut t = SignalTable::new();
+        let m = latch_module(&mut t);
+        let contradiction = Ltl::parse("G q & F !q", &mut t).unwrap();
+        assert!(bounded_lasso(&m, &t, &[], &[contradiction], 8).is_none());
+    }
+
+    #[test]
+    fn witness_replays_reset_and_transition_semantics() {
+        let mut t = SignalTable::new();
+        let m = latch_module(&mut t);
+        let f = Ltl::parse("F(q & X !q)", &mut t).unwrap();
+        let word =
+            bounded_lasso(&m, &t, &[], std::slice::from_ref(&f), DEFAULT_BMC_DEPTH).expect("reachable");
+        assert!(f.holds_on(&word));
+        // Replay: every consecutive pair respects the latch function
+        // q' = a, and position 0 carries the reset value q = 0.
+        let a = t.lookup("a").unwrap();
+        let q = t.lookup("q").unwrap();
+        assert!(!word.states()[0].get(q), "reset value");
+        for i in 0..word.states().len() {
+            let succ = word.succ(i);
+            assert_eq!(
+                word.states()[succ].get(q),
+                word.states()[i].get(a),
+                "latch semantics broken at step {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn liveness_needs_acceptance_in_the_loop() {
+        let mut t = SignalTable::new();
+        let m = latch_module(&mut t);
+        // G F q: q must recur forever — the loop itself must visit q.
+        let f = Ltl::parse("G F q", &mut t).unwrap();
+        let word = bounded_lasso(&m, &t, &[], std::slice::from_ref(&f), 6).expect("satisfiable");
+        assert!(f.holds_on(&word));
+        let q = t.lookup("q").unwrap();
+        let loop_has_q = word.states()[word.loop_start()..]
+            .iter()
+            .any(|s| s.get(q));
+        assert!(loop_has_q, "acceptance must fall inside the period");
+    }
+
+    #[test]
+    fn zero_state_module_still_encodes() {
+        // Pure combinational module: only inputs and wires.
+        let mut t = SignalTable::new();
+        let mut b = ModuleBuilder::new("comb", &mut t);
+        let x = b.input("x");
+        let y = b.not_gate("y", x);
+        b.mark_output(y);
+        let m = b.finish().unwrap();
+        let f = Ltl::parse("G(x -> !y)", &mut t).unwrap();
+        let word = bounded_lasso(&m, &t, &[], std::slice::from_ref(&f), 4).expect("tautology holds");
+        assert!(f.holds_on(&word));
+    }
+}

@@ -1,0 +1,547 @@
+//! A small conflict-driven clause-learning SAT solver.
+//!
+//! Classic MiniSat-style architecture, dependency-free and deterministic:
+//!
+//! * **two watched literals** per clause for unit propagation,
+//! * **first-UIP conflict analysis** with learned-clause assertion and
+//!   non-chronological backjumping,
+//! * **VSIDS-style decisions**: per-variable activities bumped on conflict
+//!   participation and decayed geometrically, with ties broken by the
+//!   *smallest variable index* — the solver is a deterministic function of
+//!   the clause list, which the byte-identical-output contract of the
+//!   BMC tier leans on,
+//! * geometric **restarts** (activities survive, the trail resets).
+//!
+//! The solver takes an optional **conflict budget**: exhausting it returns
+//! [`SatResult::Unknown`], letting the bounded tier fall through to the
+//! unbounded engines instead of stalling on a hard instance. The budget is
+//! part of the input, so verdicts stay deterministic.
+
+use crate::cnf::{Cnf, SatLit, Var};
+
+/// Outcome of a [`Solver::solve`] call.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SatResult {
+    /// Satisfiable; the vector assigns every variable by index.
+    Sat(Vec<bool>),
+    /// Proved unsatisfiable.
+    Unsat,
+    /// Conflict budget exhausted before a verdict.
+    Unknown,
+}
+
+/// Sentinel for "no reason clause" (decision or unassigned).
+const NO_REASON: u32 = u32::MAX;
+
+#[derive(Clone)]
+struct Clause {
+    lits: Vec<SatLit>,
+}
+
+/// Counters a solve accumulates, surfaced through `dic_trace` by
+/// [`Solver::solve`] on completion.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SolverStats {
+    /// Decision-variable picks.
+    pub decisions: u64,
+    /// Conflicts hit (equals the number of analysis rounds).
+    pub conflicts: u64,
+    /// Clauses learned from first-UIP analysis.
+    pub learned_clauses: u64,
+    /// Unit propagations performed.
+    pub propagations: u64,
+}
+
+/// The CDCL solver; build with [`Solver::new`] from a finished [`Cnf`].
+pub struct Solver {
+    num_vars: usize,
+    clauses: Vec<Clause>,
+    /// `watches[lit.code()]`: indices of clauses currently watching `lit`
+    /// (they must be revisited when `lit` becomes false).
+    watches: Vec<Vec<u32>>,
+    /// Assignment per variable: `None` unassigned.
+    assign: Vec<Option<bool>>,
+    /// Assigned literals in assignment order.
+    trail: Vec<SatLit>,
+    /// Trail index where each decision level starts.
+    trail_lim: Vec<usize>,
+    /// Next trail position to propagate from.
+    qhead: usize,
+    /// Clause index that implied each variable (`NO_REASON` for decisions).
+    reason: Vec<u32>,
+    /// Decision level of each variable's assignment.
+    level: Vec<u32>,
+    /// VSIDS activity per variable.
+    activity: Vec<f64>,
+    var_inc: f64,
+    /// Scratch for conflict analysis.
+    seen: Vec<bool>,
+    /// Set when an input clause is empty or a top-level conflict exists.
+    unsat: bool,
+    stats: SolverStats,
+}
+
+/// Geometric activity decay per conflict (MiniSat's stock 0.95).
+const VAR_DECAY: f64 = 0.95;
+/// Activity rescale threshold.
+const RESCALE_AT: f64 = 1e100;
+/// First restart after this many conflicts; each restart interval grows
+/// geometrically by 3/2.
+const RESTART_FIRST: u64 = 100;
+
+impl Solver {
+    /// Builds a solver over the finished formula.
+    pub fn new(cnf: Cnf) -> Self {
+        let (num_vars, raw) = cnf.into_parts();
+        let n = num_vars as usize;
+        let mut s = Solver {
+            num_vars: n,
+            clauses: Vec::with_capacity(raw.len()),
+            watches: vec![Vec::new(); 2 * n],
+            assign: vec![None; n],
+            trail: Vec::with_capacity(n),
+            trail_lim: Vec::new(),
+            qhead: 0,
+            reason: vec![NO_REASON; n],
+            level: vec![0; n],
+            activity: vec![0.0; n],
+            var_inc: 1.0,
+            seen: vec![false; n],
+            unsat: false,
+            stats: SolverStats::default(),
+        };
+        for c in raw {
+            s.add_input_clause(c);
+            if s.unsat {
+                break;
+            }
+        }
+        s
+    }
+
+    /// Counters accumulated so far.
+    pub fn stats(&self) -> SolverStats {
+        self.stats
+    }
+
+    fn add_input_clause(&mut self, lits: Vec<SatLit>) {
+        match lits.len() {
+            0 => self.unsat = true,
+            1 => {
+                // Top-level unit: enqueue now, conflict means UNSAT.
+                match self.value(lits[0]) {
+                    Some(false) => self.unsat = true,
+                    Some(true) => {}
+                    None => self.enqueue(lits[0], NO_REASON),
+                }
+            }
+            _ => {
+                let idx = self.clauses.len() as u32;
+                self.watches[lits[0].negated().code()].push(idx);
+                self.watches[lits[1].negated().code()].push(idx);
+                self.clauses.push(Clause { lits });
+            }
+        }
+    }
+
+    fn value(&self, l: SatLit) -> Option<bool> {
+        self.assign[l.var().index()].map(|v| v == l.is_pos())
+    }
+
+    fn decision_level(&self) -> u32 {
+        self.trail_lim.len() as u32
+    }
+
+    fn enqueue(&mut self, l: SatLit, reason: u32) {
+        let v = l.var().index();
+        debug_assert!(self.assign[v].is_none());
+        self.assign[v] = Some(l.is_pos());
+        self.reason[v] = reason;
+        self.level[v] = self.decision_level();
+        self.trail.push(l);
+    }
+
+    /// Propagates until fixpoint; returns the conflicting clause index, if
+    /// any.
+    fn propagate(&mut self) -> Option<u32> {
+        while self.qhead < self.trail.len() {
+            let p = self.trail[self.qhead];
+            self.qhead += 1;
+            // Clauses watching ¬p (registered under `watches[p]`) must
+            // find a new watch or become unit.
+            let false_lit = p.negated();
+            let mut ws = std::mem::take(&mut self.watches[p.code()]);
+            let mut i = 0;
+            while i < ws.len() {
+                self.stats.propagations += 1;
+                let ci = ws[i];
+                let clause = &mut self.clauses[ci as usize];
+                // Normalize: the false literal sits at position 1.
+                if clause.lits[0] == false_lit {
+                    clause.lits.swap(0, 1);
+                }
+                debug_assert_eq!(clause.lits[1], false_lit);
+                let first = clause.lits[0];
+                if self.assign[first.var().index()].map(|v| v == first.is_pos())
+                    == Some(true)
+                {
+                    i += 1; // already satisfied, keep the watch
+                    continue;
+                }
+                // Look for a non-false literal to watch instead.
+                let mut moved = false;
+                for k in 2..clause.lits.len() {
+                    let l = clause.lits[k];
+                    if self.assign[l.var().index()].map(|v| v == l.is_pos())
+                        != Some(false)
+                    {
+                        clause.lits.swap(1, k);
+                        self.watches[l.negated().code()].push(ci);
+                        ws.swap_remove(i);
+                        moved = true;
+                        break;
+                    }
+                }
+                if moved {
+                    continue;
+                }
+                // Unit or conflicting.
+                match self.value(first) {
+                    None => {
+                        self.enqueue(first, ci);
+                        i += 1;
+                    }
+                    Some(false) => {
+                        // Conflict: restore the watch list and report.
+                        self.watches[p.code()] = ws;
+                        return Some(ci);
+                    }
+                    Some(true) => unreachable!("checked above"),
+                }
+            }
+            self.watches[p.code()] = ws;
+        }
+        None
+    }
+
+    fn bump(&mut self, v: usize) {
+        self.activity[v] += self.var_inc;
+        if self.activity[v] > RESCALE_AT {
+            for a in &mut self.activity {
+                *a *= 1.0 / RESCALE_AT;
+            }
+            self.var_inc *= 1.0 / RESCALE_AT;
+        }
+    }
+
+    fn decay(&mut self) {
+        self.var_inc *= 1.0 / VAR_DECAY;
+    }
+
+    /// First-UIP conflict analysis. Returns the learned clause (asserting
+    /// literal first) and the backjump level.
+    fn analyze(&mut self, confl: u32) -> (Vec<SatLit>, u32) {
+        let mut learnt: Vec<SatLit> = vec![SatLit::pos(Var(0))]; // slot 0 = UIP
+        let mut counter = 0usize;
+        let mut p: Option<SatLit> = None;
+        let mut index = self.trail.len();
+        let mut confl = confl;
+        loop {
+            // Skip the asserted literal itself on continuation rounds.
+            let start = usize::from(p.is_some());
+            let reason_lits = self.clauses[confl as usize].lits.clone();
+            for &q in &reason_lits[start..] {
+                let v = q.var().index();
+                if !self.seen[v] && self.level[v] > 0 {
+                    self.seen[v] = true;
+                    self.bump(v);
+                    if self.level[v] == self.decision_level() {
+                        counter += 1;
+                    } else {
+                        learnt.push(q);
+                    }
+                }
+            }
+            // Walk the trail backwards to the next marked literal.
+            loop {
+                index -= 1;
+                if self.seen[self.trail[index].var().index()] {
+                    break;
+                }
+            }
+            let lit = self.trail[index];
+            self.seen[lit.var().index()] = false;
+            counter -= 1;
+            if counter == 0 {
+                learnt[0] = lit.negated();
+                break;
+            }
+            confl = self.reason[lit.var().index()];
+            debug_assert_ne!(confl, NO_REASON);
+            p = Some(lit);
+        }
+        for l in &learnt[1..] {
+            self.seen[l.var().index()] = false;
+        }
+        // Backjump to the second-highest level in the clause.
+        let mut back = 0;
+        let mut at = 1;
+        for (k, l) in learnt.iter().enumerate().skip(1) {
+            let lv = self.level[l.var().index()];
+            if lv > back {
+                back = lv;
+                at = k;
+            }
+        }
+        if learnt.len() > 1 {
+            learnt.swap(1, at);
+        }
+        (learnt, back)
+    }
+
+    fn cancel_until(&mut self, level: u32) {
+        while self.decision_level() > level {
+            let start = self.trail_lim.pop().expect("level > 0");
+            for l in self.trail.drain(start..) {
+                let v = l.var().index();
+                self.assign[v] = None;
+                self.reason[v] = NO_REASON;
+            }
+        }
+        self.qhead = self.trail.len();
+    }
+
+    /// Records a learned clause and enqueues its asserting literal.
+    fn learn(&mut self, learnt: Vec<SatLit>) {
+        self.stats.learned_clauses += 1;
+        if learnt.len() == 1 {
+            self.enqueue(learnt[0], NO_REASON);
+            return;
+        }
+        let idx = self.clauses.len() as u32;
+        self.watches[learnt[0].negated().code()].push(idx);
+        self.watches[learnt[1].negated().code()].push(idx);
+        let asserting = learnt[0];
+        self.clauses.push(Clause { lits: learnt });
+        self.enqueue(asserting, idx);
+    }
+
+    /// The unassigned variable with the highest activity; ties break
+    /// toward the smallest index (the determinism contract).
+    fn pick_branch(&self) -> Option<Var> {
+        let mut best: Option<(f64, usize)> = None;
+        for v in 0..self.num_vars {
+            if self.assign[v].is_none() {
+                let a = self.activity[v];
+                match best {
+                    Some((ba, _)) if ba >= a => {}
+                    _ => best = Some((a, v)),
+                }
+            }
+        }
+        best.map(|(_, v)| Var(v as u32))
+    }
+
+    /// Decides satisfiability. `max_conflicts` bounds the search
+    /// (`None` = run to a verdict).
+    pub fn solve(&mut self, max_conflicts: Option<u64>) -> SatResult {
+        let result = self.run(max_conflicts);
+        if dic_trace::enabled() {
+            dic_trace::count(dic_trace::Counter::SatDecisions, self.stats.decisions);
+            dic_trace::count(dic_trace::Counter::SatConflicts, self.stats.conflicts);
+            dic_trace::count(
+                dic_trace::Counter::SatLearnedClauses,
+                self.stats.learned_clauses,
+            );
+        }
+        result
+    }
+
+    fn run(&mut self, max_conflicts: Option<u64>) -> SatResult {
+        if self.unsat {
+            return SatResult::Unsat;
+        }
+        let mut restart_at = RESTART_FIRST;
+        let mut conflicts_here = 0u64;
+        loop {
+            if let Some(ci) = self.propagate() {
+                self.stats.conflicts += 1;
+                conflicts_here += 1;
+                if self.decision_level() == 0 {
+                    return SatResult::Unsat;
+                }
+                let (learnt, back) = self.analyze(ci);
+                self.cancel_until(back);
+                self.learn(learnt);
+                self.decay();
+                if let Some(budget) = max_conflicts {
+                    if self.stats.conflicts >= budget {
+                        self.cancel_until(0);
+                        return SatResult::Unknown;
+                    }
+                }
+                if conflicts_here >= restart_at {
+                    conflicts_here = 0;
+                    restart_at += restart_at / 2;
+                    self.cancel_until(0);
+                }
+            } else {
+                match self.pick_branch() {
+                    None => {
+                        let model = self
+                            .assign
+                            .iter()
+                            .map(|a| a.expect("complete assignment"))
+                            .collect();
+                        self.cancel_until(0);
+                        return SatResult::Sat(model);
+                    }
+                    Some(v) => {
+                        self.stats.decisions += 1;
+                        self.trail_lim.push(self.trail.len());
+                        // Deterministic polarity: try false first (runs
+                        // and automaton codes are sparse, so negatives
+                        // satisfy most constraints immediately).
+                        self.enqueue(SatLit::neg(v), NO_REASON);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lits(cnf: &mut Cnf, n: usize) -> Vec<SatLit> {
+        (0..n).map(|_| SatLit::pos(cnf.new_var())).collect()
+    }
+
+    #[test]
+    fn empty_formula_is_sat() {
+        let mut s = Solver::new(Cnf::new());
+        assert_eq!(s.solve(None), SatResult::Sat(Vec::new()));
+    }
+
+    #[test]
+    fn empty_clause_is_unsat() {
+        let mut cnf = Cnf::new();
+        cnf.add_clause([]);
+        assert_eq!(Solver::new(cnf).solve(None), SatResult::Unsat);
+    }
+
+    #[test]
+    fn unit_contradiction_is_unsat() {
+        let mut cnf = Cnf::new();
+        let a = SatLit::pos(cnf.new_var());
+        cnf.add_clause([a]);
+        cnf.add_clause([a.negated()]);
+        assert_eq!(Solver::new(cnf).solve(None), SatResult::Unsat);
+    }
+
+    #[test]
+    fn simple_model_found() {
+        let mut cnf = Cnf::new();
+        let v = lits(&mut cnf, 2);
+        cnf.add_clause([v[0], v[1]]);
+        cnf.add_clause([v[0].negated(), v[1]]);
+        cnf.add_clause([v[1].negated(), v[0]]);
+        match Solver::new(cnf).solve(None) {
+            SatResult::Sat(m) => {
+                assert!(m[0] && m[1]);
+            }
+            other => panic!("expected SAT, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn pigeonhole_3_into_2_is_unsat() {
+        // p[i][j]: pigeon i in hole j. Each pigeon somewhere; no two
+        // pigeons share a hole. Classic small UNSAT with real conflicts.
+        let mut cnf = Cnf::new();
+        let p: Vec<Vec<SatLit>> = (0..3).map(|_| lits(&mut cnf, 2)).collect();
+        for row in &p {
+            cnf.add_clause(row.iter().copied());
+        }
+        for (i1, row1) in p.iter().enumerate() {
+            for row2 in &p[i1 + 1..] {
+                for (&a, &b) in row1.iter().zip(row2) {
+                    cnf.add_clause([a.negated(), b.negated()]);
+                }
+            }
+        }
+        let mut s = Solver::new(cnf);
+        assert_eq!(s.solve(None), SatResult::Unsat);
+        assert!(s.stats().conflicts > 0, "analysis actually exercised");
+    }
+
+    #[test]
+    fn xor_chain_satisfied_consistently() {
+        // x0 ⊕ x1 = t, x1 ⊕ x2 = t', chained constraints with a forced
+        // parity — checks Tseitin + solving end to end.
+        let mut cnf = Cnf::new();
+        let v = lits(&mut cnf, 3);
+        let x01 = cnf.lit_xor(v[0], v[1]);
+        let x12 = cnf.lit_xor(v[1], v[2]);
+        cnf.add_clause([x01]); // x0 != x1
+        cnf.add_clause([x12]); // x1 != x2
+        cnf.add_clause([v[0]]); // x0 = 1
+        match Solver::new(cnf).solve(None) {
+            SatResult::Sat(m) => {
+                assert!(m[0] && !m[1] && m[2]);
+            }
+            other => panic!("expected SAT, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn budget_exhaustion_reports_unknown() {
+        // A formula needing some search, with a 1-conflict budget.
+        let mut cnf = Cnf::new();
+        let p: Vec<Vec<SatLit>> = (0..5).map(|_| lits(&mut cnf, 4)).collect();
+        for row in &p {
+            cnf.add_clause(row.iter().copied());
+        }
+        for (i1, row1) in p.iter().enumerate() {
+            for row2 in &p[i1 + 1..] {
+                for (&a, &b) in row1.iter().zip(row2) {
+                    cnf.add_clause([a.negated(), b.negated()]);
+                }
+            }
+        }
+        assert_eq!(Solver::new(cnf).solve(Some(1)), SatResult::Unknown);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let build = || {
+            let mut cnf = Cnf::new();
+            let v = lits(&mut cnf, 6);
+            cnf.add_clause([v[0], v[1], v[2]]);
+            cnf.add_clause([v[0].negated(), v[3]]);
+            cnf.add_clause([v[3].negated(), v[4].negated()]);
+            cnf.add_clause([v[1].negated(), v[4]]);
+            cnf.add_clause([v[2], v[5]]);
+            cnf.add_clause([v[5].negated(), v[0]]);
+            Solver::new(cnf)
+        };
+        let r1 = build().solve(None);
+        let r2 = build().solve(None);
+        assert_eq!(r1, r2, "same formula, same verdict and model");
+    }
+
+    #[test]
+    fn exactly_one_blocks_pairs() {
+        let mut cnf = Cnf::new();
+        let v = lits(&mut cnf, 3);
+        cnf.exactly_one(&v);
+        cnf.add_clause([v[1]]);
+        match Solver::new(cnf).solve(None) {
+            SatResult::Sat(m) => {
+                assert!(!m[0] && m[1] && !m[2]);
+            }
+            other => panic!("expected SAT, got {other:?}"),
+        }
+    }
+}

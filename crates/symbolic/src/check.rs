@@ -241,7 +241,15 @@ impl SymbolicModel {
 
 /// Translates every conjunct, or `None` when some conjunct has no initial
 /// state (unsatisfiable on its own).
-pub(crate) fn translate_all(formulas: &[Ltl]) -> Option<Vec<Arc<Gba>>> {
+///
+/// The translations go through [`translate_cached`], so the symbolic
+/// engine, the explicit engine, and the bounded SAT refutation tier
+/// (`dic_sat::bounded_lasso`, which `dic_core` runs ahead of the closure
+/// fixpoints) all encode the *same* reduced automata — that sharing is
+/// what makes the tiers' verdicts comparable automaton-for-automaton, not
+/// just language-for-language. Public so callers layering their own query
+/// tiers can reuse the screen.
+pub fn translate_all(formulas: &[Ltl]) -> Option<Vec<Arc<Gba>>> {
     let gbas: Vec<Arc<Gba>> = formulas.iter().map(translate_cached).collect();
     if gbas.iter().any(|g| g.initial().is_empty()) {
         return None;

@@ -53,6 +53,7 @@ pub mod error;
 pub mod model;
 pub mod terms;
 
+pub use check::translate_all;
 pub use error::SymbolicError;
 pub use model::{
     reorder_log_from_env, ReorderMode, ReorderStats, SymbolicModel, SymbolicOptions,

@@ -162,6 +162,16 @@ pub enum Counter {
     GapFixpointVerified,
     /// Budget slots refunded by the weakest-merge antichain.
     GapBudgetRefunds,
+    /// CDCL decision-variable picks across all bounded-tier solves.
+    SatDecisions,
+    /// CDCL conflicts hit (first-UIP analysis rounds).
+    SatConflicts,
+    /// Clauses learned by conflict analysis.
+    SatLearnedClauses,
+    /// Bounded refutation queries issued ahead of closure fixpoints.
+    BmcQueries,
+    /// Bounded queries that found a refuting run (fixpoint skipped).
+    BmcRefuted,
 }
 
 impl Counter {
@@ -184,6 +194,11 @@ impl Counter {
         Counter::GapImplicationSettled,
         Counter::GapFixpointVerified,
         Counter::GapBudgetRefunds,
+        Counter::SatDecisions,
+        Counter::SatConflicts,
+        Counter::SatLearnedClauses,
+        Counter::BmcQueries,
+        Counter::BmcRefuted,
     ];
 
     /// The counter's stable dotted name (JSONL and profile key).
@@ -206,12 +221,17 @@ impl Counter {
             Counter::GapImplicationSettled => "gap.implication_settled",
             Counter::GapFixpointVerified => "gap.fixpoint_verified",
             Counter::GapBudgetRefunds => "gap.budget_refunds",
+            Counter::SatDecisions => "sat.decisions",
+            Counter::SatConflicts => "sat.conflicts",
+            Counter::SatLearnedClauses => "sat.learned_clauses",
+            Counter::BmcQueries => "bmc.queries",
+            Counter::BmcRefuted => "bmc.refuted",
         }
     }
 }
 
 /// Number of distinct counters.
-pub const NUM_COUNTERS: usize = 17;
+pub const NUM_COUNTERS: usize = 22;
 
 static COUNTERS: [AtomicU64; NUM_COUNTERS] = [const { AtomicU64::new(0) }; NUM_COUNTERS];
 

@@ -96,5 +96,6 @@ pub use dic_fsm as fsm;
 pub use dic_logic as logic;
 pub use dic_ltl as ltl;
 pub use dic_netlist as netlist;
+pub use dic_sat as sat;
 pub use dic_symbolic as symbolic;
 pub use dic_trace as trace;

@@ -1,9 +1,9 @@
 //! The `specmatcher` command-line tool.
 //!
 //! ```text
-//! specmatcher check --design <name> [--backend B] [--reorder M] [--jobs N] [--json] [--profile] [--trace-out F]
-//! specmatcher check --snl <file> --spec <file> [--backend B] [--reorder M] [--jobs N]
-//! specmatcher table1 [--backend B] [--reorder M] [--jobs N] [--quick | --json] [--profile] [--trace-out F]
+//! specmatcher check --design <name> [--backend B] [--reorder M] [--jobs N] [--bmc M] [--json] [--profile] [--trace-out F]
+//! specmatcher check --snl <file> --spec <file> [--backend B] [--reorder M] [--jobs N] [--bmc M]
+//! specmatcher table1 [--backend B] [--reorder M] [--jobs N] [--bmc M] [--quick | --json] [--profile] [--trace-out F]
 //! specmatcher fsm --design <name>              dump concrete-module FSMs (DOT)
 //! specmatcher list                             list packaged designs
 //! ```
@@ -17,6 +17,10 @@
 //! worker-thread count for Algorithm 1's candidate closure verification
 //! (default: `SPECMATCHER_JOBS`, else the machine's available
 //! parallelism); the reported property set is identical for every value.
+//! `--bmc` controls the bounded SAT refutation tier fronting the
+//! gap-phase closure fixpoints (`auto`, the default, or `off`; depth via
+//! `SPECMATCHER_BMC_DEPTH`, default 16) — the reported gap properties
+//! are byte-identical either way, only the time to reach them changes.
 //! `--profile` appends the `dic_trace` span/counter tree to the report
 //! and `--trace-out <path>` writes the run as a replayable JSONL event
 //! stream; with both absent tracing stays disabled and output is
@@ -39,7 +43,7 @@
 //! ```
 
 use dic_core::{
-    ArchSpec, Backend, CoreError, GapConfig, ReorderMode, RtlSpec, SpecMatcher, TmStyle,
+    ArchSpec, Backend, BmcMode, CoreError, GapConfig, ReorderMode, RtlSpec, SpecMatcher, TmStyle,
 };
 use dic_designs::{mal, scaling, table1_designs, Design};
 use dic_fsm::extract_fsm;
@@ -92,6 +96,13 @@ fn core_err(e: CoreError) -> CliError {
 }
 
 fn main() -> ExitCode {
+    // Fail-closed env audit before anything reads an override through a
+    // defaulting path: a typoed SPECMATCHER_* setting is a usage error
+    // (exit 2), never a silently defaulted run.
+    if let Err(msg) = dic_core::validate_env() {
+        eprintln!("specmatcher: {msg}");
+        return ExitCode::from(2);
+    }
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run(&args) {
         Ok(code) => code,
@@ -134,7 +145,7 @@ fn run(args: &[String]) -> Result<ExitCode, CliError> {
 
 fn print_usage() {
     eprintln!(
-        "usage:\n  specmatcher check --design <name> [--backend explicit|symbolic|auto] [--reorder off|auto] [--jobs N] [--json] [--profile] [--trace-out <path>]\n  specmatcher check --snl <file> --spec <file> [--backend ...] [--reorder ...] [--jobs N] [--json] [--profile] [--trace-out <path>]\n  specmatcher table1 [--backend ...] [--reorder ...] [--jobs N] [--quick | --json] [--profile] [--trace-out <path>]\n  specmatcher fsm --design <name>\n  specmatcher list\n\nbackends: explicit = state enumeration (paper-faithful, limited size),\n          symbolic = BDD reachability + fair cycles (scales further),\n          auto     = pick by state-space size and product width (default)\nreorder:  auto = dynamic BDD variable reordering (group sifting; default),\n          off  = keep the static variable order\njobs:     worker threads for gap-phase candidate verification\n          (default: SPECMATCHER_JOBS, else available parallelism;\n          the reported property set is identical for every value)\nprofile:  append the structured span/counter tree to the report\n          (stderr under --json); --trace-out writes the same run as a\n          JSONL event stream (schema specmatcher-trace/1)\n\nexit codes: 0 = covered, 1 = coverage gap reported,\n            2 = usage/specification error,\n            3 = engine resource refusal (state-space or BDD node budget)"
+        "usage:\n  specmatcher check --design <name> [--backend explicit|symbolic|auto] [--reorder off|auto] [--jobs N] [--bmc off|auto] [--json] [--profile] [--trace-out <path>]\n  specmatcher check --snl <file> --spec <file> [--backend ...] [--reorder ...] [--jobs N] [--bmc ...] [--json] [--profile] [--trace-out <path>]\n  specmatcher table1 [--backend ...] [--reorder ...] [--jobs N] [--bmc ...] [--quick | --json] [--profile] [--trace-out <path>]\n  specmatcher fsm --design <name>\n  specmatcher list\n\nbackends: explicit = state enumeration (paper-faithful, limited size),\n          symbolic = BDD reachability + fair cycles (scales further),\n          auto     = pick by state-space size and product width (default)\nreorder:  auto = dynamic BDD variable reordering (group sifting; default),\n          off  = keep the static variable order\njobs:     worker threads for gap-phase candidate verification\n          (default: SPECMATCHER_JOBS, else available parallelism;\n          the reported property set is identical for every value)\nbmc:      auto = bounded SAT refutation ahead of the closure fixpoints\n          (depth SPECMATCHER_BMC_DEPTH, default 16; default mode),\n          off  = fixpoint engines only; gap reports are byte-identical\nprofile:  append the structured span/counter tree to the report\n          (stderr under --json); --trace-out writes the same run as a\n          JSONL event stream (schema specmatcher-trace/1)\n\nexit codes: 0 = covered, 1 = coverage gap reported,\n            2 = usage/specification error,\n            3 = engine resource refusal (state-space or BDD node budget)"
     );
 }
 
@@ -153,6 +164,18 @@ fn backend_option(args: &[String]) -> Result<Backend, String> {
         None => Ok(Backend::Auto),
         Some(s) => Backend::parse(s)
             .ok_or_else(|| format!("unknown backend {s:?}; use explicit, symbolic or auto")),
+    }
+}
+
+fn bmc_option(args: &[String]) -> Result<BmcMode, String> {
+    match option(args, "--bmc") {
+        None if args.iter().any(|a| a == "--bmc") => {
+            Err("--bmc needs a value: off or auto".into())
+        }
+        None => Ok(BmcMode::Auto),
+        Some(s) => {
+            BmcMode::parse(s).ok_or_else(|| format!("unknown bmc mode {s:?}; use off or auto"))
+        }
     }
 }
 
@@ -252,11 +275,13 @@ fn cmd_check(args: &[String]) -> Result<ExitCode, CliError> {
     let backend = backend_option(args)?;
     let reorder = reorder_option(args)?;
     let jobs = jobs_option(args)?;
+    let bmc = bmc_option(args)?;
     let (profile, trace_out) = trace_options(args)?;
     let matcher = SpecMatcher::new(GapConfig::default())
         .with_backend(backend)
         .with_reorder(reorder)
-        .with_jobs(jobs);
+        .with_jobs(jobs)
+        .with_bmc(bmc);
     let run_span = dic_trace::span("check");
     let (design, run) = if let Some(name) = option(args, "--design") {
         let design = find_design(name)?;
@@ -336,6 +361,7 @@ fn cmd_table1(args: &[String]) -> Result<ExitCode, CliError> {
     let backend = backend_option(args)?;
     let reorder = reorder_option(args)?;
     let jobs = jobs_option(args)?;
+    let bmc = bmc_option(args)?;
     let (profile, trace_out) = trace_options(args)?;
     if args.iter().any(|a| a == "--quick") {
         let code = cmd_table1_quick(backend, reorder)?;
@@ -348,7 +374,8 @@ fn cmd_table1(args: &[String]) -> Result<ExitCode, CliError> {
         .with_tm_style(TmStyle::Enumerated)
         .with_backend(backend)
         .with_reorder(reorder)
-        .with_jobs(jobs);
+        .with_jobs(jobs)
+        .with_bmc(bmc);
     println!(
         "{:<14} {:>9} {:>9} {:>9} {:>12} {:>12} {:>12}",
         "Circuit", "RTL props", "primary", "gap", "Primary (s)", "TM (s)", "Gap (s)"
@@ -368,6 +395,7 @@ fn cmd_table1(args: &[String]) -> Result<ExitCode, CliError> {
             run.timings.gap_find.as_secs_f64(),
         );
         if json {
+            let fingerprint = dic_bench::gap_fingerprint(&run, &design.table);
             json_rows.push((
                 dic_bench::TableRow {
                     circuit: design.name.to_owned(),
@@ -380,6 +408,8 @@ fn cmd_table1(args: &[String]) -> Result<ExitCode, CliError> {
                     reorder: run.reorder,
                     jobs: run.jobs,
                     counters: run.counters,
+                    bmc: run.bmc,
+                    gap_fingerprint: fingerprint,
                 },
                 dic_bench::design_reductions(&design),
             ));

@@ -9,7 +9,8 @@
 //! strong evidence both implement the same semantics.
 
 use proptest::prelude::*;
-use specmatcher::core::{primary_coverage, Backend, CoverageModel, GapConfig, SpecMatcher};
+use specmatcher::core::{primary_coverage, Backend, BmcMode, CoverageModel, GapConfig, SpecMatcher};
+use specmatcher::ltl::Ltl;
 
 mod common;
 use common::{random_problem, replay};
@@ -112,4 +113,107 @@ proptest! {
             }
         }
     }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Soundness cross-check of the bounded SAT tier: whenever
+    /// `bounded_lasso` claims a run of `M` satisfying `R ∧ ¬A` within `k`
+    /// steps, the unbounded fixpoint oracle must agree the conjunction is
+    /// satisfiable, the run must satisfy every conjunct under
+    /// `Ltl::holds_on`, and it must replay on the concrete modules. (The
+    /// converse direction is intentionally unasserted: UNSAT within a
+    /// bound proves nothing, which is exactly why the tier may only ever
+    /// short-circuit SAT answers.)
+    #[test]
+    fn bmc_refutations_agree_with_fixpoint_verdicts(seed in 1u64..100_000) {
+        let (t, arch, rtl) = random_problem(seed);
+        let fa = arch.properties()[0].formula();
+        let model =
+            CoverageModel::build_with_backend(&arch, &rtl, &t, Backend::Explicit)
+                .expect("small model fits the explicit engine");
+        let verdict = primary_coverage(fa, &rtl, &model).expect("explicit is total");
+
+        let mut formulas: Vec<Ltl> =
+            rtl.properties().iter().map(|p| p.formula().clone()).collect();
+        formulas.push(Ltl::not(fa.clone()));
+        let bounded = specmatcher::sat::bounded_lasso(
+            model.composed(),
+            &t,
+            model.free_signals(),
+            &formulas,
+            16,
+        );
+        if let Some(run) = bounded {
+            prop_assert!(
+                verdict.is_some(),
+                "BMC found a run the fixpoint oracle says cannot exist (seed {}): A = {}",
+                seed,
+                fa.display(&t)
+            );
+            for (i, f) in formulas.iter().enumerate() {
+                prop_assert!(
+                    f.holds_on(&run),
+                    "BMC run violates conjunct {} (seed {}): {}",
+                    i,
+                    seed,
+                    f.display(&t)
+                );
+            }
+            replay(&model, &t, &run);
+        }
+    }
+}
+
+/// The ordered gap-set identity the `--bmc` contract promises, on a real
+/// Table 1 design: same gap properties, same order, same witnesses-free
+/// rendering, whether or not the SAT tier screens the closure fixpoints.
+/// The backend is forced symbolic because that is the (only) configuration
+/// where `BmcMode::Auto` fires — on the explicit engine the tier is gated
+/// off and the identity is trivial.
+fn assert_bmc_modes_agree(design: &specmatcher::designs::Design) {
+    let run_with = |bmc: BmcMode| {
+        let matcher = SpecMatcher::new(GapConfig {
+            max_terms: 3,
+            max_candidates: 32,
+            max_gap_properties: 4,
+            ..GapConfig::default()
+        })
+        .with_backend(Backend::Symbolic)
+        .with_bmc(bmc);
+        design.check(&matcher).expect("packaged design runs")
+    };
+    let off = run_with(BmcMode::Off);
+    let auto = run_with(BmcMode::Auto);
+    assert_eq!(off.all_covered(), auto.all_covered(), "{}", design.name);
+    assert_eq!(
+        dic_bench::gap_fingerprint(&off, &design.table),
+        dic_bench::gap_fingerprint(&auto, &design.table),
+        "{}: ordered gap sets diverge between --bmc off and auto",
+        design.name
+    );
+}
+
+#[test]
+fn bmc_modes_report_identical_gap_sets_on_the_toy_design() {
+    assert_bmc_modes_agree(&specmatcher::designs::mal::ex2());
+}
+
+#[test]
+#[ignore = "two symbolic mal-26 pipelines, minutes-scale; nightly lane"]
+fn bmc_modes_report_identical_gap_sets_on_mal26() {
+    assert_bmc_modes_agree(&specmatcher::designs::mal::mal26());
+}
+
+#[test]
+#[ignore = "two forced-symbolic pipeline-12 runs, tens of seconds; nightly lane"]
+fn bmc_modes_report_identical_gap_sets_on_pipeline() {
+    assert_bmc_modes_agree(&specmatcher::designs::pipeline::pipeline12());
+}
+
+#[test]
+#[ignore = "two forced-symbolic amba-ahb gap phases, minutes-scale; nightly lane"]
+fn bmc_modes_report_identical_gap_sets_on_amba_ahb() {
+    assert_bmc_modes_agree(&specmatcher::designs::amba::ahb29());
 }

@@ -203,16 +203,72 @@ fn invalid_jobs_are_rejected_loudly() {
 }
 
 #[test]
+fn invalid_bmc_depth_is_rejected_loudly() {
+    // SPECMATCHER_BMC_DEPTH takes an unroll depth in 1..=256. A typo'd
+    // value must not silently fall back to the default 16 — a bounded
+    // refutation sweep run at the wrong depth is worse than refusing:
+    // usage error (2) with a clear message, before any work starts.
+    for bad in ["0", "-3", "257", "sixteen", "", "16.5"] {
+        let out = Command::new(env!("CARGO_BIN_EXE_specmatcher"))
+            .args(["check", "--design", "mal-ex1"])
+            .env("SPECMATCHER_BMC_DEPTH", bad)
+            .output()
+            .expect("binary runs");
+        assert_eq!(out.status.code(), Some(2), "value {bad:?} must be rejected");
+        let stderr = String::from_utf8(out.stderr).expect("utf8");
+        assert!(
+            stderr.contains("invalid SPECMATCHER_BMC_DEPTH"),
+            "value {bad:?}: {stderr}"
+        );
+    }
+    // In-range depths run and leave the verdict unchanged.
+    for good in ["1", "16", "256"] {
+        let out = Command::new(env!("CARGO_BIN_EXE_specmatcher"))
+            .args(["check", "--design", "mal-ex1"])
+            .env("SPECMATCHER_BMC_DEPTH", good)
+            .output()
+            .expect("binary runs");
+        assert_eq!(out.status.code(), Some(0), "depth {good:?} is documented");
+    }
+}
+
+#[test]
+fn bmc_flag_honors_the_exit_code_contract() {
+    // `--bmc` takes exactly off|auto; anything else (or a missing value)
+    // is a usage error.
+    let out = specmatcher(&["check", "--design", "mal-ex1", "--bmc", "sometimes"]);
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8(out.stderr).expect("utf8");
+    assert!(stderr.contains("bmc"), "stderr: {stderr}");
+    let out = specmatcher(&["check", "--design", "mal-ex1", "--bmc"]);
+    assert_eq!(out.status.code(), Some(2), "--bmc needs a value");
+
+    // Both modes preserve the verdict contract on the toy designs, and
+    // the report names the mode it ran with.
+    for mode in ["off", "auto"] {
+        let out = specmatcher(&["check", "--design", "mal-ex1", "--bmc", mode]);
+        assert_eq!(out.status.code(), Some(0), "mal-ex1 covered under --bmc {mode}");
+        let out = specmatcher(&["check", "--design", "mal-ex2", "--bmc", mode]);
+        assert_eq!(out.status.code(), Some(1), "mal-ex2 gap under --bmc {mode}");
+        let stdout = String::from_utf8(out.stdout).expect("utf8");
+        assert!(stdout.contains(&format!("bmc {mode}")), "report names the mode");
+    }
+}
+
+#[test]
 fn worker_resource_refusals_exit_three() {
     // A node budget that survives the model build, the primary question
     // and term enumeration, but trips inside parallel closure
     // verification: the refusal is raised on a worker thread and must
     // reach the caller through the deterministic merge as the same
-    // exit-3 resource contract the sequential path honors.
+    // exit-3 resource contract the sequential path honors. Pinned with
+    // the SAT tier off: under `--bmc auto` the bounded refutations screen
+    // enough fixpoints that this budget never trips at all.
     for jobs in ["1", "4"] {
         let out = Command::new(env!("CARGO_BIN_EXE_specmatcher"))
             .args([
-                "check", "--design", "mal-ex2", "--backend", "symbolic", "--jobs", jobs,
+                "check", "--design", "mal-ex2", "--backend", "symbolic", "--bmc", "off",
+                "--jobs", jobs,
             ])
             .env("SPECMATCHER_BDD_NODE_LIMIT", "128K")
             .output()
@@ -319,6 +375,8 @@ fn table1_json_writes_the_bench_trajectory() {
         "\"reduction_enabled\":true",
         "\"name\":\"mal-26\"",
         "\"name\":\"amba-ahb\"",
+        "\"bmc\":\"auto\"",
+        "\"gap_fingerprint\":[",
         "\"pre\":{\"states\":",
         "\"post\":{\"states\":",
         "\"totals\":{\"pre_states\":",
