@@ -101,9 +101,10 @@ pub fn close_gap_iteratively(
     config: &GapConfig,
     max_rounds: usize,
 ) -> Result<Option<(Ltl, usize)>, CoreError> {
-    let mut conj: Vec<Ltl> = rtl.formulas().to_vec();
-    conj.push(Ltl::not(fa.clone()));
-    if model.primary_query(&conj)?.is_none() {
+    if model
+        .primary_query_anchored(rtl.formulas(), &Ltl::not(fa.clone()))?
+        .is_none()
+    {
         // Covered: the empty addition suffices.
         return Ok(Some((Ltl::tt(), 0)));
     }

@@ -73,7 +73,7 @@ pub use backend::{
     predicted_product_cost, Backend, AUTO_SYMBOLIC_BITS, AUTO_SYMBOLIC_PRODUCT_COST,
 };
 pub use bmc::{bmc_depth_from_env, BmcMode, MAX_BMC_DEPTH};
-pub use dic_symbolic::{ReorderMode, ReorderStats, SymbolicOptions};
+pub use dic_symbolic::{PartitionMode, ReorderMode, ReorderStats, SymbolicOptions};
 pub use error::CoreError;
 pub use hole::{closes_gap, closure_witness, exact_hole};
 pub use intent::{close_gap_iteratively, uncovered_intent};
@@ -100,7 +100,8 @@ pub use weaken::{find_gap, find_gap_with_runs, GapConfig, GapProperty};
 /// [`CoreError::Symbolic`] if the symbolic backend exceeds its node budget
 /// mid-analysis (the explicit backend cannot fail once built).
 /// Startup audit of every `SPECMATCHER_*` override with a strict parse:
-/// `SPECMATCHER_NO_REDUCE`, `SPECMATCHER_JOBS` and `SPECMATCHER_BMC_DEPTH`.
+/// `SPECMATCHER_NO_REDUCE`, `SPECMATCHER_JOBS`, `SPECMATCHER_BMC_DEPTH`,
+/// `SPECMATCHER_BDD_PARTITION` and `SPECMATCHER_BDD_CLUSTER_SIZE`.
 /// Returns the first offending setting's message.
 ///
 /// Model construction re-validates these fail-closed, but the library
@@ -118,6 +119,8 @@ pub fn validate_env() -> Result<(), String> {
     dic_automata::reduction_from_env()?;
     backend::jobs_from_env()?;
     bmc::bmc_depth_from_env()?;
+    dic_symbolic::partition_from_env().map_err(|e| e.to_string())?;
+    dic_symbolic::cluster_size_from_env().map_err(|e| e.to_string())?;
     Ok(())
 }
 
@@ -126,7 +129,5 @@ pub fn primary_coverage(
     rtl: &RtlSpec,
     model: &CoverageModel,
 ) -> Result<Option<dic_ltl::LassoWord>, CoreError> {
-    let mut conj: Vec<dic_ltl::Ltl> = rtl.formulas().to_vec();
-    conj.push(dic_ltl::Ltl::not(fa.clone()));
-    model.primary_query(&conj)
+    model.primary_query_anchored(rtl.formulas(), &dic_ltl::Ltl::not(fa.clone()))
 }

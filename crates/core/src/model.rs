@@ -327,6 +327,35 @@ impl CoverageModel {
         }
     }
 
+    /// [`CoverageModel::primary_query`] for `base ++ [anchor]`, split so
+    /// the symbolic engine can anchor the query: the `base` product (the
+    /// RTL conjunction, shared by every architectural property) is built
+    /// and fixpointed once, and each per-property `¬A` automaton becomes
+    /// a cached extension restricted by the base's reachable set and
+    /// seeded with its fair hull — the same sound projection argument the
+    /// gap phase's closure extensions rest on. The explicit engine takes
+    /// the flat conjunction as before; verdicts are identical either way.
+    ///
+    /// # Errors
+    ///
+    /// As for [`CoverageModel::primary_query`].
+    pub fn primary_query_anchored(
+        &self,
+        base: &[dic_ltl::Ltl],
+        anchor: &dic_ltl::Ltl,
+    ) -> Result<Option<dic_ltl::LassoWord>, CoreError> {
+        match self.primary_backend {
+            Backend::Symbolic => self.with_symbolic(|sym| {
+                sym.satisfiable_anchored(base, std::slice::from_ref(anchor))
+            }),
+            _ => {
+                let mut conj = base.to_vec();
+                conj.push(anchor.clone());
+                Ok(self.satisfiable(&conj))
+            }
+        }
+    }
+
     /// The engine [`CoverageModel::gap_backend`] would resolve `requested`
     /// to, *without* ensuring the engine is built — for reporting (the
     /// pipeline labels runs before knowing whether any property even needs

@@ -12,7 +12,7 @@ use crate::tm::{tm_for_modules, TmStyle};
 use crate::weaken::{find_gap_with_runs, GapConfig, GapProperty};
 use dic_logic::SignalTable;
 use dic_ltl::{LassoWord, Ltl, TemporalCube};
-use dic_symbolic::{ReorderMode, ReorderStats, SymbolicOptions};
+use dic_symbolic::{PartitionMode, ReorderMode, ReorderStats, SymbolicOptions};
 use std::fmt::Write as _;
 use std::time::Duration;
 
@@ -201,6 +201,13 @@ impl CoverageRun {
                     r.count, r.nodes_before, r.nodes_after, r.compactions
                 );
             }
+            if r.gc_collections > 0 || r.peak_nodes > 0 {
+                let _ = writeln!(
+                    out,
+                    "bdd gc: {} generational collections freed {} nodes (peak {} nodes incl. scratch)",
+                    r.gc_collections, r.gc_freed, r.peak_nodes
+                );
+            }
         }
         let _ = writeln!(
             out,
@@ -220,6 +227,7 @@ pub struct SpecMatcher {
     tm_style: TmStyle,
     backend: Backend,
     reorder: ReorderMode,
+    partition: Option<PartitionMode>,
     bmc: BmcMode,
 }
 
@@ -232,6 +240,7 @@ impl SpecMatcher {
             tm_style: TmStyle::default(),
             backend: Backend::default(),
             reorder: ReorderMode::default(),
+            partition: None,
             bmc: BmcMode::default(),
         }
     }
@@ -276,6 +285,22 @@ impl SpecMatcher {
         self.reorder
     }
 
+    /// Overrides the symbolic engine's transition-relation partitioning
+    /// (the CLI's `--partition`). When unset the mode comes from
+    /// `SPECMATCHER_BDD_PARTITION`, defaulting to [`PartitionMode::Auto`]
+    /// (greedy conjunctive clustering); `Off` keeps one conjunct per
+    /// latch/automaton. The reported property sets are byte-identical
+    /// either way — only node counts and time change.
+    pub fn with_partition(mut self, partition: PartitionMode) -> Self {
+        self.partition = Some(partition);
+        self
+    }
+
+    /// The requested partition mode, if explicitly overridden.
+    pub fn partition(&self) -> Option<PartitionMode> {
+        self.partition
+    }
+
     /// Selects the bounded-refutation mode (the CLI's `--bmc`;
     /// [`BmcMode::Auto`] by default). With `Auto`, every gap-phase closure
     /// query first asks the SAT tier for a `k`-bounded refuting run and
@@ -318,9 +343,12 @@ impl SpecMatcher {
         rtl: &RtlSpec,
         table: &SignalTable,
     ) -> Result<CoverageRun, CoreError> {
-        let options = SymbolicOptions::from_env()
+        let mut options = SymbolicOptions::from_env()
             .map_err(CoreError::Symbolic)?
             .with_reorder(self.reorder);
+        if let Some(partition) = self.partition {
+            options = options.with_partition(partition);
+        }
         let mut model =
             CoverageModel::build_with_symbolic_options(arch, rtl, table, self.backend, options)?;
         model.set_bmc_mode(self.bmc);

@@ -1,4 +1,5 @@
-//! A reduced ordered binary decision diagram (ROBDD) engine.
+//! A reduced ordered binary decision diagram (ROBDD) engine with
+//! complement edges.
 //!
 //! The engine is deliberately small but complete enough for the workloads in
 //! this workspace: canonical Boolean function representation, the full set
@@ -6,6 +7,32 @@
 //! restriction, functional composition, satisfying-assignment extraction,
 //! model counting and Minato–Morreale irredundant sum-of-products covers
 //! (used to present gap terms as readable cubes).
+//!
+//! # Complement edges
+//!
+//! A [`Bdd`] handle is an *edge*: a node index in the high bits plus a
+//! **complement bit** in bit 0. The edge `(n, 1)` denotes the negation of
+//! the function at node `n`, so negation is a single XOR — no traversal, no
+//! allocation — and a function and its complement share every node. There
+//! is a single terminal node (index 0, the constant **true**); `FALSE` is
+//! its complemented edge. Canonicity is kept by the classic invariant:
+//! **stored then-edges are always regular** (complement bit clear). `mk`
+//! re-establishes the invariant by flipping both children and returning a
+//! complemented edge whenever the then-child comes in complemented, so two
+//! handles are equal iff they denote the same function — including across
+//! negation.
+//!
+//! # Generational caches
+//!
+//! The node store is append-only between [`BddManager::checkpoint`] /
+//! [`BddManager::rollback`] pairs. The operation memos are split into an
+//! **old** and a **young** generation around the checkpoint's node count
+//! (the *generation floor*): entries that only reference pre-checkpoint
+//! nodes go old, everything else young. Rolling back to the floor then
+//! frees exactly the scratch nodes (walking only the truncated suffix of
+//! the store) and drops only the young memo generation — O(freed) instead
+//! of the full retain-scans the first version of this manager paid on
+//! every scratch region.
 //!
 //! Variables are registered per [`SignalId`] on first use; the variable
 //! *order* starts as the registration order but is decoupled from variable
@@ -21,7 +48,8 @@ use crate::signal::SignalId;
 use crate::valuation::Valuation;
 use std::collections::HashMap;
 
-/// A handle to a BDD node inside a [`BddManager`].
+/// A handle to a BDD edge (node index plus complement bit) inside a
+/// [`BddManager`].
 ///
 /// Handles are canonical: `a == b` iff they represent the same Boolean
 /// function *within the same manager*. Mixing handles across managers is a
@@ -30,10 +58,10 @@ use std::collections::HashMap;
 pub struct Bdd(u32);
 
 impl Bdd {
-    /// The constant false function.
-    pub const FALSE: Bdd = Bdd(0);
-    /// The constant true function.
-    pub const TRUE: Bdd = Bdd(1);
+    /// The constant true function: the regular edge to the terminal.
+    pub const TRUE: Bdd = Bdd(0);
+    /// The constant false function: the complemented edge to the terminal.
+    pub const FALSE: Bdd = Bdd(1);
 
     /// Whether this handle is the constant false.
     pub fn is_false(self) -> bool {
@@ -45,8 +73,20 @@ impl Bdd {
         self == Bdd::TRUE
     }
 
-    fn idx(self) -> usize {
-        self.0 as usize
+    /// The complemented edge: `¬f` in O(1), no manager access. The
+    /// manager's [`BddManager::not`] is this operation.
+    pub fn complement(self) -> Bdd {
+        Bdd(self.0 ^ 1)
+    }
+
+    /// Whether the edge carries the complement bit.
+    fn is_complement(self) -> bool {
+        self.0 & 1 == 1
+    }
+
+    /// The underlying node index (complement bit stripped).
+    pub(crate) fn index(self) -> usize {
+        (self.0 >> 1) as usize
     }
 
     pub(crate) fn raw(self) -> u32 {
@@ -63,11 +103,74 @@ pub(crate) const TERMINAL_VAR: u32 = u32::MAX;
 /// Level of the terminal pseudo-variable: below every real level.
 pub(crate) const TERMINAL_LEVEL: u32 = u32::MAX;
 
+/// Largest storable node index: one bit of the handle is the complement
+/// tag.
+const MAX_NODE_INDEX: usize = (u32::MAX >> 1) as usize;
+
+/// An interior node. `lo` and `hi` are *edges* (complement bit included);
+/// the canonical-form invariant keeps `hi` regular.
 #[derive(Clone, Copy, Debug)]
 pub(crate) struct Node {
     pub(crate) var: u32,
     pub(crate) lo: u32,
     pub(crate) hi: u32,
+}
+
+/// One operation memo split into old/young generations around the
+/// manager's generation floor (see the module docs). Values carry the
+/// result edge plus the highest node index the entry references, so
+/// validity under any truncation is a single comparison.
+#[derive(Debug, Default)]
+struct GenCache<K> {
+    old: HashMap<K, (u32, u32)>,
+    young: HashMap<K, (u32, u32)>,
+}
+
+impl<K: Eq + std::hash::Hash> GenCache<K> {
+    fn get(&self, key: &K) -> Option<u32> {
+        self.young
+            .get(key)
+            .or_else(|| self.old.get(key))
+            .map(|&(r, _)| r)
+    }
+
+    /// Inserts an entry, placed by its youngest referenced node index
+    /// relative to the generation floor.
+    fn insert(&mut self, floor: Option<u32>, key: K, result: u32, yref: u32) {
+        match floor {
+            Some(fl) if yref >= fl => self.young.insert(key, (result, yref)),
+            _ => self.old.insert(key, (result, yref)),
+        };
+    }
+
+    fn len(&self) -> usize {
+        self.old.len() + self.young.len()
+    }
+
+    fn clear(&mut self) {
+        self.old.clear();
+        self.young.clear();
+    }
+
+    /// Merges the young generation into the old one (used when the floor
+    /// rises: everything currently live becomes old).
+    fn promote(&mut self) {
+        if !self.young.is_empty() {
+            self.old.extend(self.young.drain());
+        }
+    }
+
+    /// Drops entries referencing nodes at or above `limit`. With
+    /// `floor_held` the old generation is known valid (every entry is
+    /// below the floor ≤ `limit`) and only the young side is touched.
+    fn collect(&mut self, limit: u32, floor_held: bool) {
+        if floor_held {
+            self.young.retain(|_, &mut (_, yref)| yref < limit);
+        } else {
+            self.old.retain(|_, &mut (_, yref)| yref < limit);
+            self.young.retain(|_, &mut (_, yref)| yref < limit);
+        }
+    }
 }
 
 /// The BDD manager: node store, unique table and operation caches.
@@ -91,8 +194,9 @@ pub(crate) struct Node {
 #[derive(Debug, Default)]
 pub struct BddManager {
     pub(crate) nodes: Vec<Node>,
+    /// Unique table: `(var, lo, hi)` in canonical form → node index.
     pub(crate) unique: HashMap<(u32, u32, u32), u32>,
-    ite_cache: HashMap<(u32, u32, u32), u32>,
+    ite_cache: GenCache<(u32, u32, u32)>,
     var_to_signal: Vec<SignalId>,
     signal_to_var: HashMap<SignalId, u32>,
     /// Variable id → level in the current order (level 0 is the top).
@@ -107,9 +211,22 @@ pub struct BddManager {
     /// source variable id (level-independent).
     pub(crate) pairings: Vec<Vec<(u32, u32)>>,
     /// Memo for `and_exists`, keyed by `(set, f, g)` with `f <= g`.
-    and_exists_cache: HashMap<(u32, u32, u32), u32>,
-    /// Memo for `rename`, keyed by `(pairing, f)`.
-    rename_cache: HashMap<(u32, u32), u32>,
+    and_exists_cache: GenCache<(u32, u32, u32)>,
+    /// Memo for `rename`, keyed by `(pairing, f)` with `f` regular
+    /// (renaming commutes with complement).
+    rename_cache: GenCache<(u32, u32)>,
+    /// Node count at the oldest outstanding checkpoint: entries wholly
+    /// below it live in the old memo generation. `None` = no checkpoint
+    /// taken since the last rebuild.
+    gen_floor: Option<u32>,
+    /// High-water mark of the node store, *including* scratch regions that
+    /// were later rolled back (the trace gauge only sees peaks while
+    /// tracing is on; this one is always exact).
+    peak_nodes: usize,
+    /// Rollbacks that actually freed nodes.
+    gc_collections: usize,
+    /// Total nodes freed by those rollbacks.
+    gc_freed: usize,
 }
 
 /// A node-store marker created by [`BddManager::checkpoint`] and consumed
@@ -141,20 +258,11 @@ impl BddManager {
     pub fn new() -> Self {
         let mut m = BddManager {
             nodes: Vec::with_capacity(1024),
-            unique: HashMap::new(),
-            ite_cache: HashMap::new(),
-            var_to_signal: Vec::new(),
-            signal_to_var: HashMap::new(),
-            var_to_level: Vec::new(),
-            level_to_var: Vec::new(),
-            var_sets: Vec::new(),
-            pairings: Vec::new(),
-            and_exists_cache: HashMap::new(),
-            rename_cache: HashMap::new(),
+            ..BddManager::default()
         };
-        // Index 0 = FALSE, 1 = TRUE.
+        // Index 0: the single terminal (constant true as a regular edge).
         m.nodes.push(Node { var: TERMINAL_VAR, lo: 0, hi: 0 });
-        m.nodes.push(Node { var: TERMINAL_VAR, lo: 1, hi: 1 });
+        m.peak_nodes = 1;
         m
     }
 
@@ -205,13 +313,32 @@ impl BddManager {
         self.var_to_signal[var as usize]
     }
 
-    /// Number of live nodes (including the two terminals).
+    /// Number of live nodes (including the terminal).
     pub fn node_count(&self) -> usize {
         self.nodes.len()
     }
 
+    /// High-water mark of the node store over the manager's lifetime,
+    /// including scratch regions that were rolled back since. This is the
+    /// honest peak for memory accounting — [`BddManager::node_count`]
+    /// after a rollback understates what was actually allocated.
+    pub fn peak_node_count(&self) -> usize {
+        self.peak_nodes
+    }
+
+    /// Number of rollbacks that freed at least one node.
+    pub fn gc_collections(&self) -> usize {
+        self.gc_collections
+    }
+
+    /// Total nodes freed by scratch-region rollbacks (reorder/compaction
+    /// rebuilds are counted separately by their [`crate::ReorderOutcome`]).
+    pub fn gc_freed_nodes(&self) -> usize {
+        self.gc_freed
+    }
+
     /// Total number of entries across the operation memo tables (`ite`,
-    /// `and_exists`, `rename`).
+    /// `and_exists`, `rename`), both generations.
     ///
     /// Together with [`BddManager::node_count`] this is the memory-growth
     /// accounting the symbolic engine's fail-closed limit is built on: the
@@ -232,19 +359,40 @@ impl BddManager {
         self.rename_cache.clear();
     }
 
+    /// Resets the generational split after a rebuild replaced the node
+    /// store (reorder/compact): all memos are gone, no floor is set.
+    pub(crate) fn reset_generations(&mut self) {
+        self.clear_op_caches();
+        self.gen_floor = None;
+    }
+
     /// A point-in-time marker of the node store for
     /// [`BddManager::rollback`].
-    pub fn checkpoint(&self) -> BddCheckpoint {
-        BddCheckpoint {
-            nodes: self.nodes.len(),
+    ///
+    /// Taking a checkpoint also raises the memo **generation floor** to the
+    /// current node count: every existing memo entry is promoted to the old
+    /// generation (it can only reference surviving nodes), and entries
+    /// created after this point that touch post-checkpoint nodes go young —
+    /// which is what makes the matching rollback O(freed).
+    pub fn checkpoint(&mut self) -> BddCheckpoint {
+        let n = self.nodes.len();
+        let floor = u32::try_from(n).expect("checkpoint within u32 store");
+        if self.gen_floor != Some(floor) {
+            self.ite_cache.promote();
+            self.and_exists_cache.promote();
+            self.rename_cache.promote();
+            self.gen_floor = Some(floor);
         }
+        BddCheckpoint { nodes: n }
     }
 
     /// Frees every node created after `cp` — the node store is
-    /// append-only, so this is a truncate plus dropping the unique-table
-    /// and operation-memo entries that reference the removed nodes
-    /// (entries purely over surviving nodes are kept, so the memo tables
-    /// stay warm for the next computation over the same base).
+    /// append-only between checkpoints, so this truncates the store,
+    /// removes exactly the freed nodes' unique-table entries (walking only
+    /// the truncated suffix), and drops the young memo generation. Old
+    /// memo entries are wholly over surviving nodes and are kept warm —
+    /// when `cp` is the checkpoint that set the current generation floor,
+    /// nothing is scanned at all and the whole rollback is O(freed).
     ///
     /// The manager never garbage-collects on its own; throwaway
     /// computations whose results are extracted to non-BDD form (witness
@@ -257,16 +405,46 @@ impl BddManager {
         if self.nodes.len() == cp.nodes {
             return; // nothing was created — all tables are already clean
         }
-        self.nodes.truncate(cp.nodes);
         let limit = u32::try_from(cp.nodes).expect("checkpoint within u32 store");
-        self.unique.retain(|_, &mut n| n < limit);
-        self.ite_cache
-            .retain(|&(f, g, h), &mut r| f < limit && g < limit && h < limit && r < limit);
-        // `and_exists` keys carry a var-set id first, `rename` keys a
-        // pairing id — both survive rollback; only node operands matter.
-        self.and_exists_cache
-            .retain(|&(_, f, g), &mut r| f < limit && g < limit && r < limit);
-        self.rename_cache.retain(|&(_, f), &mut r| f < limit && r < limit);
+        // O(freed) unique-table cleanup: each truncated node owns exactly
+        // one unique entry, keyed by its stored (canonical) triple.
+        for idx in cp.nodes..self.nodes.len() {
+            let n = self.nodes[idx];
+            self.unique.remove(&(n.var, n.lo, n.hi));
+        }
+        let freed = self.nodes.len() - cp.nodes;
+        self.nodes.truncate(cp.nodes);
+        match self.gen_floor {
+            Some(floor) if limit >= floor => {
+                // Fast path: the old generation references only nodes
+                // below the floor, all of which survive.
+                if limit == floor {
+                    self.ite_cache.young.clear();
+                    self.and_exists_cache.young.clear();
+                    self.rename_cache.young.clear();
+                } else {
+                    self.ite_cache.collect(limit, true);
+                    self.and_exists_cache.collect(limit, true);
+                    self.rename_cache.collect(limit, true);
+                }
+            }
+            _ => {
+                // Rolling back below the floor (nested checkpoints) or
+                // with no floor at all: full scan, then lower the floor.
+                self.ite_cache.collect(limit, false);
+                self.and_exists_cache.collect(limit, false);
+                self.rename_cache.collect(limit, false);
+                if self.gen_floor.is_some() {
+                    self.gen_floor = Some(limit);
+                }
+            }
+        }
+        self.gc_collections += 1;
+        self.gc_freed += freed;
+        if dic_trace::enabled() {
+            dic_trace::count(dic_trace::Counter::BddGcCollections, 1);
+            dic_trace::gauge_set(dic_trace::Gauge::BddLiveNodes, self.nodes.len() as u64);
+        }
     }
 
     /// Registers a set of variables for [`BddManager::and_exists`],
@@ -302,9 +480,13 @@ impl BddManager {
     }
 
     fn and_exists_rec(&mut self, f: Bdd, g: Bdd, vars: &[u32], from: usize, set: u32) -> Bdd {
-        if f.is_false() || g.is_false() {
+        if f.is_false() || g.is_false() || f == g.complement() {
             return Bdd::FALSE;
         }
+        // f ∧ f = f: degrade the duplicate operand to plain
+        // quantification (free with complement edges, where ¬f-vs-f is
+        // the equality check above).
+        let g = if f == g { Bdd::TRUE } else { g };
         if f.is_true() && g.is_true() {
             return Bdd::TRUE;
         }
@@ -315,7 +497,7 @@ impl BddManager {
             dic_trace::count(dic_trace::Counter::BddAndExistsOps, 1);
             dic_trace::count(dic_trace::Counter::BddMemoLookups, 1);
         }
-        if let Some(&r) = self.and_exists_cache.get(&key) {
+        if let Some(r) = self.and_exists_cache.get(&key) {
             if dic_trace::enabled() {
                 dic_trace::count(dic_trace::Counter::BddMemoHits, 1);
             }
@@ -345,7 +527,8 @@ impl BddManager {
                 self.mk(v, lo, hi)
             }
         };
-        self.and_exists_cache.insert(key, r.0);
+        let yref = f.0.max(g.0).max(r.0) >> 1;
+        self.and_exists_cache.insert(self.gen_floor, key, r.0, yref);
         r
     }
 
@@ -422,18 +605,22 @@ impl BddManager {
         if f.is_true() || f.is_false() {
             return f;
         }
-        let key = (pairing, f.0);
+        // Renaming commutes with complement: recurse on the regular edge
+        // and re-apply the bit, so f and ¬f share one memo entry.
+        let c = f.0 & 1;
+        let fr = Bdd(f.0 & !1);
+        let key = (pairing, fr.0);
         if dic_trace::enabled() {
             dic_trace::count(dic_trace::Counter::BddRenameOps, 1);
             dic_trace::count(dic_trace::Counter::BddMemoLookups, 1);
         }
-        if let Some(&r) = self.rename_cache.get(&key) {
+        if let Some(r) = self.rename_cache.get(&key) {
             if dic_trace::enabled() {
                 dic_trace::count(dic_trace::Counter::BddMemoHits, 1);
             }
-            return Bdd(r);
+            return Bdd(r ^ c);
         }
-        let n = self.node(f);
+        let n = self.node(fr);
         let lo = self.rename_rec(Bdd(n.lo), pairs, pairing);
         let hi = self.rename_rec(Bdd(n.hi), pairs, pairing);
         let var = match pairs.binary_search_by_key(&n.var, |&(from, _)| from) {
@@ -446,8 +633,10 @@ impl BddManager {
             "pairing broke the variable order at {var}"
         );
         let r = self.mk(var, lo, hi);
-        self.rename_cache.insert(key, r.0);
-        r
+        debug_assert!(!r.is_complement(), "renaming a regular edge stays regular");
+        let yref = fr.0.max(r.0) >> 1;
+        self.rename_cache.insert(self.gen_floor, key, r.0, yref);
+        Bdd(r.0 ^ c)
     }
 
     /// Existential quantification over raw variable indices (the symbolic
@@ -461,6 +650,10 @@ impl BddManager {
         if lo == hi {
             return lo;
         }
+        // Canonical form: the then-edge must be regular. A complemented
+        // then-child flips both children and tags the returned edge.
+        let flip = hi.0 & 1;
+        let (lo, hi) = (Bdd(lo.0 ^ flip), Bdd(hi.0 ^ flip));
         let key = (var, lo.0, hi.0);
         if dic_trace::enabled() {
             dic_trace::count(dic_trace::Counter::BddUniqueLookups, 1);
@@ -469,25 +662,38 @@ impl BddManager {
             if dic_trace::enabled() {
                 dic_trace::count(dic_trace::Counter::BddUniqueHits, 1);
             }
-            return Bdd(n);
+            return Bdd((n << 1) | flip);
         }
-        let n = u32::try_from(self.nodes.len()).expect("BDD node store overflow");
+        let idx = self.nodes.len();
+        assert!(idx <= MAX_NODE_INDEX, "BDD node store overflow");
+        let n = idx as u32;
         self.nodes.push(Node { var, lo: lo.0, hi: hi.0 });
         self.unique.insert(key, n);
+        if self.nodes.len() > self.peak_nodes {
+            self.peak_nodes = self.nodes.len();
+        }
         if dic_trace::enabled() {
             let live = self.nodes.len() as u64;
             dic_trace::gauge_set(dic_trace::Gauge::BddLiveNodes, live);
             dic_trace::gauge_max(dic_trace::Gauge::BddPeakNodes, live);
         }
-        Bdd(n)
+        Bdd((n << 1) | flip)
     }
 
     fn node(&self, f: Bdd) -> Node {
-        self.nodes[f.idx()]
+        self.nodes[f.index()]
     }
 
     pub(crate) fn top_var(&self, f: Bdd) -> u32 {
-        self.nodes[f.idx()].var
+        self.nodes[f.index()].var
+    }
+
+    /// The children of `f` as functions: the stored edges with the
+    /// parent's complement bit pushed down.
+    fn children(&self, f: Bdd) -> (Bdd, Bdd) {
+        let n = self.node(f);
+        let c = f.0 & 1;
+        (Bdd(n.lo ^ c), Bdd(n.hi ^ c))
     }
 
     /// The topmost (smallest-level) variable among the roots of `f`, `g`,
@@ -508,9 +714,8 @@ impl BddManager {
     /// Low/high cofactors of `f` with respect to variable `var`, assuming
     /// `var <= top_var(f)` in the order.
     fn cofactors(&self, f: Bdd, var: u32) -> (Bdd, Bdd) {
-        let n = self.node(f);
-        if n.var == var {
-            (Bdd(n.lo), Bdd(n.hi))
+        if self.top_var(f) == var {
+            self.children(f)
         } else {
             (f, f)
         }
@@ -526,22 +731,57 @@ impl BddManager {
         if f.is_false() {
             return h;
         }
+        let mut f = f;
+        let mut g = g;
+        let mut h = h;
+        // Branches that repeat (or complement) the test collapse.
+        if g == f {
+            g = Bdd::TRUE;
+        } else if g == f.complement() {
+            g = Bdd::FALSE;
+        }
+        if h == f {
+            h = Bdd::FALSE;
+        } else if h == f.complement() {
+            h = Bdd::TRUE;
+        }
         if g == h {
             return g;
         }
         if g.is_true() && h.is_false() {
             return f;
         }
+        if g.is_false() && h.is_true() {
+            return f.complement();
+        }
+        // Normalize the test regular: ite(¬f, g, h) = ite(f, h, g).
+        if f.is_complement() {
+            f = f.complement();
+            std::mem::swap(&mut g, &mut h);
+        }
+        // Commutative operand order for the two binary shapes the engine
+        // issues constantly: f∧g = ite(f,g,0) and f∨h = ite(f,1,h). Only
+        // swap when the other operand is regular, keeping f regular.
+        if h.is_false() && !g.is_complement() && g.0 < f.0 {
+            std::mem::swap(&mut f, &mut g);
+        } else if g.is_true() && !h.is_complement() && h.0 < f.0 {
+            std::mem::swap(&mut f, &mut h);
+        }
+        // Normalize the then-branch regular so ¬r shares the cache entry:
+        // ite(f, ¬g, ¬h) = ¬ite(f, g, h).
+        let flip = g.0 & 1;
+        g = Bdd(g.0 ^ flip);
+        h = Bdd(h.0 ^ flip);
         let key = (f.0, g.0, h.0);
         if dic_trace::enabled() {
             dic_trace::count(dic_trace::Counter::BddIteOps, 1);
             dic_trace::count(dic_trace::Counter::BddMemoLookups, 1);
         }
-        if let Some(&r) = self.ite_cache.get(&key) {
+        if let Some(r) = self.ite_cache.get(&key) {
             if dic_trace::enabled() {
                 dic_trace::count(dic_trace::Counter::BddMemoHits, 1);
             }
-            return Bdd(r);
+            return Bdd(r ^ flip);
         }
         let v = self.top_of_three(f, g, h);
         let (f0, f1) = self.cofactors(f, v);
@@ -550,13 +790,16 @@ impl BddManager {
         let lo = self.ite(f0, g0, h0);
         let hi = self.ite(f1, g1, h1);
         let r = self.mk(v, lo, hi);
-        self.ite_cache.insert(key, r.0);
-        r
+        let yref = f.0.max(g.0).max(h.0).max(r.0) >> 1;
+        self.ite_cache.insert(self.gen_floor, key, r.0, yref);
+        Bdd(r.0 ^ flip)
     }
 
-    /// Negation.
+    /// Negation — with complement edges a constant-time bit flip
+    /// ([`Bdd::complement`]); kept as a manager method for symmetry with
+    /// the other connectives.
     pub fn not(&mut self, f: Bdd) -> Bdd {
-        self.ite(f, Bdd::FALSE, Bdd::TRUE)
+        f.complement()
     }
 
     /// Conjunction.
@@ -571,8 +814,7 @@ impl BddManager {
 
     /// Exclusive or.
     pub fn xor(&mut self, f: Bdd, g: Bdd) -> Bdd {
-        let ng = self.not(g);
-        self.ite(f, ng, g)
+        self.ite(f, g.complement(), g)
     }
 
     /// Implication `f -> g`.
@@ -582,8 +824,7 @@ impl BddManager {
 
     /// Biconditional `f <-> g`.
     pub fn iff(&mut self, f: Bdd, g: Bdd) -> Bdd {
-        let ng = self.not(g);
-        self.ite(f, g, ng)
+        self.ite(f, g, g.complement())
     }
 
     /// N-ary conjunction.
@@ -617,17 +858,18 @@ impl BddManager {
     }
 
     fn restrict_var(&mut self, f: Bdd, var: u32, value: bool) -> Bdd {
-        let n = self.node(f);
-        if self.level_of(n.var) > self.level_of(var) {
+        let fv = self.top_var(f);
+        if self.level_of(fv) > self.level_of(var) {
             // f does not depend on var (or is terminal).
             return f;
         }
-        if n.var == var {
-            return if value { Bdd(n.hi) } else { Bdd(n.lo) };
+        let (lo, hi) = self.children(f);
+        if fv == var {
+            return if value { hi } else { lo };
         }
-        let lo = self.restrict_var(Bdd(n.lo), var, value);
-        let hi = self.restrict_var(Bdd(n.hi), var, value);
-        self.mk(n.var, lo, hi)
+        let lo = self.restrict_var(lo, var, value);
+        let hi = self.restrict_var(hi, var, value);
+        self.mk(fv, lo, hi)
     }
 
     /// Existential quantification `∃ signal. f`.
@@ -732,32 +974,19 @@ impl BddManager {
             if cur.is_false() {
                 return false;
             }
-            let n = self.node(cur);
-            let sig = self.var_to_signal[n.var as usize];
-            cur = if v.get(sig) { Bdd(n.hi) } else { Bdd(n.lo) };
+            let sig = self.var_to_signal[self.top_var(cur) as usize];
+            let (lo, hi) = self.children(cur);
+            cur = if v.get(sig) { hi } else { lo };
         }
     }
 
     /// The signals `f` actually depends on, in registration (variable-id)
     /// order — stable across reorders.
     pub fn support(&self, f: Bdd) -> Vec<SignalId> {
-        let mut vars = Vec::new();
-        let mut seen = std::collections::HashSet::new();
-        let mut stack = vec![f];
-        let mut varset = std::collections::BTreeSet::new();
-        while let Some(g) = stack.pop() {
-            if g.is_true() || g.is_false() || !seen.insert(g) {
-                continue;
-            }
-            let n = self.node(g);
-            varset.insert(n.var);
-            stack.push(Bdd(n.lo));
-            stack.push(Bdd(n.hi));
-        }
-        for v in varset {
-            vars.push(self.var_to_signal[v as usize]);
-        }
-        vars
+        self.support_vars(f)
+            .into_iter()
+            .map(|v| self.var_to_signal[v as usize])
+            .collect()
     }
 
     /// The variable indices `f` actually depends on, in registration
@@ -767,34 +996,37 @@ impl BddManager {
     /// callers (the symbolic engine) whose variables are not all backed by
     /// table signals.
     pub fn support_vars(&self, f: Bdd) -> Vec<u32> {
+        // Complement bits do not affect the support: walk node indices.
         let mut seen = std::collections::HashSet::new();
-        let mut stack = vec![f];
+        let mut stack = vec![f.index()];
         let mut varset = std::collections::BTreeSet::new();
-        while let Some(g) = stack.pop() {
-            if g.is_true() || g.is_false() || !seen.insert(g) {
+        while let Some(i) = stack.pop() {
+            let n = self.nodes[i];
+            if n.var == TERMINAL_VAR || !seen.insert(i) {
                 continue;
             }
-            let n = self.node(g);
             varset.insert(n.var);
-            stack.push(Bdd(n.lo));
-            stack.push(Bdd(n.hi));
+            stack.push((n.lo >> 1) as usize);
+            stack.push((n.hi >> 1) as usize);
         }
         varset.into_iter().collect()
     }
 
-    /// Number of BDD nodes reachable from `f` (excluding terminals).
+    /// Number of BDD nodes reachable from `f` (excluding the terminal).
+    /// With complement edges a function and its negation share all their
+    /// nodes, so `size(f) == size(¬f)`.
     pub fn size(&self, f: Bdd) -> usize {
         let mut seen = std::collections::HashSet::new();
-        let mut stack = vec![f];
+        let mut stack = vec![f.index()];
         let mut count = 0;
-        while let Some(g) = stack.pop() {
-            if g.is_true() || g.is_false() || !seen.insert(g) {
+        while let Some(i) = stack.pop() {
+            let n = self.nodes[i];
+            if n.var == TERMINAL_VAR || !seen.insert(i) {
                 continue;
             }
             count += 1;
-            let n = self.node(g);
-            stack.push(Bdd(n.lo));
-            stack.push(Bdd(n.hi));
+            stack.push((n.lo >> 1) as usize);
+            stack.push((n.hi >> 1) as usize);
         }
         count
     }
@@ -808,14 +1040,14 @@ impl BddManager {
         let mut lits = Vec::new();
         let mut cur = f;
         while !cur.is_true() {
-            let n = self.node(cur);
-            let sig = self.var_to_signal[n.var as usize];
-            if Bdd(n.hi).is_false() {
+            let sig = self.var_to_signal[self.top_var(cur) as usize];
+            let (lo, hi) = self.children(cur);
+            if hi.is_false() {
                 lits.push(Lit::neg(sig));
-                cur = Bdd(n.lo);
+                cur = lo;
             } else {
                 lits.push(Lit::pos(sig));
-                cur = Bdd(n.hi);
+                cur = hi;
             }
         }
         Cube::from_lits(lits)
@@ -843,16 +1075,16 @@ impl BddManager {
                 out.push(Cube::from_lits(lits).expect("path literals are distinct"));
                 continue;
             }
-            let n = self.node(g);
-            let sig = self.var_to_signal[n.var as usize];
+            let sig = self.var_to_signal[self.top_var(g) as usize];
+            let (lo, hi) = self.children(g);
             let mut lo_lits = lits.clone();
             lo_lits.push(Lit::neg(sig));
             let mut hi_lits = lits;
             hi_lits.push(Lit::pos(sig));
             // Last-in-first-out: push low first so the high branch pops
             // (and is emitted) first.
-            stack.push((Bdd(n.lo), lo_lits));
-            stack.push((Bdd(n.hi), hi_lits));
+            stack.push((lo, lo_lits));
+            stack.push((hi, hi_lits));
         }
         out
     }
@@ -874,6 +1106,10 @@ impl BddManager {
     /// `sat_count(TRUE, 128)` is `2^128`), and a pegged maximum is more
     /// useful than the shift overflow the unchecked arithmetic used to
     /// hit (a debug panic, silently wrong counts in release).
+    ///
+    /// The memo is keyed on the full edge (complement bit included):
+    /// computing the complement's count as `2^n - count` would defeat the
+    /// saturation contract, so `f` and `¬f` are counted independently.
     pub fn sat_count(&self, f: Bdd, nvars: u32) -> u128 {
         /// `x << n`, saturating at `u128::MAX` instead of overflowing.
         fn shl_sat(x: u128, n: u32) -> u128 {
@@ -900,11 +1136,12 @@ impl BddManager {
             if let Some(&c) = cache.get(&f.0) {
                 return c;
             }
-            let n = man.node(f);
-            let lo = go(man, Bdd(n.lo), nvars, cache);
-            let hi = go(man, Bdd(n.hi), nvars, cache);
-            let skipped_lo = man.level_gap(n.var, Bdd(n.lo), nvars);
-            let skipped_hi = man.level_gap(n.var, Bdd(n.hi), nvars);
+            let v = man.top_var(f);
+            let (lo_f, hi_f) = man.children(f);
+            let lo = go(man, lo_f, nvars, cache);
+            let hi = go(man, hi_f, nvars, cache);
+            let skipped_lo = man.level_gap(v, lo_f, nvars);
+            let skipped_hi = man.level_gap(v, hi_f, nvars);
             let c = shl_sat(lo, skipped_lo).saturating_add(shl_sat(hi, skipped_hi));
             cache.insert(f.0, c);
             c
@@ -1051,6 +1288,25 @@ mod tests {
     }
 
     #[test]
+    fn negation_is_free_and_shares_nodes() {
+        let (_t, mut m, ids) = setup();
+        let a = m.var_for_signal(ids[0]);
+        let b = m.var_for_signal(ids[1]);
+        let f = m.xor(a, b);
+        let before = m.node_count();
+        // Complement edges: negation allocates nothing and double
+        // negation is the identity on the handle.
+        let g = m.not(f);
+        assert_eq!(m.node_count(), before);
+        assert_eq!(m.not(g), f);
+        assert_ne!(g, f);
+        assert_eq!(m.size(f), m.size(g), "f and ¬f share all nodes");
+        // The constants are each other's complements around one terminal.
+        assert_eq!(Bdd::TRUE.complement(), Bdd::FALSE);
+        assert!(m.node_count() >= 1);
+    }
+
+    #[test]
     fn eval_agrees_with_expr() {
         let (t, mut m, ids) = setup();
         let e = BoolExpr::or([
@@ -1111,6 +1367,10 @@ mod tests {
         assert_eq!(m.sat_count(f, 4), 12);
         assert_eq!(m.sat_count(Bdd::TRUE, 4), 16);
         assert_eq!(m.sat_count(Bdd::FALSE, 4), 0);
+        // Complemented edges count their own paths, not 2^n - count.
+        let nf = m.not(f);
+        assert_eq!(m.sat_count(nf, 2), 1);
+        assert_eq!(m.sat_count(nf, 4), 4);
     }
 
     #[test]
@@ -1129,6 +1389,11 @@ mod tests {
         assert_eq!(m.sat_count(a, 128), 1u128 << 127);
         // Over 129 variables it would be 2^128: saturated.
         assert_eq!(m.sat_count(a, 129), u128::MAX);
+        // The complement saturates independently (no 2^n - MAX underflow):
+        // ¬a over 128 vars is also 2^127; over 129, saturated.
+        let na = m.not(a);
+        assert_eq!(m.sat_count(na, 128), 1u128 << 127);
+        assert_eq!(m.sat_count(na, 129), u128::MAX);
     }
 
     #[test]
@@ -1147,6 +1412,15 @@ mod tests {
         }
         assert!(m.eval(f, &v));
         assert!(m.any_sat(Bdd::FALSE).is_none());
+        // Negated functions extract satisfying cubes through the
+        // complement bit too.
+        let nf = m.not(f);
+        let ncube = m.any_sat(nf).expect("complement satisfiable");
+        let mut nv = Valuation::all_false(t.len());
+        for l in ncube.lits() {
+            nv.set(l.signal(), l.polarity());
+        }
+        assert!(!m.eval(f, &nv));
     }
 
     #[test]
@@ -1166,6 +1440,15 @@ mod tests {
             back = m.or(back, cb);
         }
         assert_eq!(back, f, "cover must rebuild exactly f");
+        // And the same through a complemented root.
+        let nf = m.not(f);
+        let ncover = m.cubes(nf);
+        let mut nback = Bdd::FALSE;
+        for cube in &ncover {
+            let cb = m.from_cube(cube);
+            nback = m.or(nback, cb);
+        }
+        assert_eq!(nback, nf, "cover of the complement rebuilds ¬f");
     }
 
     #[test]
@@ -1192,6 +1475,9 @@ mod tests {
         assert_eq!(m.support(f), vec![ids[0], ids[2]]);
         assert_eq!(m.size(f), 2);
         assert_eq!(m.size(Bdd::TRUE), 0);
+        assert_eq!(m.size(Bdd::FALSE), 0);
+        let nf = m.not(f);
+        assert_eq!(m.support(nf), vec![ids[0], ids[2]]);
     }
 
     #[test]
@@ -1218,6 +1504,10 @@ mod tests {
         // One operand true degrades to plain quantification.
         let quantified = m.exists_all(g, &[ids[1], ids[2]]);
         assert_eq!(m.and_exists(g, Bdd::TRUE, set), quantified);
+        // New complement-edge short-circuits: f ∧ ¬f and f ∧ f.
+        let ng = m.not(g);
+        assert!(m.and_exists(g, ng, set).is_false());
+        assert_eq!(m.and_exists(g, g, set), quantified);
     }
 
     #[test]
@@ -1244,6 +1534,12 @@ mod tests {
         assert_eq!(one[0], m.any_sat(f).unwrap());
         assert!(m.sat_cubes(Bdd::FALSE, 4).is_empty());
         assert_eq!(m.sat_cubes(Bdd::TRUE, 4).len(), 1);
+        // Complemented roots enumerate the complement's paths.
+        let nf = m.not(f); // !a & !b — one path
+        let ncubes = m.sat_cubes(nf, 10);
+        assert_eq!(ncubes.len(), 1);
+        let ncb = m.from_cube(&ncubes[0]);
+        assert_eq!(ncb, nf);
     }
 
     #[test]
@@ -1296,6 +1592,10 @@ mod tests {
         // Functions not mentioning paired variables are untouched.
         assert_eq!(m.rename(a, next_to_curr), a);
         assert_eq!(m.rename(Bdd::TRUE, next_to_curr), Bdd::TRUE);
+        // Renaming commutes with complement (shared memo entry).
+        let nf = m.not(f);
+        let nrenamed = m.rename(nf, next_to_curr);
+        assert_eq!(nrenamed, renamed.complement());
     }
 
     #[test]
@@ -1353,6 +1653,41 @@ mod tests {
         let warm = m.cache_entries();
         m.rollback(&cp2);
         assert_eq!(m.cache_entries(), warm);
+    }
+
+    #[test]
+    fn generational_rollback_keeps_old_memos_and_tracks_stats() {
+        let (_t, mut m, ids) = setup();
+        let a = m.var_for_signal(ids[0]);
+        let b = m.var_for_signal(ids[1]);
+        let keep = m.and(a, b);
+        let warm = m.cache_entries();
+        assert!(warm > 0);
+        let cp = m.checkpoint();
+        let base_nodes = m.node_count();
+        // Scratch region: nodes and young memo entries.
+        let c = m.var_for_signal(ids[2]);
+        let d = m.var_for_signal(ids[3]);
+        let cd = m.xor(c, d);
+        let scratch = m.or(keep, cd);
+        assert!(!scratch.is_false());
+        let scratch_nodes = m.node_count() - base_nodes;
+        assert!(scratch_nodes > 0);
+        let peak = m.peak_node_count();
+        assert!(peak >= m.node_count());
+
+        m.rollback(&cp);
+        // Pre-checkpoint memos survive (old generation untouched)…
+        assert!(m.cache_entries() >= warm, "old memo generation must survive");
+        // …while every scratch node is gone and the stats say so.
+        assert_eq!(m.node_count(), base_nodes);
+        assert_eq!(m.gc_collections(), 1);
+        assert_eq!(m.gc_freed_nodes(), scratch_nodes);
+        // The peak remembers the rolled-back high-water mark.
+        assert_eq!(m.peak_node_count(), peak);
+        assert!(m.peak_node_count() > m.node_count());
+        // Survivor handles still canonical.
+        assert_eq!(m.and(a, b), keep);
     }
 
     #[test]

@@ -15,15 +15,20 @@
 //! from the live roots is copied into a mutable, reference-counted,
 //! per-level-unique-table representation where an adjacent level swap is
 //! the classic local rewrite (nodes at the upper level are re-expressed
-//! over the swapped variable; unreferenced lower nodes die). Sifting walks
-//! every group through its admissible positions, tracking the exact live
-//! node count, and settles each group at its best position (with the usual
-//! max-growth early abort). The result is then **rebuilt** into the
+//! over the swapped variable; unreferenced lower nodes die). Workspace
+//! children are *edges* exactly like the manager's — node index plus
+//! complement bit, stored then-edge regular — so the swap rewrite and the
+//! final rebuild preserve complement-bit canonicity end to end. Sifting
+//! walks every group through its admissible positions, tracking the exact
+//! live node count, and settles each group at its best position (with the
+//! usual max-growth early abort). The result is then **rebuilt** into the
 //! manager: a fresh node store in the new order, the level maps updated,
 //! operation caches dropped, variable sets re-sorted — and a root map
-//! handed back so the caller can swap every handle it kept. Handles not in
-//! the root set are invalidated (the rebuild doubles as the only garbage
-//! collection the append-only manager ever performs).
+//! handed back so the caller can swap every handle it kept (the map
+//! translates node indices; each root keeps its own complement bit).
+//! Handles not in the root set are invalidated (the rebuild doubles as
+//! the manager's full garbage collection; scratch regions are collected
+//! incrementally by [`BddManager::rollback`]).
 
 use crate::bdd::{Bdd, BddManager, Node, TERMINAL_VAR};
 use std::collections::HashMap;
@@ -44,13 +49,13 @@ pub struct ReorderGroup {
 /// Outcome of one [`BddManager::reorder_groups`] call.
 #[derive(Clone, Debug)]
 pub struct ReorderOutcome {
-    /// Node-store size before the reorder (live nodes *plus* garbage —
-    /// the append-only manager never collects outside a reorder).
+    /// Node-store size before the reorder (live nodes *plus* garbage not
+    /// yet collected by a scratch rollback).
     pub store_before: usize,
     /// Live nodes (reachable from the roots) before sifting.
     pub live_before: usize,
     /// Live nodes after sifting — the store size of the rebuilt manager,
-    /// terminals excluded.
+    /// terminal excluded.
     pub live_after: usize,
     /// Whether the sifting search ran (false for a pure compaction —
     /// [`BddManager::compact`], or a [`BddManager::reorder_groups_min_live`]
@@ -85,8 +90,10 @@ impl ReorderOutcome {
     }
 }
 
-/// Workspace node. `refs` counts parents plus one per root occurrence;
-/// a node dies when it drops to zero.
+/// Workspace node. `lo`/`hi` are workspace *edges* (arena index shifted
+/// left, complement bit in bit 0; `hi` kept regular). `refs` counts
+/// parents plus one per root occurrence; a node dies when it drops to
+/// zero.
 #[derive(Clone, Copy, Debug)]
 struct WsNode {
     var: u32,
@@ -104,29 +111,35 @@ const DEAD: u32 = u32::MAX - 1;
 struct Workspace {
     nodes: Vec<WsNode>,
     free: Vec<u32>,
-    /// Per-variable unique table, `(lo, hi) → arena index`. The values of
-    /// `unique[v]` are exactly the live nodes labelled `v`.
+    /// Per-variable unique table, canonical `(lo, hi)` edge pair → arena
+    /// index. The values of `unique[v]` are exactly the live nodes
+    /// labelled `v`.
     unique: Vec<HashMap<(u32, u32), u32>>,
     var_to_level: Vec<u32>,
     level_to_var: Vec<u32>,
-    /// Live interior nodes (terminals excluded).
+    /// Live interior nodes (terminal excluded).
     live: usize,
 }
 
 impl Workspace {
-    /// Finds or creates the node `(var, lo, hi)` and takes one reference
-    /// to it. A fresh node also takes references to its children.
+    /// Finds or creates the node for `ite(var, hi, lo)` and takes one
+    /// reference to it, returning the (possibly complemented) edge in
+    /// canonical form. A fresh node also takes references to its children.
     fn mk_ref(&mut self, var: u32, lo: u32, hi: u32) -> u32 {
         if lo == hi {
-            self.nodes[lo as usize].refs += 1;
+            self.nodes[(lo >> 1) as usize].refs += 1;
             return lo;
         }
+        // Canonical form: regular then-edge; a complemented one flips
+        // both children and returns a complemented edge.
+        let flip = hi & 1;
+        let (lo, hi) = (lo ^ flip, hi ^ flip);
         if let Some(&n) = self.unique[var as usize].get(&(lo, hi)) {
             self.nodes[n as usize].refs += 1;
-            return n;
+            return (n << 1) | flip;
         }
-        self.nodes[lo as usize].refs += 1;
-        self.nodes[hi as usize].refs += 1;
+        self.nodes[(lo >> 1) as usize].refs += 1;
+        self.nodes[(hi >> 1) as usize].refs += 1;
         let node = WsNode { var, lo, hi, refs: 1 };
         let idx = match self.free.pop() {
             Some(i) => {
@@ -141,17 +154,17 @@ impl Workspace {
         };
         self.unique[var as usize].insert((lo, hi), idx);
         self.live += 1;
-        idx
+        (idx << 1) | flip
     }
 
-    /// Releases one reference; cascades into the children when the node
-    /// dies.
-    fn deref(&mut self, n: u32) {
-        let mut stack = vec![n];
+    /// Releases one reference on the node behind `edge`; cascades into
+    /// the children when the node dies.
+    fn deref(&mut self, edge: u32) {
+        let mut stack = vec![edge >> 1];
         while let Some(n) = stack.pop() {
             let node = &mut self.nodes[n as usize];
             if node.var == TERMINAL_VAR {
-                continue; // terminals are immortal
+                continue; // the terminal is immortal
             }
             debug_assert!(node.refs > 0, "double free in reorder workspace");
             node.refs -= 1;
@@ -161,8 +174,8 @@ impl Workspace {
                 self.unique[var as usize].remove(&(lo, hi));
                 self.free.push(n);
                 self.live -= 1;
-                stack.push(lo);
-                stack.push(hi);
+                stack.push(lo >> 1);
+                stack.push(hi >> 1);
             }
         }
     }
@@ -170,7 +183,10 @@ impl Workspace {
     /// The classic adjacent-level swap: exchanges the variables at levels
     /// `lvl` and `lvl + 1`, locally rewriting the nodes of the upper
     /// variable. External references stay valid because upper nodes are
-    /// rewritten **in place** (same arena index, same function).
+    /// rewritten **in place** (same arena index, same function — and the
+    /// rewrite provably keeps the stored then-edge regular: the new
+    /// then-child is built from then-edges, which are regular by the
+    /// invariant).
     fn swap_levels(&mut self, lvl: usize) {
         let x = self.level_to_var[lvl];
         let y = self.level_to_var[lvl + 1];
@@ -178,20 +194,24 @@ impl Workspace {
         for n_idx in xs {
             let n = self.nodes[n_idx as usize];
             let (f0, f1) = (n.lo, n.hi);
-            let f0_at_y = self.nodes[f0 as usize].var == y;
-            let f1_at_y = self.nodes[f1 as usize].var == y;
+            let f0_at_y = self.nodes[(f0 >> 1) as usize].var == y;
+            let f1_at_y = self.nodes[(f1 >> 1) as usize].var == y;
             if !f0_at_y && !f1_at_y {
                 // Independent of y: the node just moves down with x.
                 continue;
             }
+            // Cofactors push the edge's complement bit into the children;
+            // f1 is regular by the invariant, so its cofactors come out
+            // as stored (and f11/f01 inherit regularity from then-edges).
             let (f00, f01) = if f0_at_y {
-                let c = self.nodes[f0 as usize];
-                (c.lo, c.hi)
+                let c = self.nodes[(f0 >> 1) as usize];
+                let p = f0 & 1;
+                (c.lo ^ p, c.hi ^ p)
             } else {
                 (f0, f0)
             };
             let (f10, f11) = if f1_at_y {
-                let c = self.nodes[f1 as usize];
+                let c = self.nodes[(f1 >> 1) as usize];
                 (c.lo, c.hi)
             } else {
                 (f1, f1)
@@ -200,6 +220,11 @@ impl Workspace {
             // n = ite(x, f1, f0) = ite(y, ite(x, f11, f01), ite(x, f10, f00)).
             let new_lo = self.mk_ref(x, f00, f10);
             let new_hi = self.mk_ref(x, f01, f11);
+            // f11 is always regular (then-edge of a canonical node, or f1
+            // itself), so mk_ref neither flips nor — in the f01 == f11
+            // collapse — returns a complemented edge. The in-place
+            // rewrite below is therefore canonical as stored.
+            debug_assert_eq!(new_hi & 1, 0, "swap broke then-edge regularity");
             {
                 let node = &mut self.nodes[n_idx as usize];
                 node.var = y;
@@ -302,11 +327,12 @@ impl BddManager {
     /// top groups never leave the top block.
     ///
     /// Every [`Bdd`] handle not passed in `roots` is invalidated — the
-    /// rebuild is also the manager's only garbage collection. Operation
-    /// caches are dropped; registered variable sets are re-sorted for the
-    /// new order; pairings survive unchanged (they are variable-id-keyed,
-    /// and remain order-preserving because paired variables always share a
-    /// group).
+    /// rebuild is also the manager's full garbage collection. Operation
+    /// caches are dropped (and the memo generation floor reset, since node
+    /// indices change wholesale); registered variable sets are re-sorted
+    /// for the new order; pairings survive unchanged (they are
+    /// variable-id-keyed, and remain order-preserving because paired
+    /// variables always share a group).
     ///
     /// # Panics
     ///
@@ -352,25 +378,25 @@ impl BddManager {
 
         // ---- Extract the live subgraph into the workspace. -------------
         let mut ws = Workspace {
-            nodes: vec![
-                WsNode { var: TERMINAL_VAR, lo: 0, hi: 0, refs: 1 },
-                WsNode { var: TERMINAL_VAR, lo: 1, hi: 1, refs: 1 },
-            ],
+            nodes: vec![WsNode { var: TERMINAL_VAR, lo: 0, hi: 0, refs: 1 }],
             free: Vec::new(),
             unique: vec![HashMap::new(); nvars],
             var_to_level: self.var_to_level.clone(),
             level_to_var: self.level_to_var.clone(),
             live: 0,
         };
-        // man node index → workspace index, for the extraction only.
-        let mut into_ws: HashMap<u32, u32> = HashMap::from([(0, 0), (1, 1)]);
+        // man node index → workspace node index, for the extraction only.
+        // Edges translate by mapping the index and carrying the
+        // complement bit across: canonical in the manager iff canonical
+        // in the workspace.
+        let mut into_ws: HashMap<u32, u32> = HashMap::from([(0, 0)]);
         for &root in roots {
             self.extract(root, &mut ws, &mut into_ws);
         }
         // Every root occurrence holds one reference, so live functions
         // survive even when sifting rewrites away all their parents.
         for &root in roots {
-            ws.nodes[into_ws[&root.raw()] as usize].refs += 1;
+            ws.nodes[into_ws[&((root.raw()) >> 1)] as usize].refs += 1;
         }
         let live_before = ws.live;
 
@@ -427,28 +453,30 @@ impl BddManager {
         // ---- Rebuild the manager in the new order. ---------------------
         let live_after = ws.live;
         let store_before = self.nodes.len();
-        let mut nodes: Vec<Node> = vec![
-            Node { var: TERMINAL_VAR, lo: 0, hi: 0 },
-            Node { var: TERMINAL_VAR, lo: 1, hi: 1 },
-        ];
+        let mut nodes: Vec<Node> = vec![Node { var: TERMINAL_VAR, lo: 0, hi: 0 }];
         nodes.reserve(live_after);
         let mut unique: HashMap<(u32, u32, u32), u32> = HashMap::with_capacity(live_after);
-        // workspace index → new manager index. Indices are assigned
-        // bottom-up, sorting each level by the (already assigned) child
-        // indices — deterministic regardless of hash-map iteration order.
-        let mut out_of_ws: HashMap<u32, u32> = HashMap::from([(0, 0), (1, 1)]);
+        // workspace node index → new manager node index. Indices are
+        // assigned bottom-up, sorting each level by the (already
+        // translated) child edges — deterministic regardless of hash-map
+        // iteration order. Complement bits ride along on the edges, so
+        // canonicity is preserved verbatim.
+        let mut out_of_ws: HashMap<u32, u32> = HashMap::from([(0, 0)]);
         for lvl in (0..nvars).rev() {
             let var = ws.level_to_var[lvl];
             let mut level_nodes: Vec<(u32, u32, u32)> = ws.unique[var as usize]
                 .values()
                 .map(|&idx| {
                     let n = ws.nodes[idx as usize];
-                    (out_of_ws[&n.lo], out_of_ws[&n.hi], idx)
+                    let lo = (out_of_ws[&(n.lo >> 1)] << 1) | (n.lo & 1);
+                    let hi = (out_of_ws[&(n.hi >> 1)] << 1) | (n.hi & 1);
+                    (lo, hi, idx)
                 })
                 .collect();
             level_nodes.sort_unstable();
             for (lo, hi, ws_idx) in level_nodes {
                 let new = u32::try_from(nodes.len()).expect("BDD node store overflow");
+                debug_assert_eq!(hi & 1, 0, "rebuild broke then-edge regularity");
                 nodes.push(Node { var, lo, hi });
                 unique.insert((var, lo, hi), new);
                 out_of_ws.insert(ws_idx, new);
@@ -456,12 +484,17 @@ impl BddManager {
         }
         let map: HashMap<u32, u32> = roots
             .iter()
-            .map(|r| (r.raw(), out_of_ws[&into_ws[&r.raw()]]))
+            .map(|r| {
+                let new_idx = out_of_ws[&into_ws[&(r.raw() >> 1)]];
+                (r.raw(), (new_idx << 1) | (r.raw() & 1))
+            })
             .collect();
 
         self.nodes = nodes;
         self.unique = unique;
-        self.clear_op_caches();
+        // Node indices changed wholesale: memos and the generation floor
+        // are both meaningless now.
+        self.reset_generations();
         self.var_to_level = ws.var_to_level;
         self.level_to_var = ws.level_to_var;
         // Variable sets are traversal-ordered: re-sort them for the new
@@ -491,27 +524,31 @@ impl BddManager {
     }
 
     /// Copies the subgraph of `root` into the workspace (iterative
-    /// post-order, so deep BDDs cannot overflow the call stack).
+    /// post-order, so deep BDDs cannot overflow the call stack). Keyed by
+    /// node index — a function and its complement share one workspace
+    /// node, exactly as they share one manager node.
     fn extract(&self, root: Bdd, ws: &mut Workspace, into_ws: &mut HashMap<u32, u32>) {
-        let mut stack = vec![(root.raw(), false)];
+        let mut stack = vec![(root.raw() >> 1, false)];
         while let Some((n, expanded)) = stack.pop() {
             if into_ws.contains_key(&n) {
                 continue;
             }
             let node = self.nodes[n as usize];
             if expanded {
-                let lo = into_ws[&node.lo];
-                let hi = into_ws[&node.hi];
-                let idx = ws.mk_ref(node.var, lo, hi);
+                let lo = (into_ws[&(node.lo >> 1)] << 1) | (node.lo & 1);
+                let hi = (into_ws[&(node.hi >> 1)] << 1) | (node.hi & 1);
+                let edge = ws.mk_ref(node.var, lo, hi);
+                debug_assert_eq!(edge & 1, 0, "extracting a canonical node yields a regular edge");
                 // mk_ref's caller reference is dropped again: reference
                 // counting during extraction comes from parents (and the
                 // explicit root references added by the caller).
+                let idx = edge >> 1;
                 ws.nodes[idx as usize].refs -= 1;
                 into_ws.insert(n, idx);
             } else {
                 stack.push((n, true));
-                stack.push((node.lo, false));
-                stack.push((node.hi, false));
+                stack.push((node.lo >> 1, false));
+                stack.push((node.hi >> 1, false));
             }
         }
     }
@@ -618,6 +655,30 @@ mod tests {
             g = m.or(g, pair);
         }
         assert_eq!(g, f2);
+    }
+
+    #[test]
+    fn complemented_roots_survive_a_reorder() {
+        // A root and its complement share nodes; both must remap, and the
+        // remapped handles must still be each other's complement.
+        let mut t = SignalTable::new();
+        let xs: Vec<_> = (0..4).map(|i| t.intern(&format!("x{i}"))).collect();
+        let mut m = BddManager::new();
+        let vs: Vec<_> = xs.iter().map(|&s| m.var_for_signal(s)).collect();
+        let a = m.and(vs[0], vs[2]);
+        let b = m.and(vs[1], vs[3]);
+        let f = m.or(a, b);
+        let nf = m.not(f);
+        let outcome = m.reorder_groups(&singleton_groups(4), &[f, nf]);
+        let (f2, nf2) = (outcome.lookup(f), outcome.lookup(nf));
+        assert_eq!(nf2, f2.complement());
+        for bits in 0..16u64 {
+            let mut v = Valuation::all_false(t.len());
+            v.assign_key(&xs, bits);
+            let expect = (bits & 1) & (bits >> 2 & 1) | (bits >> 1 & 1) & (bits >> 3 & 1);
+            assert_eq!(m.eval(f2, &v), expect == 1, "bits {bits:04b}");
+            assert_eq!(m.eval(nf2, &v), expect == 0, "bits {bits:04b}");
+        }
     }
 
     #[test]

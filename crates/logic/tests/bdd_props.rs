@@ -127,6 +127,57 @@ proptest! {
     }
 
     #[test]
+    fn complement_edges_evaluate_as_negation(e in universe().1.pipe_expr()) {
+        // The complement-edge representation must be invisible
+        // semantically: ¬f evaluates to the pointwise negation of f, is
+        // free (no new nodes), and shares f's entire node set.
+        let (t, ids) = universe();
+        let mut man = BddManager::new();
+        let f = man.from_expr(&e);
+        let before = man.node_count();
+        let nf = man.not(f);
+        prop_assert_eq!(man.node_count(), before, "negation allocated nodes");
+        prop_assert_eq!(man.size(f), man.size(nf), "f and ¬f must share structure");
+        for bits in 0..(1u64 << NVARS) {
+            let mut v = Valuation::all_false(t.len());
+            v.assign_key(&ids, bits);
+            prop_assert_eq!(man.eval(nf, &v), !man.eval(f, &v));
+        }
+    }
+
+    #[test]
+    fn isop_cover_rebuilds_complemented_roots(e in universe().1.pipe_expr()) {
+        // Cube extraction must see through the complement bit: the ISOP
+        // cover of ¬f (a complemented edge whenever f is regular) must
+        // rebuild exactly ¬f.
+        let mut man = BddManager::new();
+        let f = man.from_expr(&e);
+        let nf = man.not(f);
+        let cover = man.cubes(nf);
+        let mut back = Bdd::FALSE;
+        for cube in &cover {
+            let cb = man.from_cube(cube);
+            back = man.or(back, cb);
+        }
+        prop_assert_eq!(back, nf);
+    }
+
+    #[test]
+    fn sat_counts_of_f_and_not_f_partition_the_space(e in universe().1.pipe_expr()) {
+        // Complement edges count independently (no 2^n - count shortcut);
+        // the two counts must still tile the whole valuation space.
+        let (_t, ids) = universe();
+        let mut man = BddManager::new();
+        let f = man.from_expr(&e);
+        for &id in &ids {
+            man.var_for_signal(id);
+        }
+        let nf = man.not(f);
+        let total = man.sat_count(f, NVARS as u32) + man.sat_count(nf, NVARS as u32);
+        prop_assert_eq!(total, 1u128 << NVARS);
+    }
+
+    #[test]
     fn parser_printer_round_trip(e in universe().1.pipe_expr()) {
         let (mut t, ids) = universe();
         let shown = e.display(&t).to_string();

@@ -60,7 +60,7 @@
 //!   under whatever order the persistent fixpoints settled on.
 
 use crate::error::SymbolicError;
-use crate::model::SymbolicModel;
+use crate::model::{PartitionMode, SymbolicModel};
 use dic_automata::{translate_cached, Gba};
 use dic_logic::{Bdd, PairingId, SignalId, Valuation, VarSetId};
 use dic_ltl::{LassoWord, Ltl};
@@ -90,8 +90,17 @@ pub(crate) struct AutEnc {
 /// per distinct conjunct list (see [`SymbolicModel::with_product`]).
 #[derive(Debug)]
 pub(crate) struct ProductData {
-    /// Transition conjuncts: one per latch, then one per automaton.
+    /// Transition conjuncts. Under [`PartitionMode::Off`] one per latch,
+    /// then one per automaton; under [`PartitionMode::Auto`] the same
+    /// list greedily merged into clusters of at most
+    /// [`crate::model::SymbolicOptions::cluster_size`] nodes each, so an
+    /// image step runs one `and_exists` sweep per cluster instead of one
+    /// per conjunct. Extended products reuse the base's clusters verbatim
+    /// and cluster only their extension tail.
     conjuncts: Vec<Bdd>,
+    /// Whether `conjuncts` went through clustering (drives the
+    /// `bdd.partition_images` trace counter).
+    partitioned: bool,
     /// Support variables per conjunct (memoized: extended products reuse
     /// the base's supports instead of re-walking every conjunct BDD).
     supports: Vec<Vec<u32>>,
@@ -177,6 +186,33 @@ impl SymbolicModel {
         self.with_product(formulas, &gbas, |m, pd| pd.decide(m))
     }
 
+    /// Like [`SymbolicModel::satisfiable_conj`] for `base ++ extra`, but
+    /// building — and caching — the product as an *extension* of the
+    /// shared `base` product. The expensive base fixpoints (reachable
+    /// set, fair hull) are computed once and restrict every anchored
+    /// extension, so queries differing only in `extra` (the primary
+    /// coverage questions: one `¬A` automaton each over the same RTL
+    /// conjunction) stop re-running full-product fixpoints. The anchored
+    /// product is cached under the full conjunct list, exactly the key
+    /// the gap phase later anchors *its* candidate extensions to.
+    ///
+    /// # Errors
+    ///
+    /// As for [`SymbolicModel::satisfiable_conj`].
+    pub fn satisfiable_anchored(
+        &mut self,
+        base: &[Ltl],
+        extra: &[Ltl],
+    ) -> Result<Option<LassoWord>, SymbolicError> {
+        let Some(base_gbas) = translate_all(base) else {
+            return Ok(None);
+        };
+        let Some(extra_gbas) = translate_all(extra) else {
+            return Ok(None);
+        };
+        self.with_extended_product(base, &base_gbas, extra, &extra_gbas, |m, pd| pd.decide(m))
+    }
+
     /// Runs `f` with the cached product for `key` (building it on first
     /// use), returning the product to the cache afterwards — the take/put
     /// dance keeps the borrow checker happy while `f` mutates both the
@@ -229,6 +265,7 @@ impl SymbolicModel {
                 let mut ext = ProductData::build(m, extra_gbas, Some(pd))?;
                 ext.set_care(reach);
                 ext.set_hull_seed(hull);
+                ext.assume_care_reachable(m);
                 Ok(ext)
             })?;
             ext.persistent = true;
@@ -294,15 +331,15 @@ impl ProductData {
             encs.push(encode_gba(m, g, &bits)?);
         }
 
-        // Assemble the plan: conjuncts, invariant, init, fairness.
+        // Assemble the plan: conjuncts, invariant, init, fairness. Base
+        // conjuncts (already clustered at the base's build) are reused
+        // with their memoized supports; only the new tail is clustered
+        // and re-walked below.
         let (mut conjuncts, mut supports, mut inv, mut init, mut fair, mut all_curr, mut all_next) =
             match base {
                 None => (
                     m.trans_latches.clone(),
-                    m.trans_latches
-                        .iter()
-                        .map(|&c| m.man.support_vars(c))
-                        .collect::<Vec<_>>(),
+                    Vec::new(),
                     Bdd::TRUE,
                     m.init,
                     Vec::new(),
@@ -319,14 +356,40 @@ impl ProductData {
                     b.all_next.clone(),
                 ),
             };
+        let base_len = supports.len();
+        debug_assert!(base_len <= conjuncts.len());
         for e in &encs {
             conjuncts.push(e.trans);
-            supports.push(m.man.support_vars(e.trans));
             inv = m.man.and(inv, e.inv);
             init = m.man.and(init, e.init);
             fair.extend(e.fair.iter().copied());
         }
         init = m.man.and(init, inv);
+
+        // Keep even fairness sets the invariant implies (`inv ⊆ F_j`):
+        // their Emerson–Lei term degenerates to `EX Z`, but the hull loop
+        // applies its terms *sequentially* (Gauss–Seidel), so the cheap
+        // `EX Z` trims shrink `Z` before the expensive `until` fixpoints
+        // of the non-trivial sets run — dropping them was measured ~2.5×
+        // slower on amba-ahb's primary hull despite the identical fixpoint.
+        build_span.meta("fair", fair.len() as u64);
+
+        // Conjunctive partitioning: greedily merge the new conjuncts into
+        // clusters capped at `cluster_size` nodes, then derive the
+        // quantification schedules from the clusters. Fewer clusters mean
+        // fewer and_exists sweeps over the (large) frontier per image —
+        // the merge order is the fixed conjunct order, so the clustering
+        // (and with it every downstream set) is deterministic.
+        let partitioned = m.options.partition == PartitionMode::Auto;
+        if partitioned && conjuncts.len() - base_len > 1 {
+            let tail = conjuncts.split_off(base_len);
+            let clustered = cluster_conjuncts(m, tail, m.options.cluster_size);
+            conjuncts.extend(clustered);
+        }
+        for &c in &conjuncts[base_len..] {
+            supports.push(m.man.support_vars(c));
+        }
+        build_span.meta("conjuncts", conjuncts.len() as u64);
 
         let first_new_bit = base.map_or(0, |b| b.bits_used);
         for &(c, n) in &m.aut_pool[first_new_bit..cursor] {
@@ -362,6 +425,7 @@ impl ProductData {
         m.check_limit()?;
         Ok(ProductData {
             conjuncts,
+            partitioned,
             supports,
             img_sets,
             img_tail,
@@ -447,6 +511,36 @@ impl ProductData {
         self.hull_seed = seed;
     }
 
+    /// Skips the extension's reachability fixpoint altogether, memoizing
+    /// the over-approximation `R' = care ∧ inv` (the base's reachable
+    /// states, every valid extension-automaton code) in its place.
+    ///
+    /// Every downstream query stays exact, because each one only ever
+    /// *follows real transitions* and uses the reachable set to restrict,
+    /// never to assert reachability:
+    ///
+    /// * the hull within `R'` contains exactly the `R'`-states with a
+    ///   genuine fair path (the fixpoint's `EX`/`EU` steps are real
+    ///   preimages), and true fair paths from `init ⊆ R'` never leave
+    ///   `reach ⊆ R'` — so `init ∧ hull'` is non-empty iff `init ∧ hull`
+    ///   is ([`ProductData::decide`] is unchanged);
+    /// * `can_fair' = E[R' U hull']` states reach a genuine fair path via
+    ///   real transitions, and the bounded-scenario frontiers intersected
+    ///   with it ([`super::SymbolicModel::factored_cube_sat`]) are forward
+    ///   images of `init`, hence genuinely reachable — the intersection
+    ///   verdicts coincide;
+    /// * witness walks start at `init` (or at a forward frame) and step
+    ///   through images, so every state they emit is reachable.
+    ///
+    /// What changes is only *which* witness the deterministic walk picks —
+    /// never a verdict, so gap sets are untouched. What it saves is the
+    /// extension's full forward fixpoint, the single most expensive step
+    /// of an anchored query (~40 s of amba-ahb's forced-symbolic run).
+    pub(crate) fn assume_care_reachable(&mut self, m: &mut SymbolicModel) {
+        debug_assert!(self.reach.is_none(), "reachability already ran");
+        self.reach = Some(m.man.and(self.care, self.inv));
+    }
+
     /// The full decision procedure: reachability, fair states, witness.
     pub(crate) fn decide(
         &mut self,
@@ -475,6 +569,9 @@ impl ProductData {
     /// Successor image of `s` (a set over the current bank), restricted to
     /// the invariant.
     pub(crate) fn image(&self, m: &mut SymbolicModel, s: Bdd) -> Result<Bdd, SymbolicError> {
+        if self.partitioned && dic_trace::enabled() {
+            dic_trace::count(dic_trace::Counter::BddPartitionImages, 1);
+        }
         let mut acc = m.man.and_exists(s, Bdd::TRUE, self.img_tail);
         for i in 0..self.conjuncts.len() {
             acc = m.man.and_exists(acc, self.conjuncts[i], self.img_sets[i]);
@@ -487,6 +584,9 @@ impl ProductData {
 
     /// Predecessor image of `s`, restricted to the invariant.
     pub(crate) fn preimage(&self, m: &mut SymbolicModel, s: Bdd) -> Result<Bdd, SymbolicError> {
+        if self.partitioned && dic_trace::enabled() {
+            dic_trace::count(dic_trace::Counter::BddPartitionImages, 1);
+        }
         let shifted = m.man.rename(s, self.curr_to_next);
         let mut acc = m.man.and_exists(shifted, Bdd::TRUE, self.pre_tail);
         for i in 0..self.conjuncts.len() {
@@ -880,6 +980,33 @@ impl ProductData {
 /// `a ∧ ¬b` in one ite.
 fn diff(m: &mut SymbolicModel, a: Bdd, b: Bdd) -> Bdd {
     m.man.ite(b, Bdd::FALSE, a)
+}
+
+/// Greedy conjunctive clustering (the classic cluster-size heuristic):
+/// walk the conjuncts in order, merging each into the current cluster
+/// while the combined BDD stays within `cap` nodes; a conjunct that would
+/// overflow the cap closes the cluster and opens the next one. A single
+/// conjunct larger than `cap` becomes its own cluster — the cap bounds
+/// merging, it never splits.
+fn cluster_conjuncts(m: &mut SymbolicModel, raw: Vec<Bdd>, cap: usize) -> Vec<Bdd> {
+    let mut out: Vec<Bdd> = Vec::new();
+    let mut acc: Option<Bdd> = None;
+    for c in raw {
+        acc = Some(match acc {
+            None => c,
+            Some(a) => {
+                let merged = m.man.and(a, c);
+                if m.man.size(merged) <= cap {
+                    merged
+                } else {
+                    out.push(a);
+                    c
+                }
+            }
+        });
+    }
+    out.extend(acc);
+    out
 }
 
 /// Variables grouped by the last conjunct whose support mentions them.

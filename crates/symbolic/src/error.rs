@@ -40,6 +40,19 @@ pub enum SymbolicError {
         /// The offending value, verbatim.
         value: String,
     },
+    /// The `SPECMATCHER_BDD_PARTITION` environment variable is set to
+    /// something other than `off` or `auto`. A typo'd mode must not
+    /// silently pick a transition-relation representation.
+    InvalidPartitionMode {
+        /// The offending value, verbatim.
+        value: String,
+    },
+    /// The `SPECMATCHER_BDD_CLUSTER_SIZE` environment variable is set to
+    /// something that is not a positive node count.
+    InvalidClusterSize {
+        /// The offending value, verbatim.
+        value: String,
+    },
     /// A formula mentions a signal the model neither drives nor declares
     /// free, so the engine cannot assign it a meaning.
     ///
@@ -73,6 +86,16 @@ impl fmt::Display for SymbolicError {
                 f,
                 "invalid SPECMATCHER_REORDER_LOG value {value:?}: expected 0 (off) or \
                  1 (log reorders to stderr; deprecated — prefer --trace-out <path>)"
+            ),
+            SymbolicError::InvalidPartitionMode { value } => write!(
+                f,
+                "invalid SPECMATCHER_BDD_PARTITION value {value:?}: expected off \
+                 (one conjunct per latch/automaton) or auto (greedy clustering)"
+            ),
+            SymbolicError::InvalidClusterSize { value } => write!(
+                f,
+                "invalid SPECMATCHER_BDD_CLUSTER_SIZE value {value:?}: expected a \
+                 positive node count, optionally with a K or M suffix (e.g. 5K)"
             ),
             SymbolicError::UnknownSignal { name } => write!(
                 f,

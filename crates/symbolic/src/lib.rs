@@ -56,6 +56,7 @@ pub mod terms;
 pub use check::translate_all;
 pub use error::SymbolicError;
 pub use model::{
-    reorder_log_from_env, ReorderMode, ReorderStats, SymbolicModel, SymbolicOptions,
-    DEFAULT_NODE_LIMIT, REORDER_FIRST_TRIGGER,
+    cluster_size_from_env, partition_from_env, reorder_log_from_env, PartitionMode, ReorderMode,
+    ReorderStats, SymbolicModel, SymbolicOptions, DEFAULT_CLUSTER_SIZE, DEFAULT_NODE_LIMIT,
+    REORDER_FIRST_TRIGGER,
 };

@@ -29,12 +29,16 @@ use std::fmt;
 ///
 /// At roughly 60 bytes per node (node store + unique table entry) this
 /// bounds the manager around 1.5 GB before the engine refuses — sized so
-/// every packaged design fits the full pipeline with headroom (mal-26's
-/// primary question peaks near 2.5 M nodes; its *gap phase* retains about
-/// 5 M nodes of memoized product fixpoints and peaks near 8 M during a
-/// closure check, with scratch nodes reclaimed between checks via
+/// every packaged design fits the full pipeline with headroom under the
+/// complement-edge core's defaults (amba-ahb forced-symbolic, the
+/// heaviest packaged run, peaks near 12 M nodes including scratch with
+/// the static variable order; mal-26's gap phase peaks near 10 M, with
+/// scratch reclaimed between closure checks via
 /// [`dic_logic::BddManager::rollback`]) while still failing closed long
-/// before a development container OOMs.
+/// before a development container OOMs. The margin also hosts the
+/// reorder safety valve: [`REORDER_FIRST_TRIGGER`] sits between the
+/// measured peaks and this budget, so runs that fit statically never
+/// pay a sift and runs that would refuse get one reorder first.
 pub const DEFAULT_NODE_LIMIT: usize = 24_000_000;
 
 /// Automaton state bits pre-allocated *above* the module variable banks.
@@ -50,16 +54,71 @@ pub const DEFAULT_NODE_LIMIT: usize = 24_000_000;
 pub const AUT_BITS_ON_TOP: usize = 160;
 
 /// Node-count threshold arming the first automatic reorder (and the
-/// minimum growth between consecutive reorders): collecting a manager
-/// this size costs a fraction of a second, while everything below it is
-/// too small for ordering (or garbage) to matter.
-pub const REORDER_FIRST_TRIGGER: usize = 1 << 20;
+/// minimum growth between consecutive reorders).
+///
+/// Deliberately high — a safety valve short of the default node budget
+/// ([`DEFAULT_NODE_LIMIT`]), not an eager policy: every rebuild clears
+/// the operation memos, and on fixpoint-heavy runs recomputing those
+/// dwarfs what the tighter order saves (amba-ahb forced-symbolic runs
+/// ~2.5× slower with an eager 1M trigger than with the static order,
+/// which peaks at ~12M nodes and fits the budget outright). Runs that
+/// genuinely outgrow the static order still sift before refusing;
+/// smaller explicit budgets (below this threshold) refuse without
+/// reordering, as they always have.
+pub const REORDER_FIRST_TRIGGER: usize = 1 << 24;
 
 /// Minimum *live* node count before a triggered reorder runs the sifting
 /// search instead of a plain compaction. Below this, ordering cannot cost
 /// enough to repay a sifting pass; above it, sifting runs once per
 /// doubling of the live size.
 const REORDER_SIFT_MIN: usize = 1 << 16;
+
+/// Default cluster-size cap (BDD nodes) for the conjunctively partitioned
+/// transition relation (see [`PartitionMode`]).
+///
+/// The per-latch/per-automaton conjunct list is greedily merged into
+/// clusters no larger than this many nodes: each image step then runs one
+/// `and_exists` sweep per *cluster* instead of one per conjunct, cutting
+/// the number of passes over the (large) frontier set by an order of
+/// magnitude while keeping each cluster small enough that the combined
+/// conjoin-and-quantify step stays local. Tuned on the packaged designs
+/// (the 20K–100K range is flat on amba-ahb, smaller caps ~15% slower,
+/// `off` ~2× slower; see DESIGN.md § "BDD core") — the n=4 caveat of
+/// every other crossover constant applies.
+pub const DEFAULT_CLUSTER_SIZE: usize = 60_000;
+
+/// How the symbolic engine represents the product transition relation.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum PartitionMode {
+    /// One conjunct per latch and per automaton, uncombined — the maximal
+    /// partition (most early quantification, most passes per image).
+    Off,
+    /// Greedily cluster adjacent conjuncts up to
+    /// [`SymbolicOptions::cluster_size`] nodes each, re-deriving the
+    /// early-quantification schedules over the clusters.
+    #[default]
+    Auto,
+}
+
+impl PartitionMode {
+    /// Parses a CLI-style mode name.
+    pub fn parse(s: &str) -> Option<PartitionMode> {
+        match s {
+            "off" => Some(PartitionMode::Off),
+            "auto" => Some(PartitionMode::Auto),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for PartitionMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            PartitionMode::Off => "off",
+            PartitionMode::Auto => "auto",
+        })
+    }
+}
 
 /// When the symbolic engine runs dynamic variable reordering
 /// (constrained group sifting — see [`dic_logic::BddManager::reorder_groups`]).
@@ -106,6 +165,17 @@ pub struct ReorderStats {
     pub nodes_before: usize,
     /// Total live nodes across sifting reorders, after sifting.
     pub nodes_after: usize,
+    /// Generational scratch-region collections: rollbacks that actually
+    /// freed nodes (O(freed) each — see
+    /// [`dic_logic::BddManager::rollback`]).
+    pub gc_collections: usize,
+    /// Total nodes freed by those rollbacks.
+    pub gc_freed: usize,
+    /// Honest node-store high-water mark, *including* scratch regions
+    /// rolled back since (the `bdd.peak_nodes` trace gauge only records
+    /// peaks while tracing is enabled, and the post-rollback node count
+    /// understates what was actually allocated).
+    pub peak_nodes: usize,
 }
 
 /// Tuning knobs for the symbolic engine.
@@ -124,6 +194,10 @@ pub struct SymbolicOptions {
     /// the structured `bdd.reorder`/`bdd.compact` trace events
     /// (`--trace-out`); kept as a line-oriented escape hatch.
     pub reorder_log: bool,
+    /// Transition-relation representation (clustered vs per-conjunct).
+    pub partition: PartitionMode,
+    /// Cluster-size cap (BDD nodes) under [`PartitionMode::Auto`].
+    pub cluster_size: usize,
 }
 
 impl Default for SymbolicOptions {
@@ -137,6 +211,8 @@ impl Default for SymbolicOptions {
             reorder: ReorderMode::default(),
             reorder_trigger: REORDER_FIRST_TRIGGER,
             reorder_log: false,
+            partition: PartitionMode::default(),
+            cluster_size: DEFAULT_CLUSTER_SIZE,
         }
     }
 }
@@ -159,6 +235,12 @@ impl SymbolicOptions {
             opts.node_limit = parse_node_limit(&v)?;
         }
         opts.reorder_log = reorder_log_from_env()?;
+        if let Some(mode) = partition_from_env()? {
+            opts.partition = mode;
+        }
+        if let Some(n) = cluster_size_from_env()? {
+            opts.cluster_size = n;
+        }
         Ok(opts)
     }
 
@@ -166,6 +248,45 @@ impl SymbolicOptions {
     pub fn with_reorder(mut self, mode: ReorderMode) -> Self {
         self.reorder = mode;
         self
+    }
+
+    /// Returns the options with the given transition-relation partition
+    /// mode.
+    pub fn with_partition(mut self, mode: PartitionMode) -> Self {
+        self.partition = mode;
+        self
+    }
+}
+
+/// Strict parse of `SPECMATCHER_BDD_PARTITION` (`off`/`auto`; unset means
+/// no override). Typos are errors, not silent defaults.
+///
+/// # Errors
+///
+/// [`SymbolicError::InvalidPartitionMode`] for any other value.
+pub fn partition_from_env() -> Result<Option<PartitionMode>, SymbolicError> {
+    match std::env::var("SPECMATCHER_BDD_PARTITION") {
+        Err(_) => Ok(None),
+        Ok(v) => match PartitionMode::parse(&v) {
+            Some(mode) => Ok(Some(mode)),
+            None => Err(SymbolicError::InvalidPartitionMode { value: v }),
+        },
+    }
+}
+
+/// Strict parse of `SPECMATCHER_BDD_CLUSTER_SIZE` (positive node count
+/// with an optional `K`/`M` suffix; unset means the default).
+///
+/// # Errors
+///
+/// [`SymbolicError::InvalidClusterSize`] when set but unparsable.
+pub fn cluster_size_from_env() -> Result<Option<usize>, SymbolicError> {
+    match std::env::var("SPECMATCHER_BDD_CLUSTER_SIZE") {
+        Err(_) => Ok(None),
+        Ok(v) => match parse_scaled_count(&v) {
+            Some(n) => Ok(Some(n)),
+            None => Err(SymbolicError::InvalidClusterSize { value: v }),
+        },
     }
 }
 
@@ -198,19 +319,24 @@ pub fn reorder_log_from_env() -> Result<bool, SymbolicError> {
 /// Parses a node-limit value: a positive integer with an optional `K`/`M`
 /// (×10³/×10⁶) suffix, case-insensitive.
 fn parse_node_limit(v: &str) -> Result<usize, SymbolicError> {
-    let invalid = || SymbolicError::InvalidNodeLimit { value: v.to_owned() };
+    parse_scaled_count(v).ok_or_else(|| SymbolicError::InvalidNodeLimit { value: v.to_owned() })
+}
+
+/// Parses a positive count with an optional `K`/`M` (×10³/×10⁶) suffix,
+/// case-insensitive; `None` on anything else.
+fn parse_scaled_count(v: &str) -> Option<usize> {
     let s = v.trim();
     let (digits, scale) = match s.as_bytes().last() {
         Some(b'k' | b'K') => (&s[..s.len() - 1], 1_000usize),
         Some(b'm' | b'M') => (&s[..s.len() - 1], 1_000_000usize),
         _ => (s, 1),
     };
-    let n: usize = digits.trim().parse().map_err(|_| invalid())?;
-    let limit = n.checked_mul(scale).ok_or_else(invalid)?;
+    let n: usize = digits.trim().parse().ok()?;
+    let limit = n.checked_mul(scale)?;
     if limit == 0 {
-        return Err(invalid());
+        return None;
     }
-    Ok(limit)
+    Some(limit)
 }
 
 /// A netlist encoded as BDDs: variable banks, partitioned transition
@@ -445,10 +571,16 @@ impl SymbolicModel {
         Ok(())
     }
 
-    /// Cumulative dynamic-reordering statistics (zero under
-    /// [`ReorderMode::Off`]).
+    /// Cumulative dynamic-reordering and node-store statistics (the
+    /// sifting counters are zero under [`ReorderMode::Off`]; the GC and
+    /// peak figures come straight from the manager and are always live).
     pub fn reorder_stats(&self) -> ReorderStats {
-        self.reorder_stats
+        ReorderStats {
+            gc_collections: self.man.gc_collections(),
+            gc_freed: self.man.gc_freed_nodes(),
+            peak_nodes: self.man.peak_node_count(),
+            ..self.reorder_stats
+        }
     }
 
     /// Asserts the variable-order invariants the engine's correctness and

@@ -146,6 +146,12 @@ pub enum Counter {
     /// Compacting rebuilds (every reorder compacts; compaction can also
     /// run without a sift).
     BddCompactions,
+    /// Generational scratch-region collections (checkpoint rollbacks that
+    /// actually freed nodes).
+    BddGcCollections,
+    /// Image/preimage steps computed through a partitioned (clustered)
+    /// transition relation.
+    BddPartitionImages,
     /// Formula translations answered from the GBA cache.
     GbaCacheHits,
     /// Formula translations that ran the tableau pipeline.
@@ -186,6 +192,8 @@ impl Counter {
         Counter::BddUniqueHits,
         Counter::BddReorders,
         Counter::BddCompactions,
+        Counter::BddGcCollections,
+        Counter::BddPartitionImages,
         Counter::GbaCacheHits,
         Counter::GbaCacheMisses,
         Counter::ExplicitStatesExpanded,
@@ -213,6 +221,8 @@ impl Counter {
             Counter::BddUniqueHits => "bdd.unique_hits",
             Counter::BddReorders => "bdd.reorders",
             Counter::BddCompactions => "bdd.compactions",
+            Counter::BddGcCollections => "bdd.gc_collections",
+            Counter::BddPartitionImages => "bdd.partition_images",
             Counter::GbaCacheHits => "gba.cache_hits",
             Counter::GbaCacheMisses => "gba.cache_misses",
             Counter::ExplicitStatesExpanded => "explicit.states_expanded",
@@ -231,7 +241,7 @@ impl Counter {
 }
 
 /// Number of distinct counters.
-pub const NUM_COUNTERS: usize = 22;
+pub const NUM_COUNTERS: usize = 24;
 
 static COUNTERS: [AtomicU64; NUM_COUNTERS] = [const { AtomicU64::new(0) }; NUM_COUNTERS];
 

@@ -1,9 +1,9 @@
 //! The `specmatcher` command-line tool.
 //!
 //! ```text
-//! specmatcher check --design <name> [--backend B] [--reorder M] [--jobs N] [--bmc M] [--json] [--profile] [--trace-out F]
-//! specmatcher check --snl <file> --spec <file> [--backend B] [--reorder M] [--jobs N] [--bmc M]
-//! specmatcher table1 [--backend B] [--reorder M] [--jobs N] [--bmc M] [--quick | --json] [--profile] [--trace-out F]
+//! specmatcher check --design <name> [--backend B] [--reorder M] [--partition P] [--jobs N] [--bmc M] [--json] [--profile] [--trace-out F]
+//! specmatcher check --snl <file> --spec <file> [--backend B] [--reorder M] [--partition P] [--jobs N] [--bmc M]
+//! specmatcher table1 [--backend B] [--reorder M] [--partition P] [--jobs N] [--bmc M] [--quick | --json] [--profile] [--trace-out F]
 //! specmatcher fsm --design <name>              dump concrete-module FSMs (DOT)
 //! specmatcher list                             list packaged designs
 //! ```
@@ -13,7 +13,12 @@
 //! `symbolic` (BDD reachability + fair cycles) or `auto` (the default:
 //! explicit for small state spaces and narrow products, symbolic past
 //! either threshold). `--reorder` controls the symbolic engine's dynamic
-//! variable reordering (`auto`, the default, or `off`). `--jobs` sets the
+//! variable reordering (`auto`, the default, or `off`). `--partition`
+//! controls the symbolic engine's conjunctively partitioned transition
+//! relation (`auto`, the default: greedy clustering up to
+//! `SPECMATCHER_BDD_CLUSTER_SIZE` nodes per cluster; `off` keeps one
+//! conjunct per latch/automaton) — the reported property sets are
+//! byte-identical either way. `--jobs` sets the
 //! worker-thread count for Algorithm 1's candidate closure verification
 //! (default: `SPECMATCHER_JOBS`, else the machine's available
 //! parallelism); the reported property set is identical for every value.
@@ -43,7 +48,8 @@
 //! ```
 
 use dic_core::{
-    ArchSpec, Backend, BmcMode, CoreError, GapConfig, ReorderMode, RtlSpec, SpecMatcher, TmStyle,
+    ArchSpec, Backend, BmcMode, CoreError, GapConfig, PartitionMode, ReorderMode, RtlSpec,
+    SpecMatcher, TmStyle,
 };
 use dic_designs::{mal, scaling, table1_designs, Design};
 use dic_fsm::extract_fsm;
@@ -145,7 +151,7 @@ fn run(args: &[String]) -> Result<ExitCode, CliError> {
 
 fn print_usage() {
     eprintln!(
-        "usage:\n  specmatcher check --design <name> [--backend explicit|symbolic|auto] [--reorder off|auto] [--jobs N] [--bmc off|auto] [--json] [--profile] [--trace-out <path>]\n  specmatcher check --snl <file> --spec <file> [--backend ...] [--reorder ...] [--jobs N] [--bmc ...] [--json] [--profile] [--trace-out <path>]\n  specmatcher table1 [--backend ...] [--reorder ...] [--jobs N] [--bmc ...] [--quick | --json] [--profile] [--trace-out <path>]\n  specmatcher fsm --design <name>\n  specmatcher list\n\nbackends: explicit = state enumeration (paper-faithful, limited size),\n          symbolic = BDD reachability + fair cycles (scales further),\n          auto     = pick by state-space size and product width (default)\nreorder:  auto = dynamic BDD variable reordering (group sifting; default),\n          off  = keep the static variable order\njobs:     worker threads for gap-phase candidate verification\n          (default: SPECMATCHER_JOBS, else available parallelism;\n          the reported property set is identical for every value)\nbmc:      auto = bounded SAT refutation ahead of the closure fixpoints\n          (depth SPECMATCHER_BMC_DEPTH, default 16; default mode),\n          off  = fixpoint engines only; gap reports are byte-identical\nprofile:  append the structured span/counter tree to the report\n          (stderr under --json); --trace-out writes the same run as a\n          JSONL event stream (schema specmatcher-trace/1)\n\nexit codes: 0 = covered, 1 = coverage gap reported,\n            2 = usage/specification error,\n            3 = engine resource refusal (state-space or BDD node budget)"
+        "usage:\n  specmatcher check --design <name> [--backend explicit|symbolic|auto] [--reorder off|auto] [--partition off|auto] [--jobs N] [--bmc off|auto] [--json] [--profile] [--trace-out <path>]\n  specmatcher check --snl <file> --spec <file> [--backend ...] [--reorder ...] [--partition ...] [--jobs N] [--bmc ...] [--json] [--profile] [--trace-out <path>]\n  specmatcher table1 [--backend ...] [--reorder ...] [--partition ...] [--jobs N] [--bmc ...] [--quick | --json] [--profile] [--trace-out <path>]\n  specmatcher fsm --design <name>\n  specmatcher list\n\nbackends: explicit = state enumeration (paper-faithful, limited size),\n          symbolic = BDD reachability + fair cycles (scales further),\n          auto     = pick by state-space size and product width (default)\nreorder:  auto = dynamic BDD variable reordering (group sifting; default),\n          off  = keep the static variable order\npartition: auto = conjunctively partitioned transition relation with\n          greedy clustering (cap SPECMATCHER_BDD_CLUSTER_SIZE; default),\n          off  = one conjunct per latch/automaton; gap reports are\n          byte-identical either way\njobs:     worker threads for gap-phase candidate verification\n          (default: SPECMATCHER_JOBS, else available parallelism;\n          the reported property set is identical for every value)\nbmc:      auto = bounded SAT refutation ahead of the closure fixpoints\n          (depth SPECMATCHER_BMC_DEPTH, default 16; default mode),\n          off  = fixpoint engines only; gap reports are byte-identical\nprofile:  append the structured span/counter tree to the report\n          (stderr under --json); --trace-out writes the same run as a\n          JSONL event stream (schema specmatcher-trace/1)\n\nexit codes: 0 = covered, 1 = coverage gap reported,\n            2 = usage/specification error,\n            3 = engine resource refusal (state-space or BDD node budget)"
     );
 }
 
@@ -188,6 +194,21 @@ fn reorder_option(args: &[String]) -> Result<ReorderMode, String> {
         Some(s) => {
             ReorderMode::parse(s).ok_or_else(|| format!("unknown reorder mode {s:?}; use off or auto"))
         }
+    }
+}
+
+/// `--partition off|auto`. Returns `None` when the flag is absent so the
+/// `SPECMATCHER_BDD_PARTITION` environment override (or the `auto`
+/// default) stays in effect; an explicit flag wins over the environment.
+fn partition_option(args: &[String]) -> Result<Option<PartitionMode>, String> {
+    match option(args, "--partition") {
+        None if args.iter().any(|a| a == "--partition") => {
+            Err("--partition needs a value: off or auto".into())
+        }
+        None => Ok(None),
+        Some(s) => PartitionMode::parse(s)
+            .map(Some)
+            .ok_or_else(|| format!("unknown partition mode {s:?}; use off or auto")),
     }
 }
 
@@ -274,14 +295,18 @@ fn cmd_check(args: &[String]) -> Result<ExitCode, CliError> {
     let json = args.iter().any(|a| a == "--json");
     let backend = backend_option(args)?;
     let reorder = reorder_option(args)?;
+    let partition = partition_option(args)?;
     let jobs = jobs_option(args)?;
     let bmc = bmc_option(args)?;
     let (profile, trace_out) = trace_options(args)?;
-    let matcher = SpecMatcher::new(GapConfig::default())
+    let mut matcher = SpecMatcher::new(GapConfig::default())
         .with_backend(backend)
         .with_reorder(reorder)
         .with_jobs(jobs)
         .with_bmc(bmc);
+    if let Some(p) = partition {
+        matcher = matcher.with_partition(p);
+    }
     let run_span = dic_trace::span("check");
     let (design, run) = if let Some(name) = option(args, "--design") {
         let design = find_design(name)?;
@@ -360,22 +385,26 @@ fn parse_spec(src: &str, table: &mut SignalTable) -> Result<(NamedProps, NamedPr
 fn cmd_table1(args: &[String]) -> Result<ExitCode, CliError> {
     let backend = backend_option(args)?;
     let reorder = reorder_option(args)?;
+    let partition = partition_option(args)?;
     let jobs = jobs_option(args)?;
     let bmc = bmc_option(args)?;
     let (profile, trace_out) = trace_options(args)?;
     if args.iter().any(|a| a == "--quick") {
-        let code = cmd_table1_quick(backend, reorder)?;
+        let code = cmd_table1_quick(backend, reorder, partition)?;
         emit_trace_sinks(profile, trace_out.as_deref(), false)?;
         return Ok(code);
     }
     let json = args.iter().any(|a| a == "--json");
     let mut json_rows = Vec::new();
-    let matcher = SpecMatcher::new(GapConfig::default())
+    let mut matcher = SpecMatcher::new(GapConfig::default())
         .with_tm_style(TmStyle::Enumerated)
         .with_backend(backend)
         .with_reorder(reorder)
         .with_jobs(jobs)
         .with_bmc(bmc);
+    if let Some(p) = partition {
+        matcher = matcher.with_partition(p);
+    }
     println!(
         "{:<14} {:>9} {:>9} {:>9} {:>12} {:>12} {:>12}",
         "Circuit", "RTL props", "primary", "gap", "Primary (s)", "TM (s)", "Gap (s)"
@@ -436,12 +465,19 @@ fn cmd_table1(args: &[String]) -> Result<ExitCode, CliError> {
 /// backend). This is the CI smoke test: a backend-selection regression
 /// (wrong engine, wrong verdict, lost gap property) or a reintroduced
 /// state-explosion cliff fails the run instead of silently slowing it.
-fn cmd_table1_quick(backend: Backend, reorder: ReorderMode) -> Result<ExitCode, CliError> {
+fn cmd_table1_quick(
+    backend: Backend,
+    reorder: ReorderMode,
+    partition: Option<PartitionMode>,
+) -> Result<ExitCode, CliError> {
     use dic_core::{CoverageModel, SymbolicOptions};
 
-    let options = SymbolicOptions::from_env()
+    let mut options = SymbolicOptions::from_env()
         .map_err(|e| core_err(CoreError::Symbolic(e)))?
         .with_reorder(reorder);
+    if let Some(p) = partition {
+        options = options.with_partition(p);
+    }
 
     // The reduction pipeline must be on unless the bisection escape hatch
     // was pulled; CI asserts both states of this line.
@@ -504,13 +540,18 @@ fn cmd_table1_quick(backend: Backend, reorder: ReorderMode) -> Result<ExitCode, 
     // engine is symbolic — a chain design past the explicit limit, whose
     // gap report must fall back to the Theorem 2 hole with non-empty
     // uncovered terms.
+    let smoke_matcher = || {
+        let mut m = SpecMatcher::new(GapConfig::default())
+            .with_backend(backend)
+            .with_reorder(reorder);
+        if let Some(p) = partition {
+            m = m.with_partition(p);
+        }
+        m
+    };
     let mut ex2 = mal::ex2();
     let run = ex2
-        .check(
-            &SpecMatcher::new(GapConfig::default())
-                .with_backend(backend)
-                .with_reorder(reorder),
-        )
+        .check(&smoke_matcher())
         .map_err(|e| ctx_err("mal-ex2", e))?;
     let rep = &run.properties[0];
     let u_hit = mal::paper_gap_property(&mut ex2);
@@ -533,11 +574,7 @@ fn cmd_table1_quick(backend: Backend, reorder: ReorderMode) -> Result<ExitCode, 
     if backend != Backend::Explicit {
         let chain = scaling::chain_design(22, true);
         let run = chain
-            .check(
-                &SpecMatcher::new(GapConfig::default())
-                    .with_backend(backend)
-                    .with_reorder(reorder),
-            )
+            .check(&smoke_matcher())
             .map_err(|e| ctx_err("chain-22-gap", e))?;
         let rep = &run.properties[0];
         println!(
