@@ -40,6 +40,35 @@ pub enum CoreError {
     },
 }
 
+impl CoreError {
+    /// Whether the pipeline may *degrade* on this error instead of
+    /// aborting: resource refusals (state-space and node-budget limits)
+    /// and cooperative deadline trips stop cleanly between steps, so the
+    /// run can keep every verdict settled before them and report the rest
+    /// as unknown. Configuration and spec errors (`InvalidEnv`,
+    /// `BackendUnavailable`, `UnknownArchSignal`, netlist failures) stay
+    /// fatal — there is nothing partial about a run that was never valid.
+    pub fn is_degradable(&self) -> bool {
+        matches!(
+            self,
+            CoreError::Fsm(_)
+                | CoreError::Symbolic(
+                    SymbolicError::NodeLimit { .. } | SymbolicError::Deadline
+                )
+        )
+    }
+
+    /// Whether this error is a cooperative deadline trip — the signal for
+    /// the gap scan to stop outright (later candidates would trip too)
+    /// rather than mark one candidate unknown and continue.
+    pub fn is_deadline(&self) -> bool {
+        matches!(
+            self,
+            CoreError::Fsm(FsmError::Deadline) | CoreError::Symbolic(SymbolicError::Deadline)
+        )
+    }
+}
+
 impl fmt::Display for CoreError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

@@ -84,7 +84,10 @@ pub use pipeline::{
 pub use spec::{ArchSpec, Property, RtlSpec};
 pub use terms::{uncovered_terms, uncovered_terms_with_runs};
 pub use tm::TmStyle;
-pub use weaken::{find_gap, find_gap_with_runs, GapConfig, GapProperty};
+pub use weaken::{
+    find_gap, find_gap_outcome, find_gap_with_runs, GapConfig, GapOutcome, GapProperty,
+    UnknownGap,
+};
 
 /// Theorem 1 (primary coverage question): the RTL specification covers the
 /// architectural property `fa` iff `¬fa ∧ R` is false in the model of the
@@ -101,7 +104,8 @@ pub use weaken::{find_gap, find_gap_with_runs, GapConfig, GapProperty};
 /// mid-analysis (the explicit backend cannot fail once built).
 /// Startup audit of every `SPECMATCHER_*` override with a strict parse:
 /// `SPECMATCHER_NO_REDUCE`, `SPECMATCHER_JOBS`, `SPECMATCHER_BMC_DEPTH`,
-/// `SPECMATCHER_BDD_PARTITION` and `SPECMATCHER_BDD_CLUSTER_SIZE`.
+/// `SPECMATCHER_BDD_PARTITION`, `SPECMATCHER_BDD_CLUSTER_SIZE`,
+/// `SPECMATCHER_TIMEOUT` and `SPECMATCHER_FAULT`.
 /// Returns the first offending setting's message.
 ///
 /// Model construction re-validates these fail-closed, but the library
@@ -121,6 +125,8 @@ pub fn validate_env() -> Result<(), String> {
     bmc::bmc_depth_from_env()?;
     dic_symbolic::partition_from_env().map_err(|e| e.to_string())?;
     dic_symbolic::cluster_size_from_env().map_err(|e| e.to_string())?;
+    dic_fault::timeout_from_env()?;
+    dic_fault::fault_from_env()?;
     Ok(())
 }
 

@@ -11,7 +11,7 @@ use dic_logic::{SignalId, SignalTable};
 use dic_netlist::Module;
 use dic_symbolic::{ReorderStats, SymbolicModel, SymbolicOptions};
 use std::collections::{BTreeSet, HashMap};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock, PoisonError};
 
 /// The model `M` of the paper's Definition 1: the synchronous composition
 /// of the concrete modules, with every specification signal that the
@@ -35,7 +35,15 @@ pub struct CoverageModel {
     composed: Module,
     table: SignalTable,
     free: Vec<SignalId>,
-    kripke: Option<Kripke>,
+    /// The explicit Kripke structure. Populated at build time when the
+    /// resolved backend wants it, or lazily by
+    /// [`CoverageModel::ensure_explicit_fallback`] when a per-candidate
+    /// symbolic refusal retries on the explicit engine. `Some(None)` in
+    /// the cell records a *failed* lazy attempt, so it is not repeated.
+    kripke: OnceLock<Option<Kripke>>,
+    /// Build-time verdict of the explicit-hostility axes (state bits and
+    /// predicted product cost) — gates the lazy explicit fallback.
+    explicit_hostile: bool,
     symbolic: Mutex<Option<SymbolicModel>>,
     /// Options any lazily built symbolic engine is constructed with.
     sym_options: SymbolicOptions,
@@ -247,11 +255,16 @@ impl CoverageModel {
             .copied()
             .collect();
 
+        let kripke_cell = OnceLock::new();
+        if let Some(k) = kripke {
+            let _ = kripke_cell.set(Some(k));
+        }
         Ok(CoverageModel {
             composed,
             table: table.clone(),
             free,
-            kripke,
+            kripke: kripke_cell,
+            explicit_hostile,
             symbolic: Mutex::new(symbolic),
             sym_options: options,
             primary_backend,
@@ -290,7 +303,22 @@ impl CoverageModel {
     /// Whether the explicit Kripke structure is available (required by the
     /// gap-representation machinery of Algorithm 1).
     pub fn has_explicit(&self) -> bool {
-        self.kripke.is_some()
+        matches!(self.kripke.get(), Some(Some(_)))
+    }
+
+    /// Builds the explicit Kripke structure on demand for a per-candidate
+    /// retry after a symbolic resource refusal, when the explicit-
+    /// hostility axes (state bits, predicted product cost) allow it.
+    /// Returns whether the explicit engine is now available. A failed
+    /// attempt (bit-limit refusal, deadline trip) is recorded and never
+    /// repeated; an already-available structure returns `true` for free.
+    pub fn ensure_explicit_fallback(&self) -> bool {
+        if self.explicit_hostile {
+            return false;
+        }
+        self.kripke
+            .get_or_init(|| Kripke::from_module(&self.composed, &self.table, &self.free).ok())
+            .is_some()
     }
 
     /// The nondeterministic inputs of the model: the composition's primary
@@ -405,6 +433,23 @@ impl CoverageModel {
         }
     }
 
+    /// Locks the symbolic engine, recovering from a poisoned lock: a gap
+    /// worker that panicked (and was caught upstream) may have died while
+    /// holding the engine mid-operation, so the engine it held is
+    /// *discarded* — the BDD manager could be inconsistent — and lazily
+    /// rebuilt by the next query. Correctness over warm caches.
+    fn lock_symbolic(&self) -> MutexGuard<'_, Option<SymbolicModel>> {
+        match self.symbolic.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => {
+                self.symbolic.clear_poison();
+                let mut guard = poisoned.into_inner();
+                *guard = None;
+                guard
+            }
+        }
+    }
+
     /// Runs `f` on the symbolic engine, building it on first use (a model
     /// built explicit can still serve symbolic gap queries).
     fn with_symbolic<T>(
@@ -412,13 +457,26 @@ impl CoverageModel {
         f: impl FnOnce(&mut SymbolicModel) -> Result<T, dic_symbolic::SymbolicError>,
     ) -> Result<T, CoreError> {
         self.ensure_symbolic()?;
-        let mut guard = self.symbolic.lock().expect("symbolic model poisoned");
-        let sym = guard.as_mut().expect("ensured above");
+        let mut guard = self.lock_symbolic();
+        let sym = match guard.as_mut() {
+            Some(sym) => sym,
+            // The engine was discarded between ensure and lock (poison
+            // recovery on a racing worker); rebuild in place.
+            None => {
+                *guard = Some(SymbolicModel::from_module(
+                    &self.composed,
+                    &self.table,
+                    &self.free,
+                    self.sym_options,
+                )?);
+                guard.as_mut().expect("just built")
+            }
+        };
         Ok(f(sym)?)
     }
 
     fn ensure_symbolic(&self) -> Result<(), CoreError> {
-        let mut guard = self.symbolic.lock().expect("symbolic model poisoned");
+        let mut guard = self.lock_symbolic();
         if guard.is_none() {
             *guard = Some(SymbolicModel::from_module(
                 &self.composed,
@@ -434,11 +492,7 @@ impl CoverageModel {
     /// `None` when no symbolic engine was ever built, `Some(zeroed)` when
     /// it was but never reordered.
     pub fn reorder_stats(&self) -> Option<ReorderStats> {
-        self.symbolic
-            .lock()
-            .expect("symbolic model poisoned")
-            .as_ref()
-            .map(|sym| sym.reorder_stats())
+        self.lock_symbolic().as_ref().map(|sym| sym.reorder_stats())
     }
 
     /// Backend-dispatched factored gap query: is some run of `M`
@@ -612,7 +666,13 @@ impl CoverageModel {
         extra: &[dic_ltl::Ltl],
     ) -> Option<dic_ltl::LassoWord> {
         let product = {
-            let mut products = self.products.lock().expect("product memo poisoned");
+            // Poison-tolerant: the memo only ever holds fully-built
+            // `Arc<ProductSystem>` values, so a worker that panicked while
+            // holding the lock cannot have left a half-entry behind.
+            let mut products = self
+                .products
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
             match products.get(base) {
                 Some(p) => Arc::clone(p),
                 None => {
@@ -643,7 +703,8 @@ impl CoverageModel {
     /// limit); guard with [`CoverageModel::has_explicit`].
     pub fn kripke(&self) -> &Kripke {
         self.kripke
-            .as_ref()
+            .get()
+            .and_then(|k| k.as_ref())
             .expect("explicit backend not available for this model")
     }
 

@@ -9,7 +9,7 @@ use crate::model::CoverageModel;
 use crate::spec::{ArchSpec, RtlSpec};
 use crate::terms::uncovered_terms_with_runs;
 use crate::tm::{tm_for_modules, TmStyle};
-use crate::weaken::{find_gap_with_runs, GapConfig, GapProperty};
+use crate::weaken::{find_gap_outcome, GapConfig, GapProperty, UnknownGap};
 use dic_logic::SignalTable;
 use dic_ltl::{LassoWord, Ltl, TemporalCube};
 use dic_symbolic::{PartitionMode, ReorderMode, ReorderStats, SymbolicOptions};
@@ -79,14 +79,23 @@ pub struct PropertyReport {
     pub name: String,
     /// The property itself.
     pub formula: Ltl,
-    /// Whether the RTL specification covers it (Theorem 1).
+    /// Whether the RTL specification covers it (Theorem 1). Meaningless
+    /// when [`PropertyReport::unknown`] is set — the question was never
+    /// settled.
     pub covered: bool,
+    /// Why the primary verdict could not be settled (resource refusal or
+    /// deadline trip), when the run degraded instead of aborting. `None`
+    /// for every settled verdict.
+    pub unknown: Option<String>,
     /// A run refuting coverage, when not covered.
     pub witness: Option<LassoWord>,
     /// Uncovered terms `UM` (Algorithm 1 step 2(a)/(b)).
     pub uncovered_terms: Vec<TemporalCube>,
     /// Structure-preserving gap properties (steps 2(c)/(d)), weakest first.
     pub gap_properties: Vec<GapProperty>,
+    /// Gap candidates whose closure verdict could not be settled before a
+    /// resource refusal or deadline trip (empty on a complete run).
+    pub unknown_gaps: Vec<UnknownGap>,
     /// The exact hole `FA ∨ ¬(R ∧ T_M)` of Theorem 2 (fallback form).
     pub exact_hole: Ltl,
     /// Per-phase wall-clock for this property.
@@ -102,6 +111,10 @@ impl PropertyReport {
     pub fn render(&self, table: &SignalTable) -> String {
         let mut out = String::new();
         let _ = writeln!(out, "property {}: {}", self.name, self.formula.display(table));
+        if let Some(reason) = &self.unknown {
+            let _ = writeln!(out, "  UNKNOWN — verdict not settled: {reason}");
+            return out;
+        }
         if self.covered {
             let _ = writeln!(out, "  COVERED by the RTL specification");
             return out;
@@ -137,6 +150,17 @@ impl PropertyReport {
                 let _ = writeln!(out, "    {}", g.describe(table));
             }
         }
+        if !self.unknown_gaps.is_empty() {
+            let _ = writeln!(out, "  unverified gap candidates:");
+            for u in &self.unknown_gaps {
+                let _ = writeln!(
+                    out,
+                    "    unknown: {} — {}",
+                    u.formula.display(table),
+                    u.diagnostic
+                );
+            }
+        }
         out
     }
 }
@@ -169,12 +193,25 @@ pub struct CoverageRun {
     /// Per-phase engine counter deltas; `None` unless `dic_trace` was
     /// enabled for the run (e.g. the CLI's `--profile` / `--trace-out`).
     pub counters: Option<PhaseCounters>,
+    /// Why the run degraded to a partial report (deadline trip or resource
+    /// refusal mid-analysis), when it did. Every verdict in the report is
+    /// still settled and sound — the reason names what was left undone.
+    pub incomplete: Option<String>,
 }
 
 impl CoverageRun {
-    /// Whether every architectural property is covered.
+    /// Whether every architectural property is covered. Unsettled verdicts
+    /// count as not covered — a partial run never claims full coverage.
     pub fn all_covered(&self) -> bool {
-        self.properties.iter().all(|p| p.covered)
+        self.properties.iter().all(|p| p.covered && p.unknown.is_none())
+    }
+
+    /// Whether at least one property was *settled* as not covered —
+    /// unknown verdicts don't count. This is what decides exit 1 vs exit 3
+    /// for an incomplete run: a confirmed gap is actionable even when the
+    /// scan was cut short.
+    pub fn has_confirmed_gap(&self) -> bool {
+        self.properties.iter().any(|p| !p.covered && p.unknown.is_none())
     }
 
     /// Renders all reports plus the timing summary.
@@ -214,6 +251,9 @@ impl CoverageRun {
             "jobs: {} workers (primary {}, gap verification {}, gap fixpoints {})",
             self.jobs.requested, self.jobs.primary, self.jobs.gap_workers, self.jobs.gap_fixpoints
         );
+        if let Some(reason) = &self.incomplete {
+            let _ = writeln!(out, "incomplete: {reason}");
+        }
         out
     }
 }
@@ -395,20 +435,81 @@ impl SpecMatcher {
             tm_build,
             ..PhaseTimings::default()
         };
+        let mut incomplete: Option<String> = None;
+        let mut deadline_hit = false;
         for prop in arch.properties() {
             let fa = prop.formula();
+
+            // A deadline trip is terminal for the whole scan — later
+            // properties would trip at their first checkpoint anyway, so
+            // report them unknown without spinning the engines up again.
+            if deadline_hit {
+                reports.push(PropertyReport {
+                    name: prop.name().to_owned(),
+                    formula: fa.clone(),
+                    covered: false,
+                    unknown: Some("deadline exceeded before this property was analyzed".into()),
+                    witness: None,
+                    uncovered_terms: Vec::new(),
+                    gap_properties: Vec::new(),
+                    unknown_gaps: Vec::new(),
+                    exact_hole: exact_hole(fa, rtl, &tm),
+                    timings: PhaseTimings::default(),
+                    backend: model.primary_backend(),
+                    gap_backend,
+                });
+                continue;
+            }
 
             // Phase: primary coverage question (Theorem 1), answered by
             // the backend the model was built with.
             let base = counters.as_ref().map(|_| dic_trace::CounterSnapshot::capture());
             let primary_span = dic_trace::span("phase.primary");
             let t0 = dic_trace::Stopwatch::start();
-            let witness = crate::primary_coverage(fa, rtl, model)?;
+            let primary_result = crate::primary_coverage(fa, rtl, model);
             let primary = t0.elapsed();
             drop(primary_span);
             if let (Some(c), Some(b)) = (counters.as_mut(), base.as_ref()) {
                 c.primary.merge(&b.delta_since());
             }
+            let witness = match primary_result {
+                Ok(w) => w,
+                Err(e) if e.is_degradable() => {
+                    // Degrade: the verdict stays unknown, the run keeps
+                    // going (a deadline stops the scan, a per-model
+                    // resource refusal may still let later properties
+                    // settle — they drive different automata products).
+                    deadline_hit = e.is_deadline();
+                    let reason = e.to_string();
+                    if incomplete.is_none() {
+                        incomplete = Some(format!(
+                            "{reason} while answering the primary question for {}",
+                            prop.name()
+                        ));
+                    }
+                    let timings = PhaseTimings {
+                        primary,
+                        ..PhaseTimings::default()
+                    };
+                    total.add(timings);
+                    reports.push(PropertyReport {
+                        name: prop.name().to_owned(),
+                        formula: fa.clone(),
+                        covered: false,
+                        unknown: Some(reason),
+                        witness: None,
+                        uncovered_terms: Vec::new(),
+                        gap_properties: Vec::new(),
+                        unknown_gaps: Vec::new(),
+                        exact_hole: exact_hole(fa, rtl, &tm),
+                        timings,
+                        backend: model.primary_backend(),
+                        gap_backend,
+                    });
+                    continue;
+                }
+                Err(e) => return Err(e),
+            };
             let covered = witness.is_none();
 
             // Phase: gap finding (Algorithm 1), on the per-phase gap
@@ -419,13 +520,45 @@ impl SpecMatcher {
             let base = counters.as_ref().map(|_| dic_trace::CounterSnapshot::capture());
             let gap_span = dic_trace::span("phase.gap_find");
             let t1 = dic_trace::Stopwatch::start();
-            let (terms, gaps) = if covered {
-                (Vec::new(), Vec::new())
+            let mut gap_incomplete: Option<String> = None;
+            let (terms, gaps, unknown_gaps) = if covered {
+                (Vec::new(), Vec::new(), Vec::new())
             } else {
-                let (terms, runs) = uncovered_terms_with_runs(fa, rtl, model, &self.config)?;
-                let gaps = find_gap_with_runs(fa, &terms, &runs, rtl, model, &self.config)?;
-                (terms, gaps)
+                match uncovered_terms_with_runs(fa, rtl, model, &self.config) {
+                    Ok((terms, runs)) => {
+                        match find_gap_outcome(fa, &terms, &runs, rtl, model, &self.config) {
+                            Ok(outcome) => {
+                                gap_incomplete = outcome.incomplete;
+                                (terms, outcome.properties, outcome.unknown)
+                            }
+                            Err(e) if e.is_degradable() => {
+                                gap_incomplete = Some(format!(
+                                    "{e} during gap extraction for {}",
+                                    prop.name()
+                                ));
+                                deadline_hit |= e.is_deadline();
+                                (terms, Vec::new(), Vec::new())
+                            }
+                            Err(e) => return Err(e),
+                        }
+                    }
+                    Err(e) if e.is_degradable() => {
+                        gap_incomplete =
+                            Some(format!("{e} while enumerating uncovered terms for {}", prop.name()));
+                        deadline_hit |= e.is_deadline();
+                        (Vec::new(), Vec::new(), Vec::new())
+                    }
+                    Err(e) => return Err(e),
+                }
             };
+            if let Some(reason) = &gap_incomplete {
+                // A deadline trip is sticky (monotone wall clock), so ask
+                // the governor directly rather than parsing the reason.
+                deadline_hit |= dic_fault::deadline_expired();
+                if incomplete.is_none() {
+                    incomplete = Some(reason.clone());
+                }
+            }
             let gap_find = t1.elapsed();
             drop(gap_span);
             if let (Some(c), Some(b)) = (counters.as_mut(), base.as_ref()) {
@@ -442,9 +575,11 @@ impl SpecMatcher {
                 name: prop.name().to_owned(),
                 formula: fa.clone(),
                 covered,
+                unknown: None,
                 witness,
                 uncovered_terms: terms,
                 gap_properties: gaps,
+                unknown_gaps,
                 exact_hole: exact_hole(fa, rtl, &tm),
                 timings,
                 backend: model.primary_backend(),
@@ -463,6 +598,7 @@ impl SpecMatcher {
             reorder: model.reorder_stats(),
             jobs,
             counters,
+            incomplete,
         })
     }
 }

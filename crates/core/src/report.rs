@@ -17,16 +17,19 @@
 //!   "timings": {"primary_s": 0.01, "tm_build_s": 0.002, "gap_find_s": 1.9},
 //!   "tm_size": 124,
 //!   "all_covered": false,
+//!   "incomplete": null,
 //!   "properties": [{
 //!     "name": "A",
 //!     "formula": "G(!wait & r1 & ...)",
 //!     "covered": false,
+//!     "unknown": null,
 //!     "witness": {"loop_start": 2, "states": ["r1 & !hit & ...", "..."]},
 //!     "uncovered_terms": ["r1 & X r2 & X X !hit"],
 //!     "gap_properties": [{
 //!       "formula": "G(...)", "position": "ε.0.0.0.2.0.1",
 //!       "literal": "!hit", "offset": 1
 //!     }],
+//!     "unknown_gaps": [{"formula": "G(...)", "diagnostic": "node limit ..."}],
 //!     "exact_hole": "...",
 //!     "timings": {"primary_s": 0.01, "tm_build_s": 0.0, "gap_find_s": 1.9}
 //!   }]
@@ -77,6 +80,11 @@ impl CoverageRun {
         timings_json(&mut w, &self.timings);
         w.field_u64("tm_size", self.tm.size() as u64);
         w.field_bool("all_covered", self.all_covered());
+        w.key("incomplete");
+        match &self.incomplete {
+            None => w.null(),
+            Some(reason) => w.string(reason),
+        }
         w.key("properties");
         w.open_array();
         for p in &self.properties {
@@ -93,6 +101,11 @@ fn property_json(w: &mut JsonWriter, p: &PropertyReport, table: &SignalTable) {
     w.field_str("name", &p.name);
     w.field_str("formula", &p.formula.display(table).to_string());
     w.field_bool("covered", p.covered);
+    w.key("unknown");
+    match &p.unknown {
+        None => w.null(),
+        Some(reason) => w.string(reason),
+    }
     w.key("witness");
     match &p.witness {
         None => w.null(),
@@ -115,6 +128,15 @@ fn property_json(w: &mut JsonWriter, p: &PropertyReport, table: &SignalTable) {
         w.field_str("term", &g.term.display(table).to_string());
         w.key("witness");
         witness_json(w, &g.witness, table);
+        w.close_object();
+    }
+    w.close_array();
+    w.key("unknown_gaps");
+    w.open_array();
+    for u in &p.unknown_gaps {
+        w.open_object();
+        w.field_str("formula", &u.formula.display(table).to_string());
+        w.field_str("diagnostic", &u.diagnostic);
         w.close_object();
     }
     w.close_array();

@@ -32,6 +32,7 @@ use crate::spec::RtlSpec;
 use dic_logic::{Lit, SignalTable};
 use dic_ltl::{LassoWord, Ltl, LtlNode, Polarity, Position, TemporalCube};
 use std::collections::BTreeSet;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// Tuning knobs for the gap-finding pipeline (Algorithm 1).
 #[derive(Clone, Debug)]
@@ -150,6 +151,48 @@ impl GapProperty {
     }
 }
 
+/// A candidate whose closure verdict could not be settled: a degradable
+/// resource refusal (that the explicit retry could not rescue), a caught
+/// worker panic, or an injected fault left it `unknown`. Unknown verdicts
+/// never enter the weakest-merge antichain — the reported gap properties
+/// stay a subset of what the fault-free run reports.
+#[derive(Clone, Debug)]
+pub struct UnknownGap {
+    /// The weakened property whose closure went unverified.
+    pub formula: Ltl,
+    /// Why the verdict is unknown (diagnostic, human-readable).
+    pub diagnostic: String,
+}
+
+/// The gap phase's outcome under graceful degradation
+/// ([`find_gap_outcome`]): the confirmed weakest gap properties, any
+/// candidates left unknown, and — when the scan stopped early on a
+/// deadline — the reason. Because candidates are verified (and the merge
+/// frontier advances) strictly in canonical order, the confirmed set of a
+/// stopped scan is exactly what a fault-free scan had accepted at the
+/// same stop point: a canonical-order *prefix* of its scan, never a
+/// different selection.
+#[derive(Clone, Debug)]
+pub struct GapOutcome {
+    /// Confirmed gap properties (weakest first), as in [`find_gap`].
+    pub properties: Vec<GapProperty>,
+    /// Candidates whose verdict could not be settled.
+    pub unknown: Vec<UnknownGap>,
+    /// `Some(reason)` when the scan stopped before settling every
+    /// candidate (cooperative deadline); `None` for a complete run.
+    pub incomplete: Option<String>,
+}
+
+impl GapOutcome {
+    fn complete(properties: Vec<GapProperty>) -> Self {
+        GapOutcome {
+            properties,
+            unknown: Vec::new(),
+            incomplete: None,
+        }
+    }
+}
+
 /// One weakening candidate before verification.
 #[derive(Clone, Debug)]
 struct Candidate {
@@ -206,12 +249,37 @@ pub fn find_gap_with_runs(
     model: &CoverageModel,
     config: &GapConfig,
 ) -> Result<Vec<GapProperty>, CoreError> {
+    find_gap_outcome(fa, terms, seed_runs, rtl, model, config).map(|o| o.properties)
+}
+
+/// The degradation-aware gap phase: like [`find_gap_with_runs`], but a
+/// deadline trip, a per-candidate resource refusal, or a worker panic
+/// mid-scan no longer aborts — the scan stops (or skips the candidate)
+/// and reports what it settled, with the remainder accounted for in
+/// [`GapOutcome::unknown`] / [`GapOutcome::incomplete`]. A per-candidate
+/// `NodeLimit` on the symbolic backend first retries that one candidate
+/// on the explicit engine (when the model's explicit-hostility axes
+/// allow) before marking it unknown; worker panics are isolated with
+/// `catch_unwind` and demoted to an unknown verdict plus diagnostic.
+///
+/// # Errors
+///
+/// Only non-degradable failures: backend resolution
+/// ([`CoverageModel::gap_backend`]) and configuration/spec errors.
+pub fn find_gap_outcome(
+    fa: &Ltl,
+    terms: &[TemporalCube],
+    seed_runs: &[LassoWord],
+    rtl: &RtlSpec,
+    model: &CoverageModel,
+    config: &GapConfig,
+) -> Result<GapOutcome, CoreError> {
     let backend = model.gap_backend(config.backend)?;
     if terms.is_empty() {
         // No uncovered scenario was found (covered property, or the
         // enumeration budget produced nothing): there is no gap for the
         // candidate class to close.
-        return Ok(Vec::new());
+        return Ok(GapOutcome::complete(Vec::new()));
     }
     let occurrences = fa.atom_occurrences();
     if occurrences.iter().any(|o| o.x_depth > config.max_intent_depth) {
@@ -219,7 +287,7 @@ pub fn find_gap_with_runs(
         // of that depth with the design registers — a cliff for either
         // engine. Report the exact hole instead (see
         // [`GapConfig::max_intent_depth`]).
-        return Ok(Vec::new());
+        return Ok(GapOutcome::complete(Vec::new()));
     }
     // Stage 1: canonical candidate enumeration, fixed up front. Every
     // later stage refers to candidates by their index in this order.
@@ -256,7 +324,7 @@ pub fn find_gap_with_runs(
     // fan stage 2 out and the merge runs on the coordinating thread.
     let jobs = config.effective_jobs().min(candidates.len().max(1));
     let verify_span = dic_trace::span("gap.verify");
-    let closing = if jobs <= 1 {
+    let verified = if jobs <= 1 {
         verify_sequential(
             fa,
             &candidates,
@@ -281,8 +349,19 @@ pub fn find_gap_with_runs(
         )?
     };
     drop(verify_span);
+    if dic_trace::enabled() && !verified.unknown.is_empty() {
+        dic_trace::count(
+            dic_trace::Counter::GapUnknownCandidates,
+            verified.unknown.len() as u64,
+        );
+    }
     let _merge_span = dic_trace::span("gap.witnesses");
-    attach_witnesses(closing, seed_runs, &base, model, backend)
+    let properties = attach_witnesses(verified.closing, seed_runs, &base, model, backend)?;
+    Ok(GapOutcome {
+        properties,
+        unknown: verified.unknown,
+        incomplete: verified.incomplete,
+    })
 }
 
 /// Outcome of verifying one candidate, a function of the candidate alone
@@ -500,6 +579,142 @@ impl<'a> WeakestMerge<'a> {
     }
 }
 
+/// What the guarded per-candidate driver concluded: a settled verdict, an
+/// unresolvable candidate, a scan-wide deadline stop, or a genuinely
+/// fatal error.
+enum Guarded {
+    Settled(Verdict),
+    /// The candidate could not be settled (degradable refusal, caught
+    /// panic, injected unknown); the scan continues without it.
+    Unknown(String),
+    /// The cooperative deadline tripped — stop the scan; later candidates
+    /// would trip at the same checkpoint.
+    DeadlineStop,
+    /// Non-degradable error: propagate, aborting the phase.
+    Fatal(CoreError),
+}
+
+/// Best-effort rendering of a caught panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
+
+/// The graceful-degradation wrapper around [`verify_candidate`]: hosts
+/// the `gap.worker` injection site and the per-candidate deadline
+/// checkpoint, isolates panics with `catch_unwind`, and retries a
+/// symbolic `NodeLimit` refusal on the explicit engine (lazily built,
+/// when the model's explicit-hostility axes allow) before giving the
+/// candidate up as unknown.
+#[allow(clippy::too_many_arguments)]
+fn verify_candidate_guarded(
+    fa: &Ltl,
+    cand: &Candidate,
+    base: &[Ltl],
+    model: &CoverageModel,
+    backend: Backend,
+    accepted: &[Ltl],
+    screen_words: &[LassoWord],
+    state: &mut WorkerState,
+) -> Guarded {
+    let forced = dic_fault::hit(dic_fault::Site::GapWorker);
+    match forced {
+        Some(dic_fault::FaultKind::Deadline) => return Guarded::DeadlineStop,
+        Some(dic_fault::FaultKind::SatUnknown) => {
+            return Guarded::Unknown("injected fault: inconclusive verdict".to_string())
+        }
+        _ => {}
+    }
+    if dic_fault::deadline_expired() {
+        return Guarded::DeadlineStop;
+    }
+    // One guarded attempt on `b`. The injected panic fires *inside* the
+    // unwind scope, so it exercises exactly the isolation an organic
+    // worker panic would.
+    let attempt = |b: Backend, state: &mut WorkerState, inject_panic: bool| {
+        catch_unwind(AssertUnwindSafe(|| {
+            if inject_panic {
+                dic_fault::injected_panic();
+            }
+            verify_candidate(fa, cand, base, model, b, accepted, screen_words, state)
+        }))
+        .map_err(|payload| panic_message(payload.as_ref()))
+    };
+    // An injected NodeLimit takes the organic refusal path verbatim.
+    let first = if forced == Some(dic_fault::FaultKind::NodeLimit) {
+        Ok(Err(CoreError::Symbolic(
+            dic_symbolic::SymbolicError::NodeLimit {
+                nodes: 0,
+                cache_entries: 0,
+                limit: 0,
+            },
+        )))
+    } else {
+        attempt(backend, state, forced == Some(dic_fault::FaultKind::Panic))
+    };
+    let node_limited = matches!(
+        first,
+        Ok(Err(CoreError::Symbolic(
+            dic_symbolic::SymbolicError::NodeLimit { .. }
+        )))
+    );
+    match first {
+        Err(panic_msg) => Guarded::Unknown(format!("worker panic caught: {panic_msg}")),
+        Ok(Ok(verdict)) => Guarded::Settled(verdict),
+        Ok(Err(e)) if e.is_deadline() => Guarded::DeadlineStop,
+        Ok(Err(_))
+            if node_limited
+                && backend == Backend::Symbolic
+                && model.ensure_explicit_fallback() =>
+        {
+            if dic_trace::enabled() {
+                dic_trace::event("gap.retry_explicit", &[]);
+            }
+            match attempt(Backend::Explicit, state, false) {
+                Err(panic_msg) => {
+                    Guarded::Unknown(format!("worker panic caught: {panic_msg}"))
+                }
+                Ok(Ok(verdict)) => Guarded::Settled(verdict),
+                Ok(Err(e)) if e.is_deadline() => Guarded::DeadlineStop,
+                Ok(Err(e)) if e.is_degradable() => Guarded::Unknown(e.to_string()),
+                Ok(Err(e)) => Guarded::Fatal(e),
+            }
+        }
+        Ok(Err(e)) if e.is_degradable() => Guarded::Unknown(e.to_string()),
+        Ok(Err(e)) => Guarded::Fatal(e),
+    }
+}
+
+/// Result of a verification scan: the accepted antichain plus the
+/// degradation ledger the caller folds into the [`GapOutcome`].
+struct VerifyOutcome {
+    closing: Vec<(Candidate, Ltl)>,
+    unknown: Vec<UnknownGap>,
+    incomplete: Option<String>,
+}
+
+fn deadline_reason(unverified: usize) -> String {
+    format!("deadline exceeded during gap verification; {unverified} candidates unverified")
+}
+
+/// Records an unsettled candidate, skipping degenerates the smart
+/// constructors would have absorbed anyway.
+fn push_unknown(unknown: &mut Vec<UnknownGap>, fa: &Ltl, cand: &Candidate, diagnostic: String) {
+    if let Some(formula) = apply(fa, cand) {
+        if formula != *fa {
+            unknown.push(UnknownGap {
+                formula,
+                diagnostic,
+            });
+        }
+    }
+}
+
 /// One-worker verification: the verify/merge stages run interleaved on
 /// the calling thread, so the merge's budget exit stops verification at
 /// exactly the candidate the historical sequential loop stopped at —
@@ -514,15 +729,17 @@ fn verify_sequential(
     backend: Backend,
     screen_words: &[LassoWord],
     budget: usize,
-) -> Result<Vec<(Candidate, Ltl)>, CoreError> {
+) -> Result<VerifyOutcome, CoreError> {
     let mut state = WorkerState::new(seed_runs);
     let mut merge = WeakestMerge::new(screen_words, budget);
     let mut accepted: Vec<Ltl> = Vec::new();
-    for cand in candidates {
+    let mut unknown: Vec<UnknownGap> = Vec::new();
+    let mut incomplete = None;
+    for (idx, cand) in candidates.iter().enumerate() {
         if merge.is_full() {
             break;
         }
-        let verdict = verify_candidate(
+        match verify_candidate_guarded(
             fa,
             cand,
             base,
@@ -531,13 +748,33 @@ fn verify_sequential(
             &accepted,
             screen_words,
             &mut state,
-        )?;
-        if let Verdict::Closing(formula) = verdict {
-            merge.offer(cand.clone(), formula);
-            accepted = merge.formulas();
+        ) {
+            Guarded::Settled(Verdict::Closing(formula)) => {
+                merge.offer(cand.clone(), formula);
+                accepted = merge.formulas();
+            }
+            Guarded::Settled(_) => {}
+            Guarded::Unknown(diagnostic) => push_unknown(&mut unknown, fa, cand, diagnostic),
+            Guarded::DeadlineStop => {
+                incomplete = Some(deadline_reason(candidates.len() - idx));
+                for rest in &candidates[idx..] {
+                    push_unknown(
+                        &mut unknown,
+                        fa,
+                        rest,
+                        "deadline exceeded before this candidate was verified".to_owned(),
+                    );
+                }
+                break;
+            }
+            Guarded::Fatal(e) => return Err(e),
         }
     }
-    Ok(merge.into_closing())
+    Ok(VerifyOutcome {
+        closing: merge.into_closing(),
+        unknown,
+        incomplete,
+    })
 }
 
 /// Fan-out verification: `jobs` scoped workers claim candidates from a
@@ -571,9 +808,9 @@ fn verify_parallel(
     screen_words: &[LassoWord],
     budget: usize,
     jobs: usize,
-) -> Result<Vec<(Candidate, Ltl)>, CoreError> {
+) -> Result<VerifyOutcome, CoreError> {
     use std::sync::atomic::{AtomicUsize, Ordering};
-    use std::sync::{mpsc, Mutex};
+    use std::sync::{mpsc, Mutex, PoisonError};
 
     let total = candidates.len();
     let next = AtomicUsize::new(0);
@@ -585,7 +822,7 @@ fn verify_parallel(
     // the workers' subsumption screen. Stale reads are sound (see
     // [`WeakestMerge`]); the screen only ever *adds* fixpoint savings.
     let subsumers: Mutex<Vec<Ltl>> = Mutex::new(Vec::new());
-    let (tx, rx) = mpsc::channel::<(usize, Result<Verdict, CoreError>)>();
+    let (tx, rx) = mpsc::channel::<(usize, Guarded)>();
 
     // Workers run on their own threads, outside the coordinator's
     // thread-local span stack — attach their spans to the verify span
@@ -608,8 +845,14 @@ fn verify_parallel(
                         break;
                     }
                     claimed += 1;
-                    let accepted = subsumers.lock().expect("subsumer snapshot").clone();
-                    let verdict = verify_candidate(
+                    // Poison-tolerant: the snapshot is a fully-assigned
+                    // `Vec` under the lock, so a panicking worker cannot
+                    // leave it half-written.
+                    let accepted = subsumers
+                        .lock()
+                        .unwrap_or_else(PoisonError::into_inner)
+                        .clone();
+                    let verdict = verify_candidate_guarded(
                         fa,
                         &candidates[i],
                         base,
@@ -619,7 +862,7 @@ fn verify_parallel(
                         screen_words,
                         &mut state,
                     );
-                    if matches!(verdict, Ok(Verdict::Closing(_))) {
+                    if matches!(verdict, Guarded::Settled(Verdict::Closing(_))) {
                         closing += 1;
                     }
                     if tx.send((i, verdict)).is_err() {
@@ -635,10 +878,12 @@ fn verify_parallel(
         drop(tx);
 
         let mut merge = WeakestMerge::new(screen_words, budget);
-        let mut slots: Vec<Option<Result<Verdict, CoreError>>> = Vec::new();
+        let mut slots: Vec<Option<Guarded>> = Vec::new();
         slots.resize_with(total, || None);
         let mut frontier = 0usize;
         let mut error: Option<CoreError> = None;
+        let mut unknown: Vec<UnknownGap> = Vec::new();
+        let mut incomplete = None;
         // Drain until every worker exits (the scope joins them anyway);
         // verdicts past the cutoff are received and discarded.
         for (i, verdict) in rx {
@@ -650,25 +895,56 @@ fn verify_parallel(
                     break; // the canonical next verdict is still in flight
                 };
                 match slot {
-                    Err(e) => {
+                    Guarded::Fatal(e) => {
                         error = Some(e);
                         cutoff.store(0, Ordering::SeqCst);
                     }
-                    Ok(Verdict::Closing(formula)) => {
+                    Guarded::DeadlineStop => {
+                        // The scan stops at the first in-order trip: every
+                        // verdict before it merged, everything after is
+                        // unverified — the same stop point the sequential
+                        // scan reports.
+                        incomplete = Some(deadline_reason(total - frontier));
+                        cutoff.store(frontier, Ordering::SeqCst);
+                    }
+                    Guarded::Unknown(diagnostic) => {
+                        push_unknown(&mut unknown, fa, &candidates[frontier], diagnostic);
+                    }
+                    Guarded::Settled(Verdict::Closing(formula)) => {
                         merge.offer(candidates[frontier].clone(), formula);
-                        *subsumers.lock().expect("subsumer snapshot") = merge.formulas();
+                        *subsumers.lock().unwrap_or_else(PoisonError::into_inner) =
+                            merge.formulas();
                         if merge.is_full() {
                             cutoff.store(frontier + 1, Ordering::SeqCst);
                         }
                     }
-                    Ok(_) => {}
+                    Guarded::Settled(_) => {}
                 }
                 frontier += 1;
             }
         }
         match error {
             Some(e) => Err(e),
-            None => Ok(merge.into_closing()),
+            None => {
+                if incomplete.is_some() {
+                    // Mirror the sequential stop point: everything at or
+                    // past the first in-order deadline trip is unverified,
+                    // even if an out-of-order worker verdict arrived for it.
+                    for rest in &candidates[cutoff.load(Ordering::SeqCst)..] {
+                        push_unknown(
+                            &mut unknown,
+                            fa,
+                            rest,
+                            "deadline exceeded before this candidate was verified".to_owned(),
+                        );
+                    }
+                }
+                Ok(VerifyOutcome {
+                    closing: merge.into_closing(),
+                    unknown,
+                    incomplete,
+                })
+            }
         }
     })
 }
@@ -690,6 +966,14 @@ fn attach_witnesses(
 ) -> Result<Vec<GapProperty>, CoreError> {
     let mut term_runs: std::collections::BTreeMap<TemporalCube, Option<LassoWord>> =
         std::collections::BTreeMap::new();
+    // A degradable refusal here (deadline trip, node budget) must not
+    // discard already-confirmed properties: the query result degrades to
+    // "no run found" and the deterministic seeded fallback takes over.
+    let soft = |r: Result<Option<LassoWord>, CoreError>| match r {
+        Ok(w) => Ok(w),
+        Err(e) if e.is_degradable() => Ok(None),
+        Err(e) => Err(e),
+    };
     // Memoized unconstrained bad-run query, for the seedless path.
     let mut any_run: Option<Option<LassoWord>> = None;
     let mut props = Vec::with_capacity(closing.len());
@@ -697,7 +981,7 @@ fn attach_witnesses(
         let queried = match term_runs.get(&cand.term) {
             Some(w) => w.clone(),
             None => {
-                let w = model.gap_scenario_query(backend, base, None, &cand.term)?;
+                let w = soft(model.gap_scenario_query(backend, base, None, &cand.term))?;
                 term_runs.insert(cand.term.clone(), w.clone());
                 w
             }
@@ -717,12 +1001,12 @@ fn attach_witnesses(
                 let fallback = match &any_run {
                     Some(w) => w.clone(),
                     None => {
-                        let w = model.gap_scenario_query(
+                        let w = soft(model.gap_scenario_query(
                             backend,
                             base,
                             None,
                             &TemporalCube::top(),
-                        )?;
+                        ))?;
                         any_run = Some(w.clone());
                         w
                     }

@@ -19,6 +19,11 @@ pub enum FsmError {
         /// The configured limit on `state_bits + input_bits`.
         limit: usize,
     },
+    /// The cooperative wall-clock deadline (`--timeout` /
+    /// `SPECMATCHER_TIMEOUT`, armed through `dic_fault`) expired at an
+    /// expansion-batch checkpoint. The run degrades instead of thrashing:
+    /// the caller reports what it settled before the trip.
+    Deadline,
 }
 
 impl fmt::Display for FsmError {
@@ -32,6 +37,11 @@ impl fmt::Display for FsmError {
                 f,
                 "state space too large: {state_bits} latch bits + {input_bits} input bits \
                  exceeds the explicit-enumeration limit of {limit} total bits"
+            ),
+            FsmError::Deadline => write!(
+                f,
+                "deadline exceeded during explicit-state enumeration \
+                 (cooperative checkpoint between expansion batches)"
             ),
         }
     }

@@ -75,6 +75,12 @@ impl Kripke {
         let mut scratch = Valuation::all_false(table.len());
         let mut frontier = 0usize;
         while frontier < latch_keys.len() {
+            // Cooperative deadline checkpoint per expansion batch (one
+            // latch state × all input keys); the structures are consistent
+            // between batches, so the refusal is clean.
+            if dic_fault::deadline_expired() {
+                return Err(FsmError::Deadline);
+            }
             let from_key = latch_keys[frontier];
             for input_key in 0..(1u64 << n_input_bits) {
                 scratch.assign_key(&state_vars, from_key);

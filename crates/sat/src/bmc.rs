@@ -80,6 +80,19 @@ pub fn bounded_lasso(
         // the query with the same `None` for free.
         return None;
     }
+    // `bmc.encode` injection site: the tier is refutation-only, so any
+    // non-panic kind degrades to `None` ("no verdict"), which is sound by
+    // construction.
+    match dic_fault::hit(dic_fault::Site::BmcEncode) {
+        Some(dic_fault::FaultKind::Panic) => dic_fault::injected_panic(),
+        Some(_) => return None,
+        None => {}
+    }
+    // A tripped deadline skips the bounded tier outright — the closure
+    // engines behind it carry their own checkpoints and report the trip.
+    if dic_fault::deadline_expired() {
+        return None;
+    }
     let mut span = dic_trace::span("bmc.encode");
     let mut enc = Encoder::new(module, table, free, depth);
     if enc.predicted_vars(&gbas) > BMC_VAR_LIMIT {

@@ -345,6 +345,14 @@ impl Solver {
     /// Decides satisfiability. `max_conflicts` bounds the search
     /// (`None` = run to a verdict).
     pub fn solve(&mut self, max_conflicts: Option<u64>) -> SatResult {
+        // `sat.solve` injection site: any non-panic kind degrades to
+        // Unknown, which every caller treats as "no refutation found" —
+        // unconditionally sound for the bounded tier.
+        match dic_fault::hit(dic_fault::Site::SatSolve) {
+            Some(dic_fault::FaultKind::Panic) => dic_fault::injected_panic(),
+            Some(_) => return SatResult::Unknown,
+            None => {}
+        }
         let result = self.run(max_conflicts);
         if dic_trace::enabled() {
             dic_trace::count(dic_trace::Counter::SatDecisions, self.stats.decisions);
@@ -384,6 +392,12 @@ impl Solver {
                     conflicts_here = 0;
                     restart_at += restart_at / 2;
                     self.cancel_until(0);
+                    // Cooperative deadline checkpoint at the restart
+                    // boundary: the trail is already unwound to level 0,
+                    // so Unknown here leaves the solver reusable.
+                    if dic_fault::deadline_expired() {
+                        return SatResult::Unknown;
+                    }
                 }
             } else {
                 match self.pick_branch() {

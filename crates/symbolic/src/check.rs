@@ -609,6 +609,7 @@ impl ProductData {
         let mut frontier = init;
         let mut live: Vec<Bdd> = Vec::new();
         loop {
+            m.check_governance()?;
             live.clear();
             live.push(reach);
             live.push(frontier);
@@ -645,6 +646,7 @@ impl ProductData {
         live.push(inside);
         let mut y = target;
         loop {
+            m.check_governance()?;
             live.push(y);
             m.maybe_reorder(self, live)?;
             y = live.pop().expect("pushed y");
@@ -673,6 +675,7 @@ impl ProductData {
         let nfair = self.fair.len();
         let mut live: Vec<Bdd> = Vec::new();
         loop {
+            m.check_governance()?;
             live.clear();
             live.push(z); // the round's starting point, [0]
             if nfair == 0 {
@@ -736,6 +739,7 @@ impl ProductData {
         let mut covered = t0;
         let mut live: Vec<Bdd> = Vec::new();
         loop {
+            m.check_governance()?;
             live.clear();
             live.push(z);
             live.push(covered);

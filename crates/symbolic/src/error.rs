@@ -26,6 +26,13 @@ pub enum SymbolicError {
         /// The configured limit on `nodes`.
         limit: usize,
     },
+    /// The cooperative wall-clock deadline (`--timeout` /
+    /// `SPECMATCHER_TIMEOUT`, armed through `dic_fault`) expired at a
+    /// fixpoint-step or node-budget checkpoint. Like `NodeLimit`, this is
+    /// raised *between* steps, never mid-operation, so the manager stays
+    /// consistent; the pipeline treats it as a degradable refusal and
+    /// reports what it settled before the trip.
+    Deadline,
     /// The `SPECMATCHER_BDD_NODE_LIMIT` environment variable is set to
     /// something that is not a node count. Refusing beats silently falling
     /// back to the default the user was trying to replace.
@@ -76,6 +83,11 @@ impl fmt::Display for SymbolicError {
                 f,
                 "symbolic state space too large: {nodes} BDD nodes \
                  (+{cache_entries} cache entries) exceeds the node limit of {limit}"
+            ),
+            SymbolicError::Deadline => write!(
+                f,
+                "deadline exceeded during symbolic analysis (cooperative \
+                 checkpoint between fixpoint steps)"
             ),
             SymbolicError::InvalidNodeLimit { value } => write!(
                 f,

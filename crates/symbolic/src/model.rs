@@ -560,6 +560,18 @@ impl SymbolicModel {
     /// a single query's cache growth is collateral of its node growth,
     /// which this limit bounds.)
     pub(crate) fn check_limit(&self) -> Result<(), SymbolicError> {
+        match dic_fault::hit(dic_fault::Site::BddAlloc) {
+            Some(dic_fault::FaultKind::NodeLimit) => {
+                return Err(SymbolicError::NodeLimit {
+                    nodes: self.man.node_count(),
+                    cache_entries: self.man.cache_entries(),
+                    limit: self.options.node_limit,
+                })
+            }
+            Some(dic_fault::FaultKind::Deadline) => return Err(SymbolicError::Deadline),
+            Some(dic_fault::FaultKind::Panic) => dic_fault::injected_panic(),
+            Some(dic_fault::FaultKind::SatUnknown) | None => {}
+        }
         let nodes = self.man.node_count();
         if nodes > self.options.node_limit {
             return Err(SymbolicError::NodeLimit {
@@ -567,6 +579,30 @@ impl SymbolicModel {
                 cache_entries: self.man.cache_entries(),
                 limit: self.options.node_limit,
             });
+        }
+        Ok(())
+    }
+
+    /// Cooperative governance checkpoint at every fixpoint loop head
+    /// (`reachable`/`until`/`hull`/`rings_to`): polls the process-wide
+    /// deadline and hosts the `symbolic.fixpoint_step` injection site.
+    /// Raised between steps like [`SymbolicModel::check_limit`], so a trip
+    /// leaves the manager consistent and the query resumable-from-scratch.
+    pub(crate) fn check_governance(&self) -> Result<(), SymbolicError> {
+        match dic_fault::hit(dic_fault::Site::SymbolicFixpointStep) {
+            Some(dic_fault::FaultKind::NodeLimit) => {
+                return Err(SymbolicError::NodeLimit {
+                    nodes: self.man.node_count(),
+                    cache_entries: self.man.cache_entries(),
+                    limit: self.options.node_limit,
+                })
+            }
+            Some(dic_fault::FaultKind::Deadline) => return Err(SymbolicError::Deadline),
+            Some(dic_fault::FaultKind::Panic) => dic_fault::injected_panic(),
+            Some(dic_fault::FaultKind::SatUnknown) | None => {}
+        }
+        if dic_fault::deadline_expired() {
+            return Err(SymbolicError::Deadline);
         }
         Ok(())
     }

@@ -178,6 +178,13 @@ pub enum Counter {
     BmcQueries,
     /// Bounded queries that found a refuting run (fixpoint skipped).
     BmcRefuted,
+    /// Deterministic faults fired by an armed `dic_fault` plan.
+    FaultInjected,
+    /// Gap candidates left `unknown` by a degradable refusal, a caught
+    /// worker panic, or a deadline stop.
+    GapUnknownCandidates,
+    /// Cooperative deadline checkpoints observed expired.
+    DeadlineTrips,
 }
 
 impl Counter {
@@ -207,6 +214,9 @@ impl Counter {
         Counter::SatLearnedClauses,
         Counter::BmcQueries,
         Counter::BmcRefuted,
+        Counter::FaultInjected,
+        Counter::GapUnknownCandidates,
+        Counter::DeadlineTrips,
     ];
 
     /// The counter's stable dotted name (JSONL and profile key).
@@ -236,12 +246,15 @@ impl Counter {
             Counter::SatLearnedClauses => "sat.learned_clauses",
             Counter::BmcQueries => "bmc.queries",
             Counter::BmcRefuted => "bmc.refuted",
+            Counter::FaultInjected => "fault.injected",
+            Counter::GapUnknownCandidates => "gap.unknown_candidates",
+            Counter::DeadlineTrips => "deadline.trips",
         }
     }
 }
 
 /// Number of distinct counters.
-pub const NUM_COUNTERS: usize = 24;
+pub const NUM_COUNTERS: usize = 27;
 
 static COUNTERS: [AtomicU64; NUM_COUNTERS] = [const { AtomicU64::new(0) }; NUM_COUNTERS];
 

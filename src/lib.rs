@@ -15,6 +15,7 @@
 //! | Coverage | [`core`] | Theorems 1–2, Algorithm 1, backend selection, the SpecMatcher pipeline |
 //! | Workloads | [`designs`] | MAL, AMBA AHB, pipeline, scaling generators |
 //! | Observability | [`trace`] | spans, engine counters, profile tree, JSONL trace sink |
+//! | Governance | [`fault`] | cooperative deadlines, deterministic fault injection |
 //!
 //! See the workspace `README.md` for a guided tour, `DESIGN.md` for the
 //! architecture and `EXPERIMENTS.md` for the paper-vs-measured record.
@@ -92,6 +93,7 @@
 pub use dic_automata as automata;
 pub use dic_core as core;
 pub use dic_designs as designs;
+pub use dic_fault as fault;
 pub use dic_fsm as fsm;
 pub use dic_logic as logic;
 pub use dic_ltl as ltl;

@@ -29,13 +29,19 @@
 //! `--profile` appends the `dic_trace` span/counter tree to the report
 //! and `--trace-out <path>` writes the run as a replayable JSONL event
 //! stream; with both absent tracing stays disabled and output is
-//! byte-identical to earlier releases.
+//! byte-identical to earlier releases. `--timeout <secs>` (or
+//! `SPECMATCHER_TIMEOUT`) arms a cooperative deadline checked between
+//! engine steps: on expiry the run degrades to a *partial report* —
+//! settled verdicts are kept, unresolved candidates are listed as
+//! `unknown`, and the report carries an `incomplete:` line.
 //!
 //! Exit codes: `0` — every architectural property is covered; `1` — a
-//! coverage gap was found and reported; `2` — usage or specification
+//! coverage gap was found and reported (including a partial run with at
+//! least one settled gap verdict); `2` — usage or specification
 //! error (bad flags, unparsable input, Assumption 1 violations);
 //! `3` — a model-checking engine refused the model for resource reasons
-//! (explicit state-space limit, BDD node budget).
+//! (explicit state-space limit, BDD node budget), or a partial run in
+//! which no gap verdict was settled before the deadline.
 //!
 //! Spec files contain one property per line:
 //!
@@ -56,8 +62,8 @@ use dic_fsm::extract_fsm;
 use dic_logic::SignalTable;
 use dic_ltl::Ltl;
 use dic_netlist::parse_snl;
-use dic_symbolic::SymbolicError;
 use std::process::ExitCode;
+use std::time::Duration;
 
 /// A CLI failure, carrying its exit-code class: usage/spec errors exit 2,
 /// engine resource refusals exit 3 (so scripts can retry with a bigger
@@ -90,11 +96,11 @@ fn ctx_err(name: &str, e: CoreError) -> CliError {
 }
 
 fn core_err(e: CoreError) -> CliError {
-    let resource = matches!(
-        e,
-        CoreError::Fsm(_) | CoreError::Symbolic(SymbolicError::NodeLimit { .. })
-    );
-    if resource {
+    // Degradable errors (state-space and node-budget refusals, deadline
+    // trips) that still escape the pipeline's partial-report machinery —
+    // e.g. during model *construction*, before any verdict exists — are
+    // resource errors.
+    if e.is_degradable() {
         CliError::Resource(e.to_string())
     } else {
         CliError::Usage(e.to_string())
@@ -151,7 +157,7 @@ fn run(args: &[String]) -> Result<ExitCode, CliError> {
 
 fn print_usage() {
     eprintln!(
-        "usage:\n  specmatcher check --design <name> [--backend explicit|symbolic|auto] [--reorder off|auto] [--partition off|auto] [--jobs N] [--bmc off|auto] [--json] [--profile] [--trace-out <path>]\n  specmatcher check --snl <file> --spec <file> [--backend ...] [--reorder ...] [--partition ...] [--jobs N] [--bmc ...] [--json] [--profile] [--trace-out <path>]\n  specmatcher table1 [--backend ...] [--reorder ...] [--partition ...] [--jobs N] [--bmc ...] [--quick | --json] [--profile] [--trace-out <path>]\n  specmatcher fsm --design <name>\n  specmatcher list\n\nbackends: explicit = state enumeration (paper-faithful, limited size),\n          symbolic = BDD reachability + fair cycles (scales further),\n          auto     = pick by state-space size and product width (default)\nreorder:  auto = dynamic BDD variable reordering (group sifting; default),\n          off  = keep the static variable order\npartition: auto = conjunctively partitioned transition relation with\n          greedy clustering (cap SPECMATCHER_BDD_CLUSTER_SIZE; default),\n          off  = one conjunct per latch/automaton; gap reports are\n          byte-identical either way\njobs:     worker threads for gap-phase candidate verification\n          (default: SPECMATCHER_JOBS, else available parallelism;\n          the reported property set is identical for every value)\nbmc:      auto = bounded SAT refutation ahead of the closure fixpoints\n          (depth SPECMATCHER_BMC_DEPTH, default 16; default mode),\n          off  = fixpoint engines only; gap reports are byte-identical\nprofile:  append the structured span/counter tree to the report\n          (stderr under --json); --trace-out writes the same run as a\n          JSONL event stream (schema specmatcher-trace/1)\n\nexit codes: 0 = covered, 1 = coverage gap reported,\n            2 = usage/specification error,\n            3 = engine resource refusal (state-space or BDD node budget)"
+        "usage:\n  specmatcher check --design <name> [--backend explicit|symbolic|auto] [--reorder off|auto] [--partition off|auto] [--jobs N] [--bmc off|auto] [--timeout S] [--json] [--profile] [--trace-out <path>]\n  specmatcher check --snl <file> --spec <file> [--backend ...] [--reorder ...] [--partition ...] [--jobs N] [--bmc ...] [--timeout S] [--json] [--profile] [--trace-out <path>]\n  specmatcher table1 [--backend ...] [--reorder ...] [--partition ...] [--jobs N] [--bmc ...] [--timeout S] [--quick | --json] [--profile] [--trace-out <path>]\n  specmatcher fsm --design <name>\n  specmatcher list\n\nbackends: explicit = state enumeration (paper-faithful, limited size),\n          symbolic = BDD reachability + fair cycles (scales further),\n          auto     = pick by state-space size and product width (default)\nreorder:  auto = dynamic BDD variable reordering (group sifting; default),\n          off  = keep the static variable order\npartition: auto = conjunctively partitioned transition relation with\n          greedy clustering (cap SPECMATCHER_BDD_CLUSTER_SIZE; default),\n          off  = one conjunct per latch/automaton; gap reports are\n          byte-identical either way\njobs:     worker threads for gap-phase candidate verification\n          (default: SPECMATCHER_JOBS, else available parallelism;\n          the reported property set is identical for every value)\nbmc:      auto = bounded SAT refutation ahead of the closure fixpoints\n          (depth SPECMATCHER_BMC_DEPTH, default 16; default mode),\n          off  = fixpoint engines only; gap reports are byte-identical\ntimeout:  cooperative run deadline in seconds (default:\n          SPECMATCHER_TIMEOUT, else none); on expiry the run degrades\n          to a partial report — settled verdicts are kept, unresolved\n          candidates are listed as unknown, and the report carries an\n          'incomplete:' line\nprofile:  append the structured span/counter tree to the report\n          (stderr under --json); --trace-out writes the same run as a\n          JSONL event stream (schema specmatcher-trace/1)\n\nexit codes: 0 = covered, 1 = coverage gap reported (complete, or\n                partial with at least one settled gap verdict),\n            2 = usage/specification error,\n            3 = engine resource refusal (state-space or BDD node\n                budget) or a partial run with no settled gap"
     );
 }
 
@@ -254,6 +260,49 @@ fn emit_trace_sinks(
     Ok(())
 }
 
+/// `--timeout <secs>` run-deadline override, mirroring
+/// `SPECMATCHER_TIMEOUT`'s strict contract: absent → the environment
+/// setting (else no deadline), a positive whole number of seconds wins,
+/// anything else is a usage error.
+fn timeout_option(args: &[String]) -> Result<Option<Duration>, String> {
+    match option(args, "--timeout") {
+        None if args.iter().any(|a| a == "--timeout") => {
+            Err("--timeout needs a value: a positive whole number of seconds".into())
+        }
+        None => dic_fault::timeout_from_env(),
+        Some(s) => match s.parse::<u64>() {
+            Ok(n) if n > 0 => Ok(Some(Duration::from_secs(n))),
+            _ => Err(format!(
+                "invalid --timeout {s:?}: expected a positive whole number of seconds"
+            )),
+        },
+    }
+}
+
+/// Arms the run-wide governors before any engine work: the cooperative
+/// deadline (`--timeout`, else `SPECMATCHER_TIMEOUT`) and the
+/// deterministic fault plan (`SPECMATCHER_FAULT`; off in production).
+fn arm_governance(args: &[String]) -> Result<(), CliError> {
+    if let Some(budget) = timeout_option(args)? {
+        dic_fault::arm_deadline(budget);
+    }
+    dic_fault::arm_fault_from_env().map_err(CliError::Usage)?;
+    Ok(())
+}
+
+/// Records the structured abort marker so a `--trace-out` stream is
+/// terminated by a final `run.aborted` event on deadline/resource/panic
+/// paths (no-op with tracing disabled).
+fn trace_abort(panicked: bool) {
+    dic_trace::event(
+        "run.aborted",
+        &[
+            ("deadline", dic_fault::deadline_expired() as u64),
+            ("panic", panicked as u64),
+        ],
+    );
+}
+
 /// `--jobs N` worker-count override, mirroring `SPECMATCHER_JOBS`'s
 /// strict contract: absent → `Ok(0)` (auto resolution), a positive
 /// integer wins, anything else is a usage error.
@@ -299,6 +348,7 @@ fn cmd_check(args: &[String]) -> Result<ExitCode, CliError> {
     let jobs = jobs_option(args)?;
     let bmc = bmc_option(args)?;
     let (profile, trace_out) = trace_options(args)?;
+    arm_governance(args)?;
     let mut matcher = SpecMatcher::new(GapConfig::default())
         .with_backend(backend)
         .with_reorder(reorder)
@@ -308,47 +358,86 @@ fn cmd_check(args: &[String]) -> Result<ExitCode, CliError> {
         matcher = matcher.with_partition(p);
     }
     let run_span = dic_trace::span("check");
-    let (design, run) = if let Some(name) = option(args, "--design") {
-        let design = find_design(name)?;
-        let run = design.check(&matcher).map_err(core_err)?;
-        (design, run)
-    } else {
-        let snl_path = option(args, "--snl").ok_or("check needs --design or --snl/--spec")?;
-        let spec_path = option(args, "--spec").ok_or("check needs --spec with --snl")?;
-        let snl = std::fs::read_to_string(snl_path).map_err(|e| format!("{snl_path}: {e}"))?;
-        let spec = std::fs::read_to_string(spec_path).map_err(|e| format!("{spec_path}: {e}"))?;
-        let mut table = SignalTable::new();
-        let parse_span = dic_trace::span("parse");
-        let modules = parse_snl(&snl, &mut table).map_err(|e| e.to_string())?;
-        let (arch, rtl_props) = parse_spec(&spec, &mut table)?;
-        drop(parse_span);
-        let rtl = RtlSpec::new(
-            rtl_props.iter().map(|(n, f)| (n.as_str(), f.clone())),
-            modules,
-        );
-        let arch = ArchSpec::new(arch.iter().map(|(n, f)| (n.as_str(), f.clone())));
-        let design = Design {
-            name: "user",
-            table,
-            arch,
-            rtl,
-        };
-        let run = design.check(&matcher).map_err(core_err)?;
-        (design, run)
-    };
+    let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
+        || -> Result<(Design, dic_core::CoverageRun), CliError> {
+            if let Some(name) = option(args, "--design") {
+                let design = find_design(name)?;
+                let run = design.check(&matcher).map_err(core_err)?;
+                Ok((design, run))
+            } else {
+                let snl_path =
+                    option(args, "--snl").ok_or("check needs --design or --snl/--spec")?;
+                let spec_path = option(args, "--spec").ok_or("check needs --spec with --snl")?;
+                let snl =
+                    std::fs::read_to_string(snl_path).map_err(|e| format!("{snl_path}: {e}"))?;
+                let spec =
+                    std::fs::read_to_string(spec_path).map_err(|e| format!("{spec_path}: {e}"))?;
+                let mut table = SignalTable::new();
+                let parse_span = dic_trace::span("parse");
+                let modules = parse_snl(&snl, &mut table).map_err(|e| e.to_string())?;
+                let (arch, rtl_props) = parse_spec(&spec, &mut table)?;
+                drop(parse_span);
+                let rtl = RtlSpec::new(
+                    rtl_props.iter().map(|(n, f)| (n.as_str(), f.clone())),
+                    modules,
+                );
+                let arch = ArchSpec::new(arch.iter().map(|(n, f)| (n.as_str(), f.clone())));
+                let design = Design {
+                    name: "user",
+                    table,
+                    arch,
+                    rtl,
+                };
+                let run = design.check(&matcher).map_err(core_err)?;
+                Ok((design, run))
+            }
+        },
+    ));
     drop(run_span);
+    // Abort paths still flush the trace sinks: a `--trace-out` stream is
+    // terminated with a final `run.aborted` event instead of vanishing.
+    let (design, run) = match attempt {
+        Ok(Ok(v)) => v,
+        Ok(Err(e)) => {
+            trace_abort(false);
+            if let Err(CliError::Usage(m) | CliError::Resource(m)) =
+                emit_trace_sinks(profile, trace_out.as_deref(), json)
+            {
+                eprintln!("specmatcher: {m}");
+            }
+            return Err(e);
+        }
+        Err(payload) => {
+            trace_abort(true);
+            if let Err(CliError::Usage(m) | CliError::Resource(m)) =
+                emit_trace_sinks(profile, trace_out.as_deref(), json)
+            {
+                eprintln!("specmatcher: {m}");
+            }
+            std::panic::resume_unwind(payload);
+        }
+    };
     if json {
         println!("{}", run.to_json(&design.table));
     } else {
         print!("{}", run.render(&design.table));
     }
+    if let Some(reason) = &run.incomplete {
+        // Mirror the reason on stderr so scripts that only watch the exit
+        // code and stderr still see why the run degraded.
+        eprintln!("specmatcher: incomplete: {reason}");
+        trace_abort(false);
+    }
     // Under --json the profile tree goes to stderr so stdout stays pure
     // JSON; the JSONL stream always goes to its own file.
     emit_trace_sinks(profile, trace_out.as_deref(), json)?;
-    Ok(if run.all_covered() {
-        ExitCode::SUCCESS
-    } else {
-        ExitCode::from(1)
+    Ok(match &run.incomplete {
+        // Partial run: a settled gap is still actionable (exit 1); with
+        // nothing confirmed the run only hit its resource wall (exit 3).
+        Some(_) if run.has_confirmed_gap() => ExitCode::from(1),
+        Some(_) => ExitCode::from(3),
+        None if run.all_covered() => ExitCode::SUCCESS,
+        None => ExitCode::from(1),
     })
 }
 
@@ -389,6 +478,7 @@ fn cmd_table1(args: &[String]) -> Result<ExitCode, CliError> {
     let jobs = jobs_option(args)?;
     let bmc = bmc_option(args)?;
     let (profile, trace_out) = trace_options(args)?;
+    arm_governance(args)?;
     if args.iter().any(|a| a == "--quick") {
         let code = cmd_table1_quick(backend, reorder, partition)?;
         emit_trace_sinks(profile, trace_out.as_deref(), false)?;
@@ -409,10 +499,14 @@ fn cmd_table1(args: &[String]) -> Result<ExitCode, CliError> {
         "{:<14} {:>9} {:>9} {:>9} {:>12} {:>12} {:>12}",
         "Circuit", "RTL props", "primary", "gap", "Primary (s)", "TM (s)", "Gap (s)"
     );
+    let mut incomplete_designs: Vec<String> = Vec::new();
     for design in table1_designs() {
         let design_span = dic_trace::span("design.check");
         let run = design.check(&matcher).map_err(core_err)?;
         drop(design_span);
+        if let Some(reason) = &run.incomplete {
+            incomplete_designs.push(format!("{}: {reason}", design.name));
+        }
         println!(
             "{:<14} {:>9} {:>9} {:>9} {:>12.4} {:>12.4} {:>12.4}",
             design.name,
@@ -452,6 +546,15 @@ fn cmd_table1(args: &[String]) -> Result<ExitCode, CliError> {
         .map_err(|e| format!("{}: {e}", dic_bench::BENCH_TABLE1_PATH))?;
         println!();
         println!("wrote {}", dic_bench::BENCH_TABLE1_PATH);
+    }
+    if !incomplete_designs.is_empty() {
+        for line in &incomplete_designs {
+            println!("incomplete: {line}");
+        }
+        trace_abort(false);
+        emit_trace_sinks(profile, trace_out.as_deref(), false)?;
+        // A partial benchmark table is a resource wall, not a usage error.
+        return Ok(ExitCode::from(3));
     }
     emit_trace_sinks(profile, trace_out.as_deref(), false)?;
     Ok(ExitCode::SUCCESS)

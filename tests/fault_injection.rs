@@ -1,0 +1,215 @@
+//! Fault-injection robustness sweep: deterministic faults (node-limit,
+//! deadline, SAT-unknown, panic) are injected at every counted seam
+//! (`bdd.alloc`, `symbolic.fixpoint_step`, `sat.solve`, `gap.worker`,
+//! `bmc.encode`) over randomized coverage problems × both backends ×
+//! jobs 1/4 × several hit schedules, asserting the governance contract:
+//!
+//! 1. **No escaped panics.** A `gap.worker` panic is isolated by the
+//!    worker's `catch_unwind` and demoted to an unknown verdict; an
+//!    injected panic at any other site may surface (the CLI converts it
+//!    to an abort with a terminated trace), but only ever carries the
+//!    injected message — a different panic means the isolation layer
+//!    corrupted something on the way down.
+//! 2. **No unsound verdicts.** Every verdict a faulted run *settles*
+//!    matches the fault-free baseline, and every gap property it reports
+//!    genuinely closes the gap on a fault-free model (the semantic
+//!    membership test for the fault-free canonical set — the reported
+//!    list itself is merge-order-sensitive, closure is not).
+//! 3. **Quiet faults are free.** When the injection was absorbed without
+//!    a trace (no unknown verdicts, no `incomplete:`), the reported gap
+//!    sets are byte-identical to the baseline — the SAT-unknown screen
+//!    and the symbolic→explicit retry both preserve the canonical sets.
+//!
+//! The fault plan is process-global, so this file holds a single test.
+
+use proptest::prelude::*;
+use specmatcher::core::{closes_gap, Backend, GapConfig, SpecMatcher};
+use specmatcher::fault::{self, FaultKind, FaultPlan, Site};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+// Only the problem generator is used here; `replay` stays with the
+// backend-agreement suites.
+#[allow(dead_code)]
+mod common;
+use common::random_problem;
+
+const KINDS: [FaultKind; 4] = [
+    FaultKind::NodeLimit,
+    FaultKind::Deadline,
+    FaultKind::SatUnknown,
+    FaultKind::Panic,
+];
+
+/// Hit schedules: 1 lands in model construction, the larger counts land
+/// progressively deeper in the primary/gap phases; a count past the
+/// site's total hits degenerates to a fault-free run, which the equality
+/// arm of the contract still checks.
+const SCHEDULES: [u64; 4] = [1, 9, 97, 641];
+
+fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic>".to_owned()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn injections_never_escape_or_corrupt(
+        seed in 1u64..100_000,
+        schedule_idx in 0usize..SCHEDULES.len(),
+        jobs_four in 0u8..2,
+        symbolic in 0u8..2,
+    ) {
+        let (t, arch, rtl) = random_problem(seed);
+        let backend = if symbolic == 1 { Backend::Symbolic } else { Backend::Explicit };
+        let jobs = if jobs_four == 1 { 4 } else { 1 };
+        let nth = SCHEDULES[schedule_idx];
+        let config = GapConfig {
+            term_depth: 2,
+            max_terms: 3,
+            max_candidates: 24,
+            max_gap_properties: 4,
+            ..GapConfig::default()
+        };
+        let matcher = || {
+            SpecMatcher::new(config.clone())
+                .with_backend(backend)
+                .with_jobs(jobs)
+        };
+
+        // Fault-free baseline (and the model the closure oracle uses).
+        fault::disarm_fault();
+        fault::disarm_deadline();
+        let baseline = matcher().check(&arch, &rtl, &t).expect("fault-free run is total");
+        let oracle_model = specmatcher::core::CoverageModel::build_with_backend(
+            &arch, &rtl, &t, backend,
+        ).expect("fault-free model builds");
+        let base_sets: Vec<(bool, Vec<String>)> = baseline
+            .properties
+            .iter()
+            .map(|p| {
+                let mut v: Vec<String> = p
+                    .gap_properties
+                    .iter()
+                    .map(|g| g.formula.display(&t).to_string())
+                    .collect();
+                v.sort();
+                (p.covered, v)
+            })
+            .collect();
+
+        // Injected panics are expected on some paths; keep the default
+        // hook from spraying backtraces over the proptest output.
+        let quiet_hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+
+        let mut failure: Option<String> = None;
+        'sweep: for site in Site::ALL {
+            for kind in KINDS {
+                fault::reset_hits();
+                fault::arm_fault(FaultPlan { site, nth, kind });
+                let outcome = catch_unwind(AssertUnwindSafe(|| {
+                    matcher().check(&arch, &rtl, &t)
+                }));
+                fault::disarm_fault();
+                let label = format!(
+                    "seed {seed} {site:?}:{nth}:{kind:?} backend {backend} jobs {jobs}"
+                );
+                let run = match outcome {
+                    Err(payload) => {
+                        let msg = panic_text(payload.as_ref());
+                        if kind != FaultKind::Panic {
+                            failure = Some(format!("{label}: escaped panic: {msg}"));
+                            break 'sweep;
+                        }
+                        if site == Site::GapWorker {
+                            failure = Some(format!(
+                                "{label}: gap.worker panic must be isolated, escaped: {msg}"
+                            ));
+                            break 'sweep;
+                        }
+                        if !msg.contains(fault::INJECTED_PANIC_MSG) {
+                            failure = Some(format!("{label}: foreign panic: {msg}"));
+                            break 'sweep;
+                        }
+                        continue;
+                    }
+                    Ok(Err(e)) => {
+                        // A surfaced error must be the degradable resource
+                        // class — the injection may only ever look like a
+                        // legitimate refusal.
+                        if !e.is_degradable() {
+                            failure = Some(format!("{label}: non-degradable error: {e}"));
+                            break 'sweep;
+                        }
+                        continue;
+                    }
+                    Ok(Ok(run)) => run,
+                };
+
+                let quiet = run.incomplete.is_none()
+                    && run.properties.iter().all(|p| {
+                        p.unknown.is_none() && p.unknown_gaps.is_empty()
+                    });
+                for (p, (base_covered, base_set)) in
+                    run.properties.iter().zip(&base_sets)
+                {
+                    if p.unknown.is_some() {
+                        continue; // verdict not settled: nothing to compare
+                    }
+                    if p.covered != *base_covered {
+                        failure = Some(format!(
+                            "{label}: settled verdict flipped for {}",
+                            p.name
+                        ));
+                        break 'sweep;
+                    }
+                    let mut set: Vec<String> = p
+                        .gap_properties
+                        .iter()
+                        .map(|g| g.formula.display(&t).to_string())
+                        .collect();
+                    set.sort();
+                    if quiet && set != *base_set {
+                        failure = Some(format!(
+                            "{label}: quiet fault changed the gap set for {}: \
+                             {set:?} vs {base_set:?}",
+                            p.name
+                        ));
+                        break 'sweep;
+                    }
+                    // Semantic canonical-set membership: every reported
+                    // property closes the gap on a fault-free model.
+                    for g in &p.gap_properties {
+                        match closes_gap(&g.formula, &p.formula, &rtl, &oracle_model) {
+                            Ok(true) => {}
+                            Ok(false) => {
+                                failure = Some(format!(
+                                    "{label}: reported non-closing property {}",
+                                    g.formula.display(&t)
+                                ));
+                                break 'sweep;
+                            }
+                            Err(e) => {
+                                failure = Some(format!("{label}: oracle failed: {e}"));
+                                break 'sweep;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        fault::disarm_fault();
+        fault::disarm_deadline();
+        std::panic::set_hook(quiet_hook);
+        if let Some(msg) = failure {
+            prop_assert!(false, "{}", msg);
+        }
+    }
+}

@@ -28,9 +28,18 @@ fn normalized_report(design: &Design) -> String {
         // all run dependent.
         .take_while(|l| !l.starts_with("profile:"))
         // Wall-clock, reorder and worker statistics are machine/run
-        // dependent (jobs defaults to the machine's parallelism).
+        // dependent (jobs defaults to the machine's parallelism), and the
+        // governance layer's degradation surfaces (`incomplete:` reasons,
+        // `unknown` verdict lines) depend on budgets and deadlines the
+        // golden runs don't pin.
         .filter(|l| {
-            !l.starts_with("timings") && !l.starts_with("reordering") && !l.starts_with("jobs")
+            !l.starts_with("timings")
+                && !l.starts_with("reordering")
+                && !l.starts_with("jobs")
+                && !l.starts_with("incomplete:")
+                && !l.trim_start().starts_with("unknown")
+                && !l.trim_start().starts_with("UNKNOWN")
+                && !l.trim_start().starts_with("unverified gap candidates")
         })
         .collect::<Vec<_>>()
         .join("\n");
